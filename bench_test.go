@@ -1,0 +1,214 @@
+package sda_test
+
+// Benchmark harness: one benchmark per table/figure of the paper (the
+// experiment that regenerates it, at reduced fidelity so `go test -bench`
+// stays tractable) plus micro-benchmarks of the simulation kernel and the
+// strategy implementations. Regenerate the full-fidelity numbers with
+// cmd/sdaexp.
+
+import (
+	"testing"
+
+	sda "repro"
+	"repro/internal/des"
+	"repro/internal/exp"
+	isda "repro/internal/sda"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// benchOptions is the fidelity used by the per-figure benchmarks.
+func benchOptions(seed uint64) exp.Options {
+	return exp.Options{Duration: 2000, Warmup: 200, Replications: 1, Seed: seed}
+}
+
+// benchExperiment runs one experiment per iteration with a fresh seed.
+func benchExperiment(b *testing.B, run func(exp.Options) (*exp.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(benchOptions(uint64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.Rows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig5UD regenerates Figure 5 (UD baseline across load).
+func BenchmarkFig5UD(b *testing.B) { benchExperiment(b, exp.Fig5) }
+
+// BenchmarkFig6DIV regenerates Figure 6 (UD vs DIV-1 vs DIV-2).
+func BenchmarkFig6DIV(b *testing.B) { benchExperiment(b, exp.Fig6) }
+
+// BenchmarkFig7GF regenerates Figure 7 (UD vs DIV-1 vs GF).
+func BenchmarkFig7GF(b *testing.B) { benchExperiment(b, exp.Fig7) }
+
+// BenchmarkFig9ChooseX regenerates Figure 9 (MD vs x for n = 2, 4, 6).
+func BenchmarkFig9ChooseX(b *testing.B) { benchExperiment(b, exp.Fig9) }
+
+// BenchmarkFig10FracLocalDIV regenerates Figure 10(a) (DIV-1 vs frac_local).
+func BenchmarkFig10FracLocalDIV(b *testing.B) { benchExperiment(b, exp.Fig10a) }
+
+// BenchmarkFig10FracLocalGF regenerates Figure 10(b) (GF vs frac_local).
+func BenchmarkFig10FracLocalGF(b *testing.B) { benchExperiment(b, exp.Fig10b) }
+
+// BenchmarkFig11Abort regenerates Figure 11 (process-manager abortion).
+func BenchmarkFig11Abort(b *testing.B) { benchExperiment(b, exp.Fig11) }
+
+// BenchmarkLocalAbort regenerates the Section 7.3 local-abortion ablation.
+func BenchmarkLocalAbort(b *testing.B) { benchExperiment(b, exp.LocalAbort) }
+
+// BenchmarkFig12Classes regenerates Figure 12 (non-homogeneous classes).
+func BenchmarkFig12Classes(b *testing.B) { benchExperiment(b, exp.Fig12) }
+
+// BenchmarkFig15Combined regenerates Figure 15 (SSP x PSP on Figure 14's
+// task graph, the Table 2 combinations).
+func BenchmarkFig15Combined(b *testing.B) { benchExperiment(b, exp.Fig15) }
+
+// BenchmarkSSPStrategies regenerates the serial-strategy ablation.
+func BenchmarkSSPStrategies(b *testing.B) { benchExperiment(b, exp.SerialStrategies) }
+
+// BenchmarkPexError regenerates the EQF estimation-error ablation.
+func BenchmarkPexError(b *testing.B) { benchExperiment(b, exp.PexError) }
+
+// --- simulation throughput ------------------------------------------------
+
+// BenchmarkSimulationBaseline measures end-to-end simulator throughput on
+// the Table 1 baseline; the metric of interest is events/op vs ns/op.
+func BenchmarkSimulationBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default()
+		cfg.Duration = 5000
+		cfg.Warmup = 0
+		cfg.Replications = 1
+		cfg.Seed = uint64(i + 1)
+		rep, err := sim.RunOne(cfg, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulationHighLoad stresses the queues at load 0.9.
+func BenchmarkSimulationHighLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default()
+		cfg.Spec.Load = 0.9
+		cfg.Duration = 3000
+		cfg.Warmup = 0
+		cfg.Replications = 1
+		if _, err := sim.RunOne(cfg, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- kernel micro-benchmarks ----------------------------------------------
+
+// BenchmarkEngineEventChurn measures raw event throughput of the DES
+// kernel: schedule-and-fire cycles through a 1k-event calendar.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	b.ReportAllocs()
+	eng := des.New()
+	const depth = 1000
+	var tick func()
+	remaining := b.N
+	tick = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		if _, err := eng.After(1, tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < depth; i++ {
+		if _, err := eng.After(simtime.Duration(i), tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkStrategyAssignment measures the per-subtask cost of each PSP
+// strategy's deadline computation.
+func BenchmarkStrategyAssignment(b *testing.B) {
+	strategies := []isda.PSP{isda.UD{}, isda.MustDiv(1), isda.GF{}}
+	for _, s := range strategies {
+		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = s.AssignParallel(simtime.Time(i), simtime.Time(i+10), 4)
+			}
+		})
+	}
+}
+
+// BenchmarkEQFAssignment measures the EQF serial decomposition over a
+// five-stage pipeline.
+func BenchmarkEQFAssignment(b *testing.B) {
+	b.ReportAllocs()
+	pexs := []simtime.Duration{1, 1, 1, 1, 1}
+	eqf := isda.EQF{}
+	for i := 0; i < b.N; i++ {
+		_ = eqf.AssignSerial(simtime.Time(i), simtime.Time(i+25), pexs)
+	}
+}
+
+// BenchmarkTaskParse measures the bracket-notation parser on the
+// Figure 14 pipeline.
+func BenchmarkTaskParse(b *testing.B) {
+	b.ReportAllocs()
+	const src = "[init@0:1 [a@1:1||b@2:1||c@3:1||d@4:1] mid@5:1 [e@1:1||f@2:1||g@3:1||h@4:1] fin@0:1]"
+	for i := 0; i < b.N; i++ {
+		if _, err := task.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlan measures the offline recursive SDA algorithm on the
+// Figure 14 pipeline.
+func BenchmarkPlan(b *testing.B) {
+	b.ReportAllocs()
+	tree := task.MustParse("[init@0:1 [a@1:1||b@2:1||c@3:1||d@4:1] mid@5:1 [e@1:1||f@2:1||g@3:1||h@4:1] fin@0:1]")
+	for i := 0; i < b.N; i++ {
+		if err := sda.Plan(tree, 0, 25, sda.EQF(), sda.Div(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoliciesAblation regenerates the local-policy ablation.
+func BenchmarkPoliciesAblation(b *testing.B) { benchExperiment(b, exp.Policies) }
+
+// BenchmarkFIFOAblation regenerates the FIFO-vs-EDF ablation.
+func BenchmarkFIFOAblation(b *testing.B) { benchExperiment(b, exp.FIFOAblation) }
+
+// BenchmarkGFDeltaAblation regenerates the GF-encoding ablation.
+func BenchmarkGFDeltaAblation(b *testing.B) { benchExperiment(b, exp.GFDelta) }
+
+// BenchmarkDivNoFanoutAblation regenerates the flat-divisor ablation.
+func BenchmarkDivNoFanoutAblation(b *testing.B) { benchExperiment(b, exp.DivNoFanout) }
+
+// BenchmarkPreemptionAblation regenerates the preemption ablation.
+func BenchmarkPreemptionAblation(b *testing.B) { benchExperiment(b, exp.Preemption) }
+
+// BenchmarkServiceDistAblation regenerates the service-variability ablation.
+func BenchmarkServiceDistAblation(b *testing.B) { benchExperiment(b, exp.ServiceDist) }
+
+// BenchmarkNetworkPipeline regenerates the network-as-resource experiment.
+func BenchmarkNetworkPipeline(b *testing.B) { benchExperiment(b, exp.Network) }
+
+// BenchmarkScaleAblation regenerates the system-size sweep.
+func BenchmarkScaleAblation(b *testing.B) { benchExperiment(b, exp.Scale) }

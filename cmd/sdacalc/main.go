@@ -1,0 +1,93 @@
+// Command sdacalc is an offline subtask-deadline calculator: it parses a
+// serial-parallel task expression, applies an SDA strategy combination,
+// and prints the virtual deadline assigned to every subtask.
+//
+// Example (the paper's introduction example):
+//
+//	sdacalc -deadline 10 -ssp EQF -psp DIV-1 \
+//	    "[[T11@0:5||T12@1:5||T13@2:5||T14@3:5||T15@4:5] T2@5:5]"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdacalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdacalc", flag.ContinueOnError)
+	var (
+		arrival  = fs.Float64("arrival", 0, "release instant of the global task")
+		deadline = fs.Float64("deadline", 0, "end-to-end deadline of the global task")
+		sspName  = fs.String("ssp", "EQF", "serial strategy: "+strings.Join(sda.SSPNames(), " | "))
+		pspName  = fs.String("psp", "DIV-1", "parallel strategy: "+strings.Join(sda.PSPNames(), " | "))
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one task expression, got %d args", fs.NArg())
+	}
+	root, err := task.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ssp, err := sda.ParseSSP(*sspName)
+	if err != nil {
+		return err
+	}
+	psp, err := sda.ParsePSP(*pspName)
+	if err != nil {
+		return err
+	}
+	ar := simtime.Time(*arrival)
+	dl := simtime.Time(*deadline)
+	if !dl.After(ar) {
+		return fmt.Errorf("deadline %v must be after arrival %v", dl, ar)
+	}
+	if err := sda.Plan(root, ar, dl, ssp, psp); err != nil {
+		return err
+	}
+
+	fmt.Printf("task      %s\n", root)
+	fmt.Printf("strategy  %s-%s   arrival %v   deadline %v\n", ssp.Name(), psp.Name(), ar, dl)
+	fmt.Printf("critical path %v   total work %v   subtasks %d\n\n",
+		root.CriticalPath(), root.TotalWork(), root.CountSimple())
+	fmt.Printf("%-24s %-9s %8s %10s %10s %6s\n",
+		"subtask", "kind", "node", "release", "virtual dl", "boost")
+	printTree(root, 0)
+	return nil
+}
+
+func printTree(t *task.Task, depth int) {
+	name := t.Name
+	if name == "" {
+		name = "(" + t.Kind.String() + ")"
+	}
+	indent := strings.Repeat("  ", depth)
+	nodeCol := "-"
+	if t.IsSimple() {
+		nodeCol = fmt.Sprintf("%d", t.Node)
+	}
+	boost := ""
+	if t.PriorityBoost {
+		boost = "GF"
+	}
+	fmt.Printf("%-24s %-9s %8s %10v %10v %6s\n",
+		indent+name, t.Kind, nodeCol, t.Arrival, t.VirtualDeadline, boost)
+	for _, c := range t.Children {
+		printTree(c, depth+1)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestCalcRuns(t *testing.T) {
+	args := []string{
+		"-deadline", "10", "-ssp", "EQF", "-psp", "DIV-1",
+		"[[T11@0:5||T12@1:5||T13@2:5||T14@3:5||T15@4:5] T2@5:5]",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalcErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                   // no expression
+		{"-deadline", "10", "a", "b"},        // two expressions
+		{"-deadline", "10", "["},             // bad expression
+		{"-deadline", "0", "a@0:1"},          // deadline not after arrival
+		{"-deadline", "5", "-ssp", "x", "a"}, // bad ssp
+		{"-deadline", "5", "-psp", "x", "a"}, // bad psp
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: expected error for %v", i, args)
+		}
+	}
+}

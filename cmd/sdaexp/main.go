@@ -1,0 +1,122 @@
+// Command sdaexp regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	sdaexp -list
+//	sdaexp -exp fig7                 # one figure at full fidelity
+//	sdaexp -exp all -quick           # smoke-run everything
+//	sdaexp -exp fig5 -format csv > fig5.csv
+//	sdaexp -exp table1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/simtime"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdaexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sdaexp", flag.ContinueOnError)
+	var (
+		id       = fs.String("exp", "", "experiment id, 'all', 'table1' or 'table2' (see -list)")
+		list     = fs.Bool("list", false, "list available experiments")
+		format   = fs.String("format", "text", "output format: text | csv | json | svg")
+		quick    = fs.Bool("quick", false, "low-fidelity smoke run")
+		duration = fs.Float64("duration", 0, "override simulated time per replication")
+		reps     = fs.Int("reps", 0, "override replications")
+		seed     = fs.Uint64("seed", 0, "override master seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(out, "%-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintf(out, "%-12s %s\n", "table1", "Baseline setting (Table 1)")
+		fmt.Fprintf(out, "%-12s %s\n", "table2", "SSP/PSP combinations (Table 2)")
+		return nil
+	}
+	if *id == "" {
+		return fmt.Errorf("no experiment selected; use -exp <id> or -list")
+	}
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	if *duration > 0 {
+		opts.Duration = simtime.Duration(*duration)
+	}
+	if *reps > 0 {
+		opts.Replications = *reps
+	}
+	if *seed > 0 {
+		opts.Seed = *seed
+	}
+
+	switch *id {
+	case "table1":
+		fmt.Fprint(out, exp.Table1())
+		return nil
+	case "table2":
+		fmt.Fprint(out, exp.Table2())
+		return nil
+	case "all":
+		for _, e := range exp.All() {
+			if err := runOne(e, opts, *format, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		e, ok := exp.Find(*id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; known: %s",
+				*id, strings.Join(exp.IDs(), ", "))
+		}
+		return runOne(e, opts, *format, out)
+	}
+}
+
+func runOne(e exp.Experiment, opts exp.Options, format string, out io.Writer) error {
+	tbl, err := e.Run(opts)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	switch format {
+	case "text":
+		fmt.Fprint(out, tbl.Text())
+	case "csv":
+		fmt.Fprint(out, tbl.CSV())
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tbl); err != nil {
+			return fmt.Errorf("encode %s: %w", e.ID, err)
+		}
+	case "svg":
+		svg, err := tbl.SVG()
+		if err != nil {
+			return fmt.Errorf("render %s: %w", e.ID, err)
+		}
+		fmt.Fprint(out, svg)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig5", "fig15", "table1", "table2", "svcdist", "network"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-exp", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Earliest Deadline First") {
+		t.Errorf("table1 output wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-exp", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "EQF-DIV1") {
+		t.Errorf("table2 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunOneExperimentAllFormats(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json", "svg"} {
+		var buf strings.Builder
+		err := run([]string{
+			"-exp", "gfdelta", "-format", format,
+			"-duration", "1500", "-reps", "1", "-quick",
+		}, &buf)
+		if err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %s produced no output", format)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no experiment selected should error")
+	}
+	if err := run([]string{"-exp", "bogus"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-exp", "gfdelta", "-format", "bogus", "-quick", "-duration", "500"}, &buf); err == nil {
+		t.Error("unknown format should error")
+	}
+}

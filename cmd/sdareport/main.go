@@ -1,0 +1,64 @@
+// Command sdareport re-measures the paper's quantitative anchors and
+// qualitative claims and emits a markdown reproduction report with
+// PASS/FAIL verdicts.
+//
+// Example:
+//
+//	sdareport                      # default fidelity (a few minutes)
+//	sdareport -quick               # smoke run (verdicts unreliable)
+//	sdareport -duration 1000000    # paper-scale fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+	"repro/internal/simtime"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdareport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sdareport", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "low-fidelity smoke run (verdicts unreliable)")
+		duration = fs.Float64("duration", 0, "override simulated time per replication")
+		reps     = fs.Int("reps", 0, "override replications")
+		seed     = fs.Uint64("seed", 0, "override master seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	if *duration > 0 {
+		opts.Duration = simtime.Duration(*duration)
+	}
+	if *reps > 0 {
+		opts.Replications = *reps
+	}
+	if *seed > 0 {
+		opts.Seed = *seed
+	}
+
+	res, err := report.Check(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, report.Markdown(res, opts))
+	if !res.Passed() && !*quick {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReportQuickRuns(t *testing.T) {
+	if err := run([]string{"-quick", "-duration", "800", "-reps", "1", "-seed", "5"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportRendersMarkdown(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-quick", "-duration", "800", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Reproduction report", "Quantitative anchors", "Qualitative claims"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSimRunsQuick(t *testing.T) {
+	err := run([]string{"-duration", "800", "-warmup", "50", "-reps", "1", "-psp", "DIV-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-factory", "bogus"},
+		{"-ssp", "bogus"},
+		{"-psp", "bogus"},
+		{"-abort", "bogus"},
+		{"-policy", "bogus"},
+		{"-estimator", "bogus"},
+		{"-estimator", "noisy:x"},
+		{"-estimator", "noisy:-1"},
+		{"-n", "9"}, // 9 parallel subtasks on 6 nodes
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: expected error for %v", i, args)
+		}
+	}
+}
+
+func TestSimRecordAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.txt")
+	if err := run([]string{"-duration", "500", "-warmup", "0", "-record-trace", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(trace); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if err := run([]string{"-duration", "500", "-warmup", "0", "-psp", "GF", "-replay-trace", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-replay-trace", filepath.Join(dir, "missing.txt")}); err == nil {
+		t.Error("missing trace file should error")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestTraceGantt(t *testing.T) {
+	if err := run([]string{"-until", "10", "-width", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceLog(t *testing.T) {
+	if err := run([]string{"-until", "5", "-log"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceFlagErrors(t *testing.T) {
+	if err := run([]string{"-psp", "bogus"}); err == nil {
+		t.Error("bad psp accepted")
+	}
+	if err := run([]string{"-ssp", "bogus"}); err == nil {
+		t.Error("bad ssp accepted")
+	}
+}

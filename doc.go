@@ -1,0 +1,45 @@
+// Package sda is a library for subtask deadline assignment in distributed
+// soft real-time systems, reproducing Kao & Garcia-Molina, "Subtask
+// Deadline Assignment for Complex Distributed Soft Real-Time Tasks"
+// (ICDCS 1994).
+//
+// Complex distributed tasks are serial-parallel compositions of simple
+// subtasks executed at independent nodes, each running its own
+// earliest-deadline-first scheduler. A single end-to-end deadline fails to
+// express the urgency of the individual subtasks: parallel fan-out
+// amplifies the miss probability (one tardy subtask dooms the whole task),
+// and serial stages steal each other's slack. This package implements the
+// paper's remedies — the PSP strategies UD, DIV-x and GF for parallel
+// subtasks and the SSP strategies UD, ED, EQS and EQF for serial stages —
+// together with the task model, the recursive SDA decomposition algorithm,
+// and a deterministic discrete-event simulator that reproduces every table
+// and figure of the paper's evaluation.
+//
+// # Building tasks
+//
+// Tasks are trees built with NewSimple, NewSerial and NewParallel, or
+// parsed from the paper's bracket notation:
+//
+//	t, err := sda.Parse("[init@0:1 [a@1:2 || b@2:2] done@0:1]")
+//
+// # Assigning deadlines
+//
+// Strategies decompose an end-to-end deadline into per-subtask virtual
+// deadlines. Offline (for planning and inspection):
+//
+//	err := sda.Plan(t, 0, 10, sda.EQF(), sda.Div(1))
+//
+// Online assignment happens inside the simulated process manager, which
+// releases each serial stage with a deadline computed at its actual
+// release instant.
+//
+// # Simulating
+//
+//	cfg := sda.Default()            // the paper's Table 1 baseline
+//	cfg.PSP = sda.Div(1)
+//	res, err := sda.Run(cfg)
+//	fmt.Println(res.MDGlobal)       // miss rate with 95% CI
+//
+// The cmd/sdaexp tool regenerates the paper's figures; cmd/sdasim runs a
+// single configuration; cmd/sdacalc is an offline deadline calculator.
+package sda

@@ -1,0 +1,69 @@
+package sda_test
+
+import (
+	"fmt"
+
+	sda "repro"
+)
+
+// ExampleParse shows the paper's bracket notation: serial stages
+// space-separated, parallel subtasks separated by ||, leaves annotated
+// with @node and :execution time.
+func ExampleParse() {
+	t, err := sda.Parse("[gather@0:2 [a@1:1 || b@2:3] report@0:1]")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("subtasks:", t.CountSimple())
+	fmt.Println("critical path:", t.CriticalPath())
+	fmt.Println("total work:", t.TotalWork())
+	// Output:
+	// subtasks: 4
+	// critical path: 6
+	// total work: 7
+}
+
+// ExamplePlan reproduces the paper's Figure 4: three parallel subtasks
+// with end-to-end deadline 9 under UD, DIV-1 and DIV-2.
+func ExamplePlan() {
+	for _, psp := range []sda.PSP{sda.UD(), sda.Div(1), sda.Div(2)} {
+		t := sda.MustParse("[T1@0:4 || T2@1:4 || T3@2:4]")
+		if err := sda.Plan(t, 0, 9, sda.SerialUD(), psp); err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-5s -> dl(Ti) = %v\n", psp.Name(), t.Children[0].VirtualDeadline)
+	}
+	// Output:
+	// UD    -> dl(Ti) = 9
+	// DIV-1 -> dl(Ti) = 3
+	// DIV-2 -> dl(Ti) = 1.5
+}
+
+// ExampleEQF shows Equal Flexibility dividing a serial task's slack in
+// proportion to predicted stage lengths (the paper's introduction
+// example: reserve half the horizon for the second stage).
+func ExampleEQF() {
+	t := sda.MustParse("[stage1@0:5 stage2@1:5]")
+	if err := sda.Plan(t, 0, 10, sda.EQF(), sda.UD()); err != nil {
+		panic(err)
+	}
+	for i, stage := range t.Children {
+		fmt.Printf("stage %d: release %v, deadline %v\n",
+			i+1, stage.Arrival, stage.VirtualDeadline)
+	}
+	// Output:
+	// stage 1: release 0, deadline 5
+	// stage 2: release 5, deadline 10
+}
+
+// ExampleParsePSP resolves strategies by name, as the CLI tools do.
+func ExampleParsePSP() {
+	psp, err := sda.ParsePSP("DIV-2.5")
+	if err != nil {
+		panic(err)
+	}
+	a := psp.AssignParallel(0, 10, 4)
+	fmt.Println(psp.Name(), "->", a.Virtual)
+	// Output:
+	// DIV-2.5 -> 1
+}

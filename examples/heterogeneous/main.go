@@ -1,0 +1,68 @@
+// Heterogeneous globals: the Section 7.4 experiment. Global tasks have
+// between 2 and 6 parallel subtasks, producing six task classes (locals
+// plus five global sizes). Under UD the big tasks are starved — "they miss
+// simply because they are big" — while DIV-1 equalises the classes and GF
+// pushes global misses below locals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sda "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	strategies := []sda.PSP{sda.UD(), sda.Div(1), sda.GF()}
+	type column struct {
+		name    string
+		local   float64
+		byClass map[int]float64
+	}
+	var cols []column
+	for _, psp := range strategies {
+		cfg := sda.Default()
+		cfg.Spec.Factory = sda.UniformParallel{Min: 2, Max: 6}
+		cfg.PSP = psp
+		cfg.Duration = 60000
+		cfg.Replications = 2
+		res, err := sda.Run(cfg)
+		if err != nil {
+			return err
+		}
+		byClass := make(map[int]float64, len(res.MDGlobalBy))
+		for n, iv := range res.MDGlobalBy {
+			byClass[n] = iv.Mean
+		}
+		cols = append(cols, column{psp.Name(), res.MDLocal.Mean, byClass})
+	}
+
+	fmt.Println("fraction of missed deadlines per task class (load 0.5):")
+	fmt.Printf("  %-12s", "class")
+	for _, c := range cols {
+		fmt.Printf(" %10s", c.name)
+	}
+	fmt.Println()
+	fmt.Printf("  %-12s", "local")
+	for _, c := range cols {
+		fmt.Printf(" %10.4f", c.local)
+	}
+	fmt.Println()
+	for n := 2; n <= 6; n++ {
+		fmt.Printf("  global n=%-3d", n)
+		for _, c := range cols {
+			fmt.Printf(" %10.4f", c.byClass[n])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nunder UD the miss rate climbs with task size; DIV-x scales the")
+	fmt.Println("priority boost with n, so all global classes level out.")
+	return nil
+}

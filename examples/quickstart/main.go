@@ -1,0 +1,61 @@
+// Quickstart: build a parallel global task, inspect the deadline
+// assignment the strategies produce, then run the paper's baseline
+// simulation and compare UD against DIV-1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sda "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- 1. Deadline assignment on a single task -----------------------
+	// The paper's Figure 4 example: T = [T1 || T2 || T3] with deadline 9.
+	t, err := sda.Parse("[T1@0:4 || T2@1:4 || T3@2:4]")
+	if err != nil {
+		return err
+	}
+	fmt.Println("task:", t)
+	for _, psp := range []sda.PSP{sda.UD(), sda.Div(1), sda.Div(2), sda.GF()} {
+		plan := sda.MustParse("[T1@0:4 || T2@1:4 || T3@2:4]")
+		if err := sda.Plan(plan, 0, 9, sda.SerialUD(), psp); err != nil {
+			return err
+		}
+		leaf := plan.Children[0]
+		boost := ""
+		if leaf.PriorityBoost {
+			boost = " (globals-first band)"
+		}
+		fmt.Printf("  %-6s -> every subtask gets virtual deadline %v%s\n",
+			psp.Name(), leaf.VirtualDeadline, boost)
+	}
+
+	// --- 2. Simulate the baseline (Table 1) ----------------------------
+	// Six nodes, load 0.5, 75% local work, global tasks of four parallel
+	// subtasks. How many deadlines does each strategy miss?
+	fmt.Println("\nbaseline simulation (this takes a few seconds):")
+	fmt.Printf("  %-6s %12s %12s %12s\n", "PSP", "MD_local", "MD_global", "missed work")
+	for _, psp := range []sda.PSP{sda.UD(), sda.Div(1), sda.GF()} {
+		cfg := sda.Default()
+		cfg.PSP = psp
+		cfg.Duration = 50000
+		cfg.Replications = 2
+		res, err := sda.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-6s %12.4f %12.4f %12.4f\n",
+			psp.Name(), res.MDLocal.Mean, res.MDGlobal.Mean, res.MissedWork.Mean)
+	}
+	fmt.Println("\nUD lets one tardy subtask doom the whole global task;")
+	fmt.Println("DIV-1 and GF promote subtasks and cut the global miss rate sharply.")
+	return nil
+}

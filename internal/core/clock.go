@@ -1,0 +1,44 @@
+// Package core is the embeddable runtime of the library: it applies the
+// paper's subtask deadline assignment strategies to *real* concurrent
+// execution rather than simulation.
+//
+// Where internal/sim drives a discrete-event model, core executes
+// serial-parallel graphs of ordinary Go functions on a set of worker
+// Nodes — one goroutine per node, mirroring the paper's single-server
+// components — with wall-clock deadlines. The Orchestrator plays the
+// paper's process manager: it decomposes a task's end-to-end deadline into
+// per-subtask virtual deadlines (UD, DIV-x, GF for parallel groups; UD,
+// ED, EQS, EQF for serial stages), submits work in precedence order, and
+// reports which tasks met their deadlines.
+//
+// Subtasks receive a context whose deadline is the task's *real* deadline,
+// so cooperative work can abort when it becomes worthless; the *virtual*
+// deadline controls only queueing priority, exactly as in the paper.
+package core
+
+import "time"
+
+// Clock abstracts wall-clock access so the runtime is testable without
+// real sleeping. Real systems use RealClock; tests may substitute a
+// controllable implementation.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Timer fires f once after d on its own goroutine. The returned stop
+	// function prevents the firing if it has not happened yet.
+	Timer(d time.Duration, f func()) (stop func() bool)
+}
+
+// RealClock is the production Clock backed by package time.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Timer implements Clock.
+func (RealClock) Timer(d time.Duration, f func()) func() bool {
+	t := time.AfterFunc(d, f)
+	return t.Stop
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors returned by Node operations.
+var (
+	ErrNodeClosed = errors.New("core: node closed")
+	ErrNilJob     = errors.New("core: nil job or missing Run")
+	ErrResubmit   = errors.New("core: job already submitted")
+)
+
+// Job is one unit of work queued at a Node: a function plus the scheduling
+// attributes the paper's local schedulers see.
+type Job struct {
+	// Name identifies the job in reports.
+	Name string
+	// Run is the work itself. It receives a context whose deadline is the
+	// owning task's real deadline; cooperative work should observe it.
+	Run func(ctx context.Context) error
+	// Virtual is the virtual deadline assigned by the SDA strategy; it
+	// controls only queueing priority.
+	Virtual time.Time
+	// Boost places the job in the globals-first band (the GF strategy).
+	Boost bool
+
+	// ctx is the execution context (carries the real deadline).
+	ctx context.Context
+	// onDone is invoked exactly once from the node's worker goroutine
+	// when the job finishes, fails, or is dropped.
+	onDone func(j *Job, err error)
+
+	seq   uint64
+	index int
+	state jobState
+}
+
+type jobState int
+
+const (
+	jobNew jobState = iota
+	jobQueued
+	jobRunning
+	jobFinished
+	jobDropped
+)
+
+// Node is a single-worker processing component: jobs queue in EDF order
+// (boost band first, then earliest virtual deadline, then FIFO) and run
+// one at a time on a dedicated goroutine — the live counterpart of the
+// paper's independent local schedulers.
+type Node struct {
+	name  string
+	clock Clock
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  jobHeap
+	seq    uint64
+	closed bool
+	active *Job
+
+	served  uint64
+	dropped uint64
+
+	done chan struct{}
+}
+
+// NewNode starts a node's worker goroutine. Call Close to stop it.
+func NewNode(name string, clock Clock) *Node {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	n := &Node{name: name, clock: clock, done: make(chan struct{})}
+	n.cond = sync.NewCond(&n.mu)
+	go n.loop()
+	return n
+}
+
+// Name returns the node's identifier.
+func (n *Node) Name() string { return n.name }
+
+// QueueLen returns the number of jobs waiting (excluding a running job).
+func (n *Node) QueueLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Served returns how many jobs have completed (successfully or not).
+func (n *Node) Served() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.served
+}
+
+// Dropped returns how many queued jobs were removed before running.
+func (n *Node) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// submit enqueues a job prepared by the orchestrator.
+func (n *Node) submit(j *Job) error {
+	if j == nil || j.Run == nil {
+		return ErrNilJob
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("%w: %q", ErrNodeClosed, n.name)
+	}
+	if j.state == jobQueued || j.state == jobRunning {
+		return fmt.Errorf("%w: %q", ErrResubmit, j.Name)
+	}
+	j.state = jobQueued
+	j.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, j)
+	n.cond.Signal()
+	return nil
+}
+
+// remove drops a queued job; it reports false if the job already started.
+// The job's onDone is invoked with the given error.
+func (n *Node) remove(j *Job, cause error) bool {
+	n.mu.Lock()
+	if j == nil || j.state != jobQueued || j.index < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	heap.Remove(&n.queue, j.index)
+	j.state = jobDropped
+	n.dropped++
+	n.mu.Unlock()
+	if j.onDone != nil {
+		j.onDone(j, cause)
+	}
+	return true
+}
+
+// Close stops accepting work, drops all queued jobs (their onDone fires
+// with ErrNodeClosed), waits for a running job to finish, and stops the
+// worker goroutine.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		<-n.done
+		return
+	}
+	n.closed = true
+	var orphans []*Job
+	for len(n.queue) > 0 {
+		j, ok := heap.Pop(&n.queue).(*Job)
+		if !ok {
+			panic("core: queue contained a non-job")
+		}
+		j.state = jobDropped
+		n.dropped++
+		orphans = append(orphans, j)
+	}
+	n.cond.Signal()
+	n.mu.Unlock()
+	for _, j := range orphans {
+		if j.onDone != nil {
+			j.onDone(j, ErrNodeClosed)
+		}
+	}
+	<-n.done
+}
+
+// loop is the worker goroutine: pop the highest-priority job, run it,
+// report, repeat.
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed && len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		j, ok := heap.Pop(&n.queue).(*Job)
+		if !ok {
+			n.mu.Unlock()
+			panic("core: queue contained a non-job")
+		}
+		j.state = jobRunning
+		n.active = j
+		n.mu.Unlock()
+
+		err := n.runJob(j)
+
+		n.mu.Lock()
+		j.state = jobFinished
+		n.active = nil
+		n.served++
+		n.mu.Unlock()
+		if j.onDone != nil {
+			j.onDone(j, err)
+		}
+	}
+}
+
+// runJob executes the job, converting a panic into an error so one bad
+// subtask cannot take down the node.
+func (n *Node) runJob(j *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: job %q panicked: %v", j.Name, r)
+		}
+	}()
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return j.Run(ctx)
+}
+
+// jobHeap orders jobs by (boost band, virtual deadline, FIFO).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.Boost != b.Boost {
+		return a.Boost
+	}
+	if !a.Virtual.Equal(b.Virtual) {
+		return a.Virtual.Before(b.Virtual)
+	}
+	return a.seq < b.seq
+}
+
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *jobHeap) Push(x any) {
+	j, ok := x.(*Job)
+	if !ok {
+		panic("core: pushed a non-job")
+	}
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	m := len(old)
+	j := old[m-1]
+	old[m-1] = nil
+	j.index = -1
+	*h = old[:m-1]
+	return j
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sda"
+	"repro/internal/simtime"
+)
+
+// Orchestrator is the live process manager: it owns a set of worker nodes,
+// decomposes each submitted task's end-to-end deadline into per-step
+// virtual deadlines with the configured SDA strategies, enforces
+// precedence, and reports outcomes.
+//
+// An Orchestrator is safe for concurrent use; many tasks may be in flight
+// at once, sharing the nodes exactly as the paper's global tasks share the
+// system's components.
+type Orchestrator struct {
+	clock         Clock
+	ssp           sda.SSP
+	psp           sda.PSP
+	deadlineAbort bool
+
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	closed bool
+	stats  Stats
+}
+
+// Stats aggregates task outcomes across an orchestrator's lifetime.
+type Stats struct {
+	Submitted uint64 // tasks accepted by Go
+	Resolved  uint64 // tasks whose handle has resolved
+	Missed    uint64 // resolved tasks that missed (late or failed)
+}
+
+// Stats returns a snapshot of the orchestrator's counters.
+func (o *Orchestrator) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// MissRate returns Missed/Resolved, or 0 before any task resolves.
+func (s Stats) MissRate() float64 {
+	if s.Resolved == 0 {
+		return 0
+	}
+	return float64(s.Missed) / float64(s.Resolved)
+}
+
+// Option configures an Orchestrator.
+type Option func(*Orchestrator)
+
+// WithStrategies selects the SSP and PSP strategies (default UD-UD).
+func WithStrategies(ssp sda.SSP, psp sda.PSP) Option {
+	return func(o *Orchestrator) {
+		if ssp != nil {
+			o.ssp = ssp
+		}
+		if psp != nil {
+			o.psp = psp
+		}
+	}
+}
+
+// WithClock substitutes the wall clock (tests use controllable clocks).
+func WithClock(c Clock) Option {
+	return func(o *Orchestrator) {
+		if c != nil {
+			o.clock = c
+		}
+	}
+}
+
+// WithDeadlineAbort is the live analogue of the paper's process-manager
+// abortion: when a task's real deadline passes, its queued (not yet
+// started) steps are withdrawn and the task fails with
+// context.DeadlineExceeded. Running steps are cancelled through their
+// context as usual.
+func WithDeadlineAbort() Option {
+	return func(o *Orchestrator) { o.deadlineAbort = true }
+}
+
+// NewOrchestrator returns an orchestrator with no nodes; add them with
+// AddNode before submitting work.
+func NewOrchestrator(opts ...Option) *Orchestrator {
+	o := &Orchestrator{
+		clock: RealClock{},
+		ssp:   sda.SerialUD{},
+		psp:   sda.UD{},
+		nodes: make(map[string]*Node),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Errors returned by the orchestrator.
+var (
+	ErrClosed       = errors.New("core: orchestrator closed")
+	ErrDupNode      = errors.New("core: duplicate node")
+	ErrPastDeadline = errors.New("core: deadline already passed")
+)
+
+// AddNode creates and registers a worker node.
+func (o *Orchestrator) AddNode(name string) (*Node, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := o.nodes[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDupNode, name)
+	}
+	n := NewNode(name, o.clock)
+	o.nodes[name] = n
+	return n, nil
+}
+
+// Node returns a registered node, or nil.
+func (o *Orchestrator) Node(name string) *Node {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.nodes[name]
+}
+
+// Close shuts every node down, dropping queued jobs. In-flight tasks
+// resolve with ErrNodeClosed on their dropped steps.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	nodes := make([]*Node, 0, len(o.nodes))
+	for _, n := range o.nodes {
+		nodes = append(nodes, n)
+	}
+	o.mu.Unlock()
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// StepReport is the outcome of one leaf step.
+type StepReport struct {
+	Name    string
+	Node    string
+	Release time.Time // when the step became executable
+	Virtual time.Time // assigned virtual deadline (queueing priority)
+	Boost   bool      // GF band
+	Finish  time.Time // completion instant (zero if dropped)
+	Err     error     // nil on success
+}
+
+// Report is the outcome of a whole task.
+type Report struct {
+	Deadline time.Time
+	Finish   time.Time
+	Missed   bool // finished after Deadline, or failed
+	Err      error
+	Steps    []StepReport
+}
+
+// Handle tracks an in-flight task.
+type Handle struct {
+	done   chan struct{}
+	mu     sync.Mutex
+	report Report
+}
+
+// Done returns a channel closed when the task resolves.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the task resolves or ctx is cancelled.
+func (h *Handle) Wait(ctx context.Context) (Report, error) {
+	select {
+	case <-h.done:
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.report, nil
+	case <-ctx.Done():
+		return Report{}, ctx.Err()
+	}
+}
+
+// Go submits a task: the work tree runs under the end-to-end deadline,
+// with virtual deadlines assigned online by the orchestrator's strategies.
+// The returned handle resolves when every step has finished or the task
+// has failed.
+//
+// The supplied ctx bounds the whole task: its cancellation (and the
+// deadline, which Go tightens to the task deadline) propagates to every
+// step's context.
+func (o *Orchestrator) Go(ctx context.Context, w *Work, deadline time.Time) (*Handle, error) {
+	if w == nil {
+		return nil, fmt.Errorf("core: nil work")
+	}
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil, ErrClosed
+	}
+	nodes := o.nodes
+	o.mu.Unlock()
+	if err := w.validate(nodes); err != nil {
+		return nil, err
+	}
+	now := o.clock.Now()
+	if !deadline.After(now) {
+		return nil, fmt.Errorf("%w: %v", ErrPastDeadline, deadline)
+	}
+
+	taskCtx, cancel := context.WithDeadline(ctx, deadline)
+	t := &liveTask{
+		o:        o,
+		epoch:    now,
+		deadline: deadline,
+		ctx:      taskCtx,
+		cancel:   cancel,
+		handle:   &Handle{done: make(chan struct{})},
+	}
+	t.handle.report.Deadline = deadline
+	t.pending = len(w.Steps())
+	o.mu.Lock()
+	o.stats.Submitted++
+	o.mu.Unlock()
+	if o.deadlineAbort {
+		t.stopTimer = o.clock.Timer(deadline.Sub(now), t.abortAtDeadline)
+	}
+	t.release(&liveCtrl{task: t, work: w}, now, deadline, false)
+	return t.handle, nil
+}
+
+// abortAtDeadline implements process-manager abortion for live tasks.
+func (t *liveTask) abortAtDeadline() {
+	t.mu.Lock()
+	if t.resolved {
+		t.mu.Unlock()
+		return
+	}
+	first := !t.failed
+	t.failed = true
+	if first {
+		t.handle.mu.Lock()
+		if t.handle.report.Err == nil {
+			t.handle.report.Err = context.DeadlineExceeded
+		}
+		t.handle.mu.Unlock()
+	}
+	t.mu.Unlock()
+	t.cancel()
+	t.dropQueued()
+}
+
+// liveTask is one in-flight task (the run of procmgr, live).
+type liveTask struct {
+	o        *Orchestrator
+	epoch    time.Time
+	deadline time.Time
+	ctx      context.Context
+	cancel   context.CancelFunc
+	handle   *Handle
+
+	mu        sync.Mutex
+	pending   int  // steps not yet resolved
+	failed    bool // a step errored; stop releasing stages
+	resolved  bool
+	queued    []*queuedJob
+	stopTimer func() bool // deadline-abort timer (nil when disabled)
+}
+
+type queuedJob struct {
+	job  *Job
+	node *Node
+}
+
+// liveCtrl mirrors procmgr's control blocks.
+type liveCtrl struct {
+	task     *liveTask
+	work     *Work
+	parent   *liveCtrl
+	stageIdx int
+	// remaining counts unfinished children of a parallel group; nextStage
+	// is the index of the next serial stage not yet released or skipped.
+	// Both are guarded by the task mutex.
+	remaining int
+	nextStage int
+	// virtual is the deadline budget assigned to this subtree.
+	virtual time.Time
+	boost   bool
+}
+
+// seconds converts a wall instant into strategy time (seconds since the
+// task's release).
+func (t *liveTask) seconds(at time.Time) simtime.Time {
+	return simtime.Time(at.Sub(t.epoch).Seconds())
+}
+
+func (t *liveTask) instant(s simtime.Time) time.Time {
+	return t.epoch.Add(time.Duration(float64(s) * float64(time.Second)))
+}
+
+// release makes the subtree executable. Callers hold no locks; the task
+// mutex is taken as needed.
+func (t *liveTask) release(c *liveCtrl, now time.Time, budget time.Time, boost bool) {
+	c.virtual = budget
+	c.boost = boost
+	w := c.work
+	switch {
+	case w.IsStep():
+		t.submitStep(c, now)
+	case w.parallel:
+		t.mu.Lock()
+		c.remaining = len(w.children)
+		t.mu.Unlock()
+		a := t.o.psp.AssignParallel(t.seconds(now), t.seconds(budget), len(w.children))
+		childBudget := t.instant(a.Virtual)
+		for i, child := range w.children {
+			cc := &liveCtrl{task: t, work: child, parent: c, stageIdx: i}
+			t.release(cc, now, childBudget, boost || a.Boost)
+		}
+	default: // serial
+		t.mu.Lock()
+		c.nextStage = 1
+		t.mu.Unlock()
+		t.releaseStage(c, 0, now)
+	}
+}
+
+// releaseStage releases serial stage i of c. The caller must have claimed
+// the stage (advanced c.nextStage past i) under the task mutex.
+func (t *liveTask) releaseStage(c *liveCtrl, i int, now time.Time) {
+	w := c.work
+	pexs := make([]simtime.Duration, 0, len(w.children)-i)
+	for _, rest := range w.children[i:] {
+		pexs = append(pexs, simtime.Duration(rest.predicted().Seconds()))
+	}
+	dl := t.o.ssp.AssignSerial(t.seconds(now), t.seconds(c.virtual), pexs)
+	cc := &liveCtrl{task: t, work: w.children[i], parent: c, stageIdx: i}
+	t.release(cc, now, t.instant(dl), c.boost)
+}
+
+// submitStep queues a leaf at its node.
+func (t *liveTask) submitStep(c *liveCtrl, now time.Time) {
+	w := c.work
+	n := t.o.Node(w.node)
+	job := &Job{
+		Name:    w.name,
+		Run:     w.fn,
+		Virtual: c.virtual,
+		Boost:   c.boost,
+		ctx:     t.ctx,
+	}
+	rec := StepReport{
+		Name:    w.name,
+		Node:    w.node,
+		Release: now,
+		Virtual: c.virtual,
+		Boost:   c.boost,
+	}
+	job.onDone = func(j *Job, err error) {
+		finish := t.o.clock.Now()
+		rec.Err = err
+		if err == nil || !errors.Is(err, ErrNodeClosed) {
+			rec.Finish = finish
+		}
+		t.stepResolved(c, rec, err, finish)
+	}
+	t.mu.Lock()
+	if t.failed {
+		// The task already failed; count the step as resolved without
+		// running it.
+		t.mu.Unlock()
+		rec.Err = context.Canceled
+		t.stepResolved(c, rec, rec.Err, now)
+		return
+	}
+	t.queued = append(t.queued, &queuedJob{job: job, node: n})
+	t.mu.Unlock()
+	if err := n.submit(job); err != nil {
+		rec.Err = err
+		t.stepResolved(c, rec, err, now)
+	}
+}
+
+// stepResolved records a step outcome and advances the task.
+func (t *liveTask) stepResolved(c *liveCtrl, rec StepReport, err error, at time.Time) {
+	t.mu.Lock()
+	t.handle.mu.Lock()
+	t.handle.report.Steps = append(t.handle.report.Steps, rec)
+	t.handle.mu.Unlock()
+	t.pending--
+	firstFailure := err != nil && !t.failed
+	if firstFailure {
+		t.failed = true
+		t.handle.mu.Lock()
+		if t.handle.report.Err == nil {
+			t.handle.report.Err = fmt.Errorf("step %q: %w", rec.Name, err)
+		}
+		t.handle.mu.Unlock()
+	}
+	failedNow := t.failed
+	t.mu.Unlock()
+
+	if failedNow {
+		// Fail fast: cancel the task context and withdraw queued work.
+		t.cancel()
+		if firstFailure {
+			t.dropQueued()
+		}
+		t.skipSuccessors(c, at)
+		t.maybeResolve(at)
+		return
+	}
+	t.advance(c, at)
+	t.maybeResolve(at)
+}
+
+// dropQueued withdraws this task's not-yet-started jobs from their nodes;
+// each drop resolves the corresponding step with context.Canceled.
+func (t *liveTask) dropQueued() {
+	t.mu.Lock()
+	queued := t.queued
+	t.queued = nil
+	t.mu.Unlock()
+	for _, q := range queued {
+		q.node.remove(q.job, context.Canceled)
+	}
+}
+
+// advance propagates a successful completion upward, releasing the next
+// serial stage or completing parallel groups.
+func (t *liveTask) advance(c *liveCtrl, at time.Time) {
+	p := c.parent
+	if p == nil {
+		return
+	}
+	if p.work.parallel {
+		t.mu.Lock()
+		p.remaining--
+		done := p.remaining == 0
+		t.mu.Unlock()
+		if done {
+			t.advance(p, at)
+		}
+		return
+	}
+	// Serial parent: claim the next stage (release it) or finish.
+	next := c.stageIdx + 1
+	if next < len(p.work.children) {
+		t.mu.Lock()
+		claim := !t.failed && p.nextStage == next
+		if claim {
+			p.nextStage = next + 1
+		}
+		t.mu.Unlock()
+		if claim {
+			t.releaseStage(p, next, at)
+		}
+		return
+	}
+	t.advance(p, at)
+}
+
+// skipSuccessors resolves every never-released serial stage above the
+// failed step, claiming each stage exactly once so that concurrent
+// failures cannot double-count.
+func (t *liveTask) skipSuccessors(c *liveCtrl, at time.Time) {
+	for p := c.parent; p != nil; c, p = p, p.parent {
+		if p.work.parallel {
+			continue
+		}
+		for {
+			t.mu.Lock()
+			next := p.nextStage
+			claim := next < len(p.work.children)
+			if claim {
+				p.nextStage = next + 1
+			}
+			t.mu.Unlock()
+			if !claim {
+				break
+			}
+			t.skipSteps(p.work.children[next], at)
+		}
+	}
+}
+
+// skipSteps resolves every step under w as cancelled without running it.
+func (t *liveTask) skipSteps(w *Work, at time.Time) {
+	for _, s := range w.Steps() {
+		rec := StepReport{Name: s.name, Node: s.node, Release: at, Err: context.Canceled}
+		t.mu.Lock()
+		t.handle.mu.Lock()
+		t.handle.report.Steps = append(t.handle.report.Steps, rec)
+		t.handle.mu.Unlock()
+		t.pending--
+		t.mu.Unlock()
+	}
+}
+
+// maybeResolve finalises the report exactly once, when every step has
+// been accounted for.
+func (t *liveTask) maybeResolve(at time.Time) {
+	t.mu.Lock()
+	if t.pending != 0 || t.resolved {
+		t.mu.Unlock()
+		return
+	}
+	t.resolved = true
+	stop := t.stopTimer
+	t.mu.Unlock()
+
+	if stop != nil {
+		stop()
+	}
+	t.cancel()
+	h := t.handle
+	h.mu.Lock()
+	h.report.Finish = at
+	h.report.Missed = h.report.Err != nil || at.After(h.report.Deadline)
+	missed := h.report.Missed
+	h.mu.Unlock()
+	t.o.mu.Lock()
+	t.o.stats.Resolved++
+	if missed {
+		t.o.stats.Missed++
+	}
+	t.o.mu.Unlock()
+	close(h.done)
+}

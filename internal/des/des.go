@@ -1,0 +1,178 @@
+// Package des implements the discrete-event simulation kernel on which the
+// whole study runs.
+//
+// The original paper used the DeNet simulation language (Livny 1990), which
+// is long unavailable; this package is the substitution documented in
+// DESIGN.md. It provides the same facilities a DeNet model needs: a virtual
+// clock, a time-ordered event calendar, cancellable events (timers), and a
+// run loop. The kernel is strictly single-threaded and deterministic: two
+// runs with the same seed and the same model produce identical event
+// sequences, which the test suite relies on.
+//
+// Events scheduled for the same instant fire in scheduling order (FIFO
+// tie-break via a monotonically increasing sequence number), so model logic
+// never observes nondeterministic ordering.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// simulated instant.
+var ErrPastEvent = errors.New("des: event scheduled in the past")
+
+// Event is a scheduled callback. It is owned by the engine; user code holds
+// it only to Cancel it.
+type Event struct {
+	at     simtime.Time
+	seq    uint64
+	index  int // heap index, -1 when not queued
+	fn     func()
+	halted bool
+}
+
+// Time returns the instant the event is (or was) scheduled for.
+func (e *Event) Time() simtime.Time { return e.at }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.halted }
+
+// Pending reports whether the event is still in the calendar.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Engine is the simulation kernel. Create one with New, schedule events,
+// then drive it with Step, RunUntil or Run.
+type Engine struct {
+	now      simtime.Time
+	calendar eventHeap
+	seq      uint64
+	fired    uint64
+}
+
+// New returns an engine with the clock at zero and an empty calendar.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated instant.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Fired returns the number of events executed so far (a cheap progress and
+// cost metric for benchmarks).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently in the calendar.
+func (e *Engine) Pending() int { return len(e.calendar) }
+
+// At schedules fn to run at the given instant and returns a handle that can
+// cancel it. Scheduling in the past returns ErrPastEvent.
+func (e *Engine) At(at simtime.Time, fn func()) (*Event, error) {
+	if at.Before(e.now) {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.calendar, ev)
+	return ev, nil
+}
+
+// After schedules fn to run d time units from now.
+func (e *Engine) After(d simtime.Duration, fn func()) (*Event, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("%w: delay=%v", ErrPastEvent, d)
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event from the calendar. Cancelling a fired or
+// already-cancelled event is a no-op and reports false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.calendar, ev.index)
+	ev.index = -1
+	ev.halted = true
+	ev.fn = nil
+	return true
+}
+
+// Step executes the next event, advancing the clock to its instant. It
+// reports false when the calendar is empty.
+func (e *Engine) Step() bool {
+	if len(e.calendar) == 0 {
+		return false
+	}
+	ev, ok := heap.Pop(&e.calendar).(*Event)
+	if !ok {
+		// The heap only ever contains *Event; reaching here means memory
+		// corruption, which we cannot recover from.
+		panic("des: calendar contained a non-event")
+	}
+	ev.index = -1
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.fired++
+	fn()
+	return true
+}
+
+// RunUntil executes events in order until the calendar is exhausted or the
+// next event lies strictly after the horizon. The clock finishes at the
+// horizon (or at the last event if the calendar drains first).
+func (e *Engine) RunUntil(horizon simtime.Time) {
+	for len(e.calendar) > 0 && !e.calendar[0].at.After(horizon) {
+		e.Step()
+	}
+	if e.now.Before(horizon) {
+		e.now = horizon
+	}
+}
+
+// Run executes events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// eventHeap is a min-heap ordered by (time, sequence number).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic("des: pushed a non-event")
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

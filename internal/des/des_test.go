@@ -1,0 +1,310 @@
+package des
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []simtime.Time
+	for _, at := range []simtime.Time{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := e.At(at, func() { got = append(got, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	want := []simtime.Time{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := e.At(7, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	var seen simtime.Time
+	if _, err := e.At(3.5, func() { seen = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if seen != 3.5 {
+		t.Errorf("Now inside event = %v, want 3.5", seen)
+	}
+	if e.Now() != 3.5 {
+		t.Errorf("final Now = %v, want 3.5", e.Now())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	fired := false
+	if _, err := e.At(2, func() {
+		if _, err := e.After(3, func() { fired = true }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !fired {
+		t.Error("chained event did not fire")
+	}
+	if e.Now() != 5 {
+		t.Errorf("final Now = %v, want 5", e.Now())
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	e := New()
+	if _, err := e.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if _, err := e.At(5, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("err = %v, want ErrPastEvent", err)
+	}
+	if _, err := e.After(-1, func() {}); !errors.Is(err, ErrPastEvent) {
+		t.Errorf("negative delay err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestSameInstantAllowed(t *testing.T) {
+	e := New()
+	count := 0
+	if _, err := e.At(4, func() {
+		// Scheduling at the current instant must be legal: completions and
+		// arrivals can coincide.
+		if _, err := e.At(e.Now(), func() { count++ }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev, err := e.At(5, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Pending() {
+		t.Error("event should be pending before cancel")
+	}
+	if !e.Cancel(ev) {
+		t.Error("Cancel returned false for a pending event")
+	}
+	if ev.Pending() {
+		t.Error("event still pending after cancel")
+	}
+	if !ev.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Cancel(ev) {
+		t.Error("double cancel should report false")
+	}
+	if e.Cancel(nil) {
+		t.Error("cancel(nil) should report false")
+	}
+}
+
+func TestCancelMiddleOfCalendar(t *testing.T) {
+	e := New()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		ev, err := e.At(simtime.Time(i), func() { got = append(got, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	// Cancel every third event, including ones deep in the heap.
+	for i := 0; i < 20; i += 3 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Errorf("fired %d events, want 13", len(got))
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := New()
+	ev, err := e.At(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if e.Cancel(ev) {
+		t.Error("cancel after fire should report false")
+	}
+	if ev.Cancelled() {
+		t.Error("fired event should not be marked cancelled")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []simtime.Time
+	for _, at := range []simtime.Time{1, 2, 3, 4, 5} {
+		at := at
+		if _, err := e.At(at, func() { got = append(got, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.RunUntil(3)
+	if len(got) != 3 {
+		t.Errorf("fired %d events by horizon 3, want 3", len(got))
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want horizon 3", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(100)
+	if len(got) != 5 {
+		t.Errorf("fired %d events total, want 5", len(got))
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	e := New()
+	fired := false
+	if _, err := e.At(3, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(3)
+	if !fired {
+		t.Error("event exactly at the horizon should fire")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty calendar should report false")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		if _, err := e.At(simtime.Time(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Errorf("Fired = %d, want 5", e.Fired())
+	}
+}
+
+// TestHeapStress exercises the calendar with random scheduling and
+// cancellation, checking the global fire order property.
+func TestHeapStress(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	e := New()
+	var fired []float64
+	var pending []*Event
+	for i := 0; i < 5000; i++ {
+		at := simtime.Time(r.Float64() * 1000)
+		ev, err := e.At(at, func() { fired = append(fired, float64(at)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		pending = append(pending, ev)
+		if r.Intn(4) == 0 && len(pending) > 0 {
+			idx := r.Intn(len(pending))
+			e.Cancel(pending[idx])
+		}
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Error("events fired out of order under stress")
+	}
+	if len(fired) == 0 {
+		t.Error("no events fired")
+	}
+}
+
+// TestDeterminism runs the same random model twice and requires identical
+// traces.
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		var out []float64
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			d := simtime.Duration(r.Float64() * 10)
+			if _, err := e.After(d, func() {
+				out = append(out, float64(e.Now()))
+				schedule(depth + 1)
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			schedule(0)
+		}
+		e.Run()
+		return out
+	}
+	a := trace(7)
+	b := trace(7)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

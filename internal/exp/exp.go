@@ -1,0 +1,189 @@
+// Package exp defines one runnable experiment per table and figure of the
+// paper's evaluation (Sections 6-8), plus the ablations DESIGN.md calls
+// out. Each experiment returns a Table whose series mirror the curves the
+// paper plots, so the harness regenerates the published graphs' data.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/svgplot"
+)
+
+// Options scales the fidelity of an experiment run.
+type Options struct {
+	Duration     simtime.Duration // simulated time per replication
+	Warmup       simtime.Duration
+	Replications int
+	Seed         uint64
+}
+
+// DefaultOptions approximates the paper's fidelity: two long runs per data
+// point (the paper used two runs of one million time units; 200k per
+// replication gives confidence intervals of a similar order at a fraction
+// of the wall-clock cost — scale up with -duration for tighter intervals).
+func DefaultOptions() Options {
+	return Options{Duration: 200000, Warmup: 2000, Replications: 2, Seed: 1994}
+}
+
+// QuickOptions is a fast low-fidelity setting for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{Duration: 8000, Warmup: 500, Replications: 1, Seed: 1994}
+}
+
+// apply stamps the options onto a simulation config.
+func (o Options) apply(cfg *sim.Config) {
+	cfg.Duration = o.Duration
+	cfg.Warmup = o.Warmup
+	cfg.Replications = o.Replications
+	cfg.Seed = o.Seed
+}
+
+// Table is the output of one experiment: named series sampled at common x
+// values (or at categorical rows).
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []string
+
+	X         []float64 // numeric x values (nil when RowLabels is set)
+	RowLabels []string  // categorical rows (nil when X is set)
+	Y         [][]float64
+	Err       [][]float64 // CI half-widths, same shape as Y (may be nil)
+
+	Notes []string
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return len(t.Y) }
+
+// rowLabel renders the x value or label of row i.
+func (t *Table) rowLabel(i int) string {
+	if t.RowLabels != nil {
+		return t.RowLabels[i]
+	}
+	return trim(t.X[i])
+}
+
+func trim(f float64) string { return fmt.Sprintf("%g", f) }
+
+// Text renders the table for terminals.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %20s", s)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < t.Rows(); i++ {
+		fmt.Fprintf(&b, "%-12s", t.rowLabel(i))
+		for j := range t.Series {
+			cell := fmt.Sprintf("%.4f", t.Y[i][j])
+			if t.Err != nil && t.Err[i][j] > 0 {
+				cell = fmt.Sprintf("%.4f±%.4f", t.Y[i][j], t.Err[i][j])
+			}
+			fmt.Fprintf(&b, " %20s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < t.Rows(); i++ {
+		b.WriteString(t.rowLabel(i))
+		for j := range t.Series {
+			fmt.Fprintf(&b, ",%.6f", t.Y[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes one experiment at the given fidelity.
+type Runner func(Options) (*Table, error)
+
+// Experiment couples an identifier with its runner and description.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig5", "UD baseline: MD vs load (Figure 5)", Fig5},
+		{"fig6", "UD vs DIV-1 vs DIV-2 (Figure 6)", Fig6},
+		{"fig7", "UD vs DIV-1 vs GF (Figure 7)", Fig7},
+		{"fig9", "Choosing x for DIV-x (Figure 9)", Fig9},
+		{"fig10a", "DIV-1 vs frac_local (Figure 10a)", Fig10a},
+		{"fig10b", "GF vs frac_local (Figure 10b)", Fig10b},
+		{"fig11", "Process-manager abortion (Figure 11)", Fig11},
+		{"localabort", "Local-scheduler abortion ablation (Section 7.3)", LocalAbort},
+		{"fig12", "Non-homogeneous classes (Figure 12)", Fig12},
+		{"fig15", "SSP+PSP combinations (Figure 15)", Fig15},
+		{"ssp", "Serial strategies UD/ED/EQS/EQF ablation (after [6])", SerialStrategies},
+		{"pexerr", "EQF robustness to pex estimation error (ablation)", PexError},
+		{"fifo", "FIFO vs EDF local queues (ablation)", FIFOAblation},
+		{"gfdelta", "GF band vs literal delta encoding (ablation)", GFDelta},
+		{"divnox", "DIV-x with and without fan-out scaling (ablation)", DivNoFanout},
+		{"preempt", "Non-preemptive vs preemptive EDF (ablation)", Preemption},
+		{"policies", "Local scheduling policies EDF/LLF/SJF/FIFO (ablation)", Policies},
+		{"svcdist", "Service-time variability SCV 0..4 (ablation)", ServiceDist},
+		{"network", "Explicit network-hop resources (Section 3.2 treatment)", Network},
+		{"scale", "System size sweep k = 4..24 (ablation)", Scale},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment identifiers.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// SVG renders the table as a chart: a line chart for numeric sweeps, a
+// grouped bar chart for categorical tables.
+func (t *Table) SVG() (string, error) {
+	return svgplot.Render(svgplot.Chart{
+		Title:  t.ID + " — " + t.Title,
+		XLabel: t.XLabel,
+		YLabel: "fraction of missed deadlines",
+		Series: t.Series,
+		X:      t.X,
+		Labels: t.RowLabels,
+		Y:      t.Y,
+	})
+}

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment tests fast; shape assertions only.
+func tinyOptions() Options {
+	return Options{Duration: 2500, Warmup: 200, Replications: 1, Seed: 3}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := e.Run(tinyOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tbl.ID != e.ID {
+				t.Errorf("table id = %q, want %q", tbl.ID, e.ID)
+			}
+			if tbl.Rows() == 0 || len(tbl.Series) == 0 {
+				t.Fatalf("empty table: %d rows, %d series", tbl.Rows(), len(tbl.Series))
+			}
+			for i, row := range tbl.Y {
+				if len(row) != len(tbl.Series) {
+					t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tbl.Series))
+				}
+				for j, v := range row {
+					if v < 0 || v > 1 {
+						t.Errorf("cell [%d][%d] = %v outside [0,1]", i, j, v)
+					}
+				}
+			}
+			if tbl.X != nil && len(tbl.X) != tbl.Rows() {
+				t.Errorf("x length %d != rows %d", len(tbl.X), tbl.Rows())
+			}
+			if tbl.RowLabels != nil && len(tbl.RowLabels) != tbl.Rows() {
+				t.Errorf("labels length %d != rows %d", len(tbl.RowLabels), tbl.Rows())
+			}
+		})
+	}
+}
+
+func TestFindAndIDs(t *testing.T) {
+	if _, ok := Find("fig5"); !ok {
+		t.Error("fig5 not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("bogus id found")
+	}
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Errorf("IDs() returned %d, want %d", len(ids), len(All()))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTableRenderers(t *testing.T) {
+	tbl := &Table{
+		ID:     "demo",
+		Title:  "Demo",
+		XLabel: "load",
+		Series: []string{"a", "b"},
+		X:      []float64{0.1, 0.2},
+		Y:      [][]float64{{0.01, 0.02}, {0.03, 0.04}},
+		Err:    [][]float64{{0.001, 0}, {0, 0.002}},
+		Notes:  []string{"a note"},
+	}
+	text := tbl.Text()
+	for _, want := range []string{"demo", "Demo", "a note", "load", "0.0100±0.0010", "0.0400±0.0020", "0.0200"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	csv := tbl.CSV()
+	if !strings.HasPrefix(csv, "load,a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "0.1,0.010000,0.020000") {
+		t.Errorf("CSV row wrong:\n%s", csv)
+	}
+}
+
+func TestTableCategoricalRender(t *testing.T) {
+	tbl := &Table{
+		ID: "cat", Title: "Cat", XLabel: "class",
+		Series:    []string{"UD"},
+		RowLabels: []string{"local", "global-n2"},
+		Y:         [][]float64{{0.1}, {0.2}},
+	}
+	text := tbl.Text()
+	if !strings.Contains(text, "local") || !strings.Contains(text, "global-n2") {
+		t.Errorf("categorical labels missing:\n%s", text)
+	}
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "global-n2,0.200000") {
+		t.Errorf("categorical CSV wrong:\n%s", csv)
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	got := Table1()
+	for _, want := range []string{
+		"No Abortion", "Earliest Deadline First", "k (# of nodes)", "6",
+		"load", "0.5", "frac_local", "0.75", "[1.25, 5]",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	got := Table2()
+	for _, want := range []string{"UD-UD", "UD-DIV1", "EQF-UD", "EQF-DIV1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table2 missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	o := DefaultOptions()
+	cfg := baseline(o)
+	if cfg.Duration != o.Duration || cfg.Warmup != o.Warmup ||
+		cfg.Replications != o.Replications || cfg.Seed != o.Seed {
+		t.Error("options not applied to config")
+	}
+	q := QuickOptions()
+	if q.Duration >= o.Duration {
+		t.Error("quick options should be faster than default")
+	}
+}
+
+func TestTableSVG(t *testing.T) {
+	tbl := &Table{
+		ID: "demo", Title: "Demo", XLabel: "load",
+		Series: []string{"a"},
+		X:      []float64{0.1, 0.2},
+		Y:      [][]float64{{0.1}, {0.2}},
+	}
+	svg, err := tbl.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "demo") {
+		t.Errorf("bad svg:\n%.200s", svg)
+	}
+	cat := &Table{
+		ID: "cat", Title: "Cat", XLabel: "class",
+		Series:    []string{"UD"},
+		RowLabels: []string{"local", "n2"},
+		Y:         [][]float64{{0.1}, {0.2}},
+	}
+	if _, err := cat.SVG(); err != nil {
+		t.Errorf("categorical svg: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Table1 renders the paper's Table 1 (the baseline parameter setting) from
+// the library's actual defaults, so drift between code and documentation
+// is impossible.
+func Table1() string {
+	cfg := sim.Default()
+	s := cfg.Spec
+	f, ok := s.Factory.(workload.FixedParallel)
+	n := 0
+	if ok {
+		n = f.N
+	}
+	var b strings.Builder
+	b.WriteString("# Table 1 — Baseline setting\n")
+	rows := [][2]string{
+		{"Overload Management Policy", "No Abortion"},
+		{"Local Scheduling Algorithm", "Earliest Deadline First"},
+		{"mu_subtask", fmt.Sprintf("%g", 1/s.MeanSubtaskExec)},
+		{"mu_local", fmt.Sprintf("%g", 1/s.MeanLocalExec)},
+		{"k (# of nodes)", fmt.Sprintf("%d", s.K)},
+		{"n (# of subtasks of a global task)", fmt.Sprintf("%d", n)},
+		{"load", fmt.Sprintf("%g", s.Load)},
+		{"frac_local", fmt.Sprintf("%g", s.FracLocal)},
+		{"[S_min, S_max]", fmt.Sprintf("[%g, %g]", s.SlackMin, s.SlackMax)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %s\n", r[0], r[1])
+	}
+	return b.String()
+}
+
+// Table2 renders the paper's Table 2: the SSP x PSP strategy combinations
+// evaluated in Figure 15.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("# Table 2 — Combination of SSP/PSP strategies\n")
+	fmt.Fprintf(&b, "%-10s %-5s %s\n", "SDA", "SSP", "PSP")
+	for _, r := range [][3]string{
+		{"UD-UD", "UD", "UD"},
+		{"UD-DIV1", "UD", "DIV1"},
+		{"EQF-UD", "EQF", "UD"},
+		{"EQF-DIV1", "EQF", "DIV1"},
+	} {
+		fmt.Fprintf(&b, "%-10s %-5s %s\n", r[0], r[1], r[2])
+	}
+	return b.String()
+}

@@ -1,0 +1,474 @@
+// Package node models one processing component of the distributed system
+// (Section 3.2): a single non-preemptive server fed by a deadline-ordered
+// queue, managed by an independent local real-time scheduler.
+//
+// Nodes know nothing about global tasks. They see only Items — simple
+// subtasks or local tasks with a virtual deadline (and possibly a GF
+// priority boost) — and serve one at a time, choosing the next by the
+// configured queue policy. This independence is a core premise of the
+// paper: there is no global scheduler and nodes do not collaborate.
+//
+// Two abortion mechanisms from Section 7.3 are supported:
+//
+//   - Process-manager abortion: the owner calls Remove, which discards a
+//     queued item or kills the one in service.
+//   - Local-scheduler abortion (WithLocalAbort): at dispatch the node
+//     discards any item whose *virtual* deadline has already passed and
+//     notifies the owner via the item's OnLocalAbort callback.
+package node
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Errors returned by Submit.
+var (
+	ErrNotSimple   = errors.New("node: only simple subtasks can be submitted")
+	ErrResubmitted = errors.New("node: item already submitted")
+)
+
+// ItemState tracks an item through its life cycle at a node.
+type ItemState int
+
+// Item states.
+const (
+	StateNew ItemState = iota + 1
+	StateQueued
+	StateServing
+	StateDone
+	StateAborted
+)
+
+// String returns the state name.
+func (s ItemState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateQueued:
+		return "queued"
+	case StateServing:
+		return "serving"
+	case StateDone:
+		return "done"
+	case StateAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("ItemState(%d)", int(s))
+	}
+}
+
+// Item is one unit of work submitted to a node: a local task or a simple
+// subtask of a global task. The embedded task carries the timing
+// attributes (virtual deadline, priority boost, execution time).
+type Item struct {
+	Task *task.Task
+
+	// OnDone is invoked when service completes, before the node picks its
+	// next item. Optional.
+	OnDone func(it *Item, at simtime.Time)
+	// OnLocalAbort is invoked when the local scheduler discards the item
+	// because its virtual deadline expired (local-abort mode only).
+	// Optional.
+	OnLocalAbort func(it *Item, at simtime.Time)
+
+	state     ItemState
+	seq       uint64
+	index     int // heap index; -1 when not queued
+	service   *des.Event
+	owner     *Node
+	remaining simtime.Duration // unexecuted service demand
+	startedAt simtime.Time     // start of the current service stretch
+}
+
+// NewItem wraps a simple subtask for submission.
+func NewItem(t *task.Task) *Item {
+	return &Item{Task: t, state: StateNew, index: -1, remaining: t.Exec}
+}
+
+// State returns the item's current life-cycle state.
+func (it *Item) State() ItemState { return it.state }
+
+// Observer receives scheduling events from a node, e.g. for tracing or
+// visualisation. All callbacks run synchronously on the simulation
+// goroutine; implementations must be cheap. Any method may be a no-op.
+type Observer interface {
+	// OnEnqueue fires when an item joins the waiting queue.
+	OnEnqueue(n *Node, it *Item, at simtime.Time)
+	// OnStart fires when service of an item begins (or resumes after
+	// preemption).
+	OnStart(n *Node, it *Item, at simtime.Time)
+	// OnFinish fires when service completes.
+	OnFinish(n *Node, it *Item, at simtime.Time)
+	// OnAbort fires when an item is discarded (local abort or removal),
+	// including the killing of an in-service item.
+	OnAbort(n *Node, it *Item, at simtime.Time)
+	// OnPreempt fires when an in-service item is suspended.
+	OnPreempt(n *Node, it *Item, at simtime.Time)
+}
+
+// Policy orders the waiting queue. Less reports whether a should be served
+// before b.
+type Policy interface {
+	Less(a, b *Item) bool
+	Name() string
+}
+
+// EDF is the earliest-deadline-first policy of the paper's footnote 3:
+// tasks are ordered by increasing virtual deadline, with the GF priority
+// band ahead of everything else and FIFO tie-breaking. EDF within each
+// band preserves the paper's "servicing order is preserved individually
+// within the classes of globals and locals" property.
+type EDF struct{}
+
+// Less implements Policy.
+func (EDF) Less(a, b *Item) bool {
+	if a.Task.PriorityBoost != b.Task.PriorityBoost {
+		return a.Task.PriorityBoost
+	}
+	if a.Task.VirtualDeadline != b.Task.VirtualDeadline {
+		return a.Task.VirtualDeadline.Before(b.Task.VirtualDeadline)
+	}
+	return a.seq < b.seq
+}
+
+// Name implements Policy.
+func (EDF) Name() string { return "EDF" }
+
+// FIFO serves items in arrival order, ignoring deadlines. It exists as an
+// ablation baseline: it shows how much of the paper's result depends on
+// deadline-aware local scheduling at all.
+type FIFO struct{}
+
+// Less implements Policy.
+func (FIFO) Less(a, b *Item) bool { return a.seq < b.seq }
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Node is a single-server processing component.
+type Node struct {
+	id         int
+	eng        *des.Engine
+	policy     Policy
+	localAbort bool
+	preemptive bool
+	observer   Observer
+
+	queue   itemHeap
+	serving map[*Item]struct{}
+	servers int
+	seq     uint64
+
+	busy    simtime.Duration
+	served  uint64
+	aborted uint64
+
+	// Time-weighted queue-length accounting (waiting items only).
+	qlenIntegral float64      // ∫ len(queue) dt
+	qlenSince    simtime.Time // last instant the integral was updated
+}
+
+// noteQueueChange folds the elapsed stretch at the previous queue length
+// into the integral. Call it BEFORE any change to len(n.queue).
+func (n *Node) noteQueueChange() {
+	now := n.eng.Now()
+	n.qlenIntegral += float64(len(n.queue)) * float64(now.Sub(n.qlenSince))
+	n.qlenSince = now
+}
+
+// MeanQueueLength returns the time-averaged number of waiting items
+// (excluding the one in service) since the start of the simulation.
+func (n *Node) MeanQueueLength() float64 {
+	now := n.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	total := n.qlenIntegral + float64(len(n.queue))*float64(now.Sub(n.qlenSince))
+	return total / float64(now)
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithPolicy selects the queue policy (default EDF).
+func WithPolicy(p Policy) Option {
+	return func(n *Node) { n.policy = p }
+}
+
+// WithLocalAbort makes the local scheduler discard items whose virtual
+// deadline has passed when they reach the head of the queue (Section 7.3,
+// abortion case 2).
+func WithLocalAbort() Option {
+	return func(n *Node) { n.localAbort = true }
+}
+
+// WithPreemption makes the server preemptive: a newly submitted item that
+// outranks the one in service suspends it (work already done is kept and
+// the item resumes later with its residual demand). The paper's model is
+// non-preemptive; this option supports the preemption ablation.
+func WithPreemption() Option {
+	return func(n *Node) { n.preemptive = true }
+}
+
+// WithObserver attaches a scheduling-event observer (e.g. a tracer).
+func WithObserver(obs Observer) Option {
+	return func(n *Node) { n.observer = obs }
+}
+
+// WithServers gives the node c identical servers sharing one queue (an
+// M/M/c station). The paper's components are single servers (c = 1, the
+// default); multi-server nodes extend the model to pooled resources.
+// Combining WithServers(c > 1) with WithPreemption is not supported.
+func WithServers(c int) Option {
+	return func(n *Node) { n.servers = c }
+}
+
+// New returns a node attached to the simulation engine. It panics on an
+// invalid option combination (a programming error, caught at setup).
+func New(id int, eng *des.Engine, opts ...Option) *Node {
+	n := &Node{id: id, eng: eng, policy: EDF{}, servers: 1,
+		serving: make(map[*Item]struct{})}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.servers < 1 {
+		panic(fmt.Sprintf("node: invalid server count %d", n.servers))
+	}
+	if n.preemptive && n.servers > 1 {
+		panic("node: preemption is only supported for single-server nodes")
+	}
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() int { return n.id }
+
+// QueueLen returns the number of waiting items (excluding the one in
+// service).
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Busy reports whether any server is occupied.
+func (n *Node) Busy() bool { return len(n.serving) > 0 }
+
+// Servers returns the number of servers at this node.
+func (n *Node) Servers() int { return n.servers }
+
+// Served returns the number of items whose service completed.
+func (n *Node) Served() uint64 { return n.served }
+
+// AbortedCount returns the number of items discarded at this node (by
+// either abortion mechanism).
+func (n *Node) AbortedCount() uint64 { return n.aborted }
+
+// BusyTime returns the cumulative service time delivered across all
+// servers, including the elapsed parts of items currently in service.
+func (n *Node) BusyTime() simtime.Duration {
+	total := n.busy
+	now := n.eng.Now()
+	for it := range n.serving {
+		total += now.Sub(it.startedAt)
+	}
+	return total
+}
+
+// Utilization returns BusyTime divided by elapsed capacity
+// (servers x simulated time).
+func (n *Node) Utilization() float64 {
+	now := n.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	return float64(n.BusyTime()) / (float64(now) * float64(n.servers))
+}
+
+// Submit hands an item to the node's scheduler. The item must wrap a
+// simple subtask and must not be live at any node.
+func (n *Node) Submit(it *Item) error {
+	if it == nil || it.Task == nil {
+		return fmt.Errorf("%w: nil item", ErrNotSimple)
+	}
+	if !it.Task.IsSimple() {
+		return fmt.Errorf("%w: %q is %v", ErrNotSimple, it.Task.Name, it.Task.Kind)
+	}
+	if it.state == StateQueued || it.state == StateServing {
+		return fmt.Errorf("%w: %q", ErrResubmitted, it.Task.Name)
+	}
+	it.state = StateQueued
+	it.seq = n.seq
+	it.owner = n
+	n.seq++
+	n.noteQueueChange()
+	heap.Push(&n.queue, it)
+	if n.observer != nil {
+		n.observer.OnEnqueue(n, it, n.eng.Now())
+	}
+	if n.preemptive {
+		if cur := n.soleServing(); cur != nil && n.policy.Less(it, cur) {
+			n.preempt(cur)
+		}
+	}
+	n.dispatch()
+	return nil
+}
+
+// soleServing returns the single in-service item (preemption implies a
+// single server), or nil when idle.
+func (n *Node) soleServing() *Item {
+	for it := range n.serving {
+		return it
+	}
+	return nil
+}
+
+// preempt suspends the item in service, preserving its residual demand,
+// and returns it to the queue.
+func (n *Node) preempt(cur *Item) {
+	n.eng.Cancel(cur.service)
+	cur.service = nil
+	elapsed := n.eng.Now().Sub(cur.startedAt)
+	cur.remaining -= elapsed
+	if cur.remaining < 0 {
+		cur.remaining = 0
+	}
+	n.busy += elapsed
+	cur.state = StateQueued
+	n.noteQueueChange()
+	heap.Push(&n.queue, cur)
+	delete(n.serving, cur)
+	if n.observer != nil {
+		n.observer.OnPreempt(n, cur, n.eng.Now())
+	}
+}
+
+// Remove takes a live item away from the node: a queued item is discarded,
+// an in-service item is killed and the server freed. It reports whether
+// the item was found. This implements process-manager abortion.
+func (n *Node) Remove(it *Item) bool {
+	if it == nil || it.owner != n {
+		return false
+	}
+	switch it.state {
+	case StateQueued:
+		n.noteQueueChange()
+		heap.Remove(&n.queue, it.index)
+		it.state = StateAborted
+		n.aborted++
+		if n.observer != nil {
+			n.observer.OnAbort(n, it, n.eng.Now())
+		}
+		return true
+	case StateServing:
+		n.eng.Cancel(it.service)
+		it.service = nil
+		it.state = StateAborted
+		n.aborted++
+		n.busy += n.eng.Now().Sub(it.startedAt)
+		delete(n.serving, it)
+		if n.observer != nil {
+			n.observer.OnAbort(n, it, n.eng.Now())
+		}
+		n.dispatch()
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatch starts service on the best waiting items while servers are
+// idle.
+func (n *Node) dispatch() {
+	for len(n.serving) < n.servers && len(n.queue) > 0 {
+		n.noteQueueChange()
+		it, ok := heap.Pop(&n.queue).(*Item)
+		if !ok {
+			panic("node: queue contained a non-item")
+		}
+		it.index = -1
+		now := n.eng.Now()
+		if n.localAbort && it.Task.VirtualDeadline.Before(now) {
+			// Local-scheduler abortion: the deadline presented to us has
+			// already passed; drop the task and tell the owner.
+			it.state = StateAborted
+			n.aborted++
+			if n.observer != nil {
+				n.observer.OnAbort(n, it, now)
+			}
+			if it.OnLocalAbort != nil {
+				it.OnLocalAbort(it, now)
+			}
+			continue
+		}
+		it.state = StateServing
+		n.serving[it] = struct{}{}
+		it.startedAt = now
+		if n.observer != nil {
+			n.observer.OnStart(n, it, now)
+		}
+		ev, err := n.eng.After(it.remaining, func() { n.complete(it) })
+		if err != nil {
+			// Exec is validated non-negative at construction; a scheduling
+			// failure here is a programming error in the kernel.
+			panic(fmt.Sprintf("node: schedule service completion: %v", err))
+		}
+		it.service = ev
+	}
+}
+
+// complete finishes service of it and picks the next item.
+func (n *Node) complete(it *Item) {
+	now := n.eng.Now()
+	it.state = StateDone
+	it.service = nil
+	it.Task.Finish = now
+	n.busy += now.Sub(it.startedAt)
+	it.remaining = 0
+	n.served++
+	delete(n.serving, it)
+	if n.observer != nil {
+		n.observer.OnFinish(n, it, now)
+	}
+	if it.OnDone != nil {
+		it.OnDone(it, now)
+	}
+	n.dispatch()
+}
+
+// itemHeap orders waiting items by the node's policy. The policy pointer
+// lives on the items' owner, so Less dereferences through the first item.
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	return h[i].owner.policy.Less(h[i], h[j])
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it, ok := x.(*Item)
+	if !ok {
+		panic("node: pushed a non-item")
+	}
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

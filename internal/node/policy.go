@@ -1,0 +1,69 @@
+package node
+
+// Additional local scheduling policies beyond the paper's EDF baseline.
+// They exist for the policy ablation: the paper's premise is that local
+// schedulers act on the deadlines they are shown, and these policies probe
+// how the SDA strategies fare under different local disciplines.
+
+// LLF is least-laxity-first: items are ordered by laxity
+//
+//	laxity = virtual deadline - now - remaining execution time.
+//
+// With a common "now" for all queued items, the ordering reduces to the
+// static key (virtual deadline - remaining execution), so no dynamic
+// re-sorting is needed. Like EDF it honours the GF priority band.
+type LLF struct{}
+
+var _ Policy = LLF{}
+
+// Less implements Policy.
+func (LLF) Less(a, b *Item) bool {
+	if a.Task.PriorityBoost != b.Task.PriorityBoost {
+		return a.Task.PriorityBoost
+	}
+	la := a.Task.VirtualDeadline.Sub(0) - a.remaining
+	lb := b.Task.VirtualDeadline.Sub(0) - b.remaining
+	if la != lb {
+		return la < lb
+	}
+	return a.seq < b.seq
+}
+
+// Name implements Policy.
+func (LLF) Name() string { return "LLF" }
+
+// SJF is shortest-job-first on remaining service demand. It ignores
+// deadlines entirely (like FIFO) but minimises mean waiting time; the
+// ablation shows that favourable mean statistics do not translate into
+// met deadlines.
+type SJF struct{}
+
+var _ Policy = SJF{}
+
+// Less implements Policy.
+func (SJF) Less(a, b *Item) bool {
+	if a.remaining != b.remaining {
+		return a.remaining < b.remaining
+	}
+	return a.seq < b.seq
+}
+
+// Name implements Policy.
+func (SJF) Name() string { return "SJF" }
+
+// ParsePolicy resolves a policy by name (case-sensitive short names used
+// by the CLI tools): "edf", "fifo", "llf", "sjf".
+func ParsePolicy(name string) (Policy, bool) {
+	switch name {
+	case "edf", "EDF":
+		return EDF{}, true
+	case "fifo", "FIFO":
+		return FIFO{}, true
+	case "llf", "LLF":
+		return LLF{}, true
+	case "sjf", "SJF":
+		return SJF{}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,56 @@
+// Package par provides a minimal bounded worker pool for embarrassingly
+// parallel jobs — in this repository, the independent simulation cells of
+// a parameter sweep. Each cell is deterministic given its seed, so
+// parallel execution changes wall-clock time only, never results.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0..n-1) on at most workers goroutines and waits for all of
+// them. It returns the error of the lowest index that failed (results of
+// other calls are still produced by fn's own side effects). workers <= 0
+// selects GOMAXPROCS.
+func Map(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx = i
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

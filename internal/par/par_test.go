@@ -1,0 +1,90 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsAll(t *testing.T) {
+	var count int64
+	hits := make([]int64, 100)
+	err := Map(8, 100, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d jobs, want 100", count)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Errorf("job %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestMapReturnsLowestError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Map(4, 10, func(i int) error {
+		switch i {
+		case 7:
+			return errB
+		case 3:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if err := Map(4, 0, func(int) error { t.Error("fn called"); return nil }); err != nil {
+		t.Errorf("n=0 err = %v", err)
+	}
+	ran := false
+	if err := Map(0, 1, func(int) error { ran = true; return nil }); err != nil {
+		t.Errorf("workers=0 err = %v", err)
+	}
+	if !ran {
+		t.Error("workers=0 should default to GOMAXPROCS and still run")
+	}
+	// More workers than jobs.
+	var count int64
+	if err := Map(100, 3, func(int) error { atomic.AddInt64(&count, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	var inFlight, peak int64
+	err := Map(3, 50, func(int) error {
+		n := atomic.AddInt64(&inFlight, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ { // brief busy work
+			_ = i
+		}
+		atomic.AddInt64(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Errorf("peak concurrency %d exceeds worker bound 3", peak)
+	}
+}

@@ -1,0 +1,363 @@
+// Package procmgr implements the process manager of the paper's system
+// model (Section 3.2, Figure 2): the component that receives newly created
+// global tasks, assigns deadlines to their simple subtasks via the SDA
+// strategies, submits those subtasks to the appropriate nodes, and
+// enforces the precedence constraints among subtasks.
+//
+// The manager performs the recursive SDA algorithm of Figure 13 *online*:
+// a serial stage's virtual deadline is computed at the instant the stage
+// becomes executable, using the strategy's view of the remaining stages.
+// Parallel groups are decomposed when the group is released.
+//
+// Abortion (Section 7.3):
+//
+//   - Process-manager abortion: a timer fires at each task's *real*
+//     deadline; an unfinished task is then withdrawn from every node and
+//     counted as missed.
+//   - Local-scheduler abortion: when a node discards a subtask whose
+//     virtual deadline expired, the manager recomputes a fresh virtual
+//     deadline from the remaining budget and resubmits. A subtask whose
+//     recomputed deadline is already hopeless (in the past) dooms its
+//     global task, which is then abandoned — this reproduces the paper's
+//     observation that local aborts consume the task's slack in failed
+//     trials.
+package procmgr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Errors returned by the submission paths.
+var (
+	ErrNoDeadline = errors.New("procmgr: task has no real deadline")
+	ErrBadNode    = errors.New("procmgr: subtask destined to unknown node")
+	ErrNotLocal   = errors.New("procmgr: local tasks must be simple")
+)
+
+// Recorder receives the outcome of every task the manager shepherds.
+// Implementations aggregate miss rates; the manager itself keeps no
+// statistics. All callbacks run on the simulation goroutine.
+type Recorder interface {
+	// RecordLocal reports a finished or aborted local task.
+	RecordLocal(t *task.Task, missed bool)
+	// RecordSubtask reports a simple subtask of a global task, judged
+	// against the global task's real deadline (as in the paper's Figure 5).
+	RecordSubtask(t *task.Task, missed bool)
+	// RecordGlobal reports a finished or aborted global task.
+	RecordGlobal(root *task.Task, missed bool)
+}
+
+// NopRecorder discards all records; useful in tests and tools that only
+// care about the schedule itself.
+type NopRecorder struct{}
+
+// RecordLocal implements Recorder.
+func (NopRecorder) RecordLocal(*task.Task, bool) {}
+
+// RecordSubtask implements Recorder.
+func (NopRecorder) RecordSubtask(*task.Task, bool) {}
+
+// RecordGlobal implements Recorder.
+func (NopRecorder) RecordGlobal(*task.Task, bool) {}
+
+// Manager is the process manager. Create one with New.
+type Manager struct {
+	eng     *des.Engine
+	nodes   []*node.Node
+	ssp     sda.SSP
+	psp     sda.PSP
+	rec     Recorder
+	pmAbort bool
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithPMAbort arms a timer at every task's real deadline that withdraws
+// and abandons the task if it has not finished (Section 7.3, case 1).
+func WithPMAbort() Option {
+	return func(m *Manager) { m.pmAbort = true }
+}
+
+// WithRecorder sets the outcome sink (default NopRecorder).
+func WithRecorder(r Recorder) Option {
+	return func(m *Manager) { m.rec = r }
+}
+
+// New returns a process manager submitting to the given nodes and using
+// the given SSP and PSP strategies for deadline decomposition.
+func New(eng *des.Engine, nodes []*node.Node, ssp sda.SSP, psp sda.PSP, opts ...Option) *Manager {
+	m := &Manager{eng: eng, nodes: nodes, ssp: ssp, psp: psp, rec: NopRecorder{}}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// SubmitLocal submits a local task: a simple task executed at exactly one
+// node, scheduled by its own (real) deadline. The task's Arrival is set to
+// the current instant; its RealDeadline must already be set.
+func (m *Manager) SubmitLocal(t *task.Task) error {
+	if t == nil || !t.IsSimple() {
+		return ErrNotLocal
+	}
+	if t.RealDeadline.IsNever() {
+		return fmt.Errorf("%w: %q", ErrNoDeadline, t.Name)
+	}
+	if t.Node < 0 || t.Node >= len(m.nodes) {
+		return fmt.Errorf("%w: %q at node %d", ErrBadNode, t.Name, t.Node)
+	}
+	now := m.eng.Now()
+	t.Arrival = now
+	t.VirtualDeadline = t.RealDeadline
+
+	it := node.NewItem(t)
+	var timer *des.Event
+	it.OnDone = func(_ *node.Item, at simtime.Time) {
+		if timer != nil {
+			m.eng.Cancel(timer)
+		}
+		m.rec.RecordLocal(t, t.Missed())
+	}
+	if m.pmAbort {
+		ev, err := m.eng.At(t.RealDeadline, func() {
+			if m.nodes[t.Node].Remove(it) {
+				t.Aborted = true
+				m.rec.RecordLocal(t, true)
+			}
+		})
+		if err == nil {
+			timer = ev
+		} else {
+			// Deadline already in the past at submission: the task is
+			// hopeless; count it missed without occupying the node.
+			t.Aborted = true
+			m.rec.RecordLocal(t, true)
+			return nil
+		}
+	}
+	return m.nodes[t.Node].Submit(it)
+}
+
+// SubmitGlobal submits a global task tree. The root's RealDeadline must be
+// set; the manager decomposes it into virtual deadlines online and
+// enforces the serial/parallel precedence constraints.
+func (m *Manager) SubmitGlobal(root *task.Task) error {
+	if root == nil {
+		return fmt.Errorf("procmgr: nil global task")
+	}
+	if err := root.Validate(); err != nil {
+		return err
+	}
+	if root.RealDeadline.IsNever() {
+		return fmt.Errorf("%w: %q", ErrNoDeadline, root.Name)
+	}
+	var badNode error
+	root.Walk(func(n *task.Task) {
+		if badNode == nil && n.IsSimple() && (n.Node < 0 || n.Node >= len(m.nodes)) {
+			badNode = fmt.Errorf("%w: %q at node %d", ErrBadNode, n.Name, n.Node)
+		}
+	})
+	if badNode != nil {
+		return badNode
+	}
+
+	r := &run{m: m, root: root, live: make(map[*node.Item]struct{})}
+	if m.pmAbort {
+		ev, err := m.eng.At(root.RealDeadline, r.abortAll)
+		if err != nil {
+			// Born dead: deadline already passed.
+			r.abortAll()
+			return nil
+		}
+		r.timer = ev
+	}
+	r.release(&ctrl{run: r, t: root}, m.eng.Now(), root.RealDeadline, false)
+	return nil
+}
+
+// run tracks one in-flight global task.
+type run struct {
+	m     *Manager
+	root  *task.Task
+	timer *des.Event
+	live  map[*node.Item]struct{} // submitted, not yet finished
+	over  bool                    // completed or aborted
+}
+
+// ctrl is the control block for one node of the task tree.
+type ctrl struct {
+	run       *run
+	t         *task.Task
+	parent    *ctrl
+	stageIdx  int // index of this child within its parent
+	remaining int // parallel: unfinished children; serial: next stage index
+}
+
+// release makes the subtree rooted at c executable at instant now with the
+// given deadline budget and GF boost flag.
+func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, boost bool) {
+	if r.over {
+		return
+	}
+	c.t.Arrival = now
+	c.t.VirtualDeadline = budget
+	c.t.PriorityBoost = boost
+	switch c.t.Kind {
+	case task.KindSimple:
+		r.submitLeaf(c)
+	case task.KindSerial:
+		c.remaining = 0
+		r.releaseStage(c, now)
+	case task.KindParallel:
+		c.remaining = len(c.t.Children)
+		a := r.m.psp.AssignParallel(now, budget, len(c.t.Children))
+		for i, child := range c.t.Children {
+			cc := &ctrl{run: r, t: child, parent: c, stageIdx: i}
+			r.release(cc, now, a.Virtual, boost || a.Boost)
+		}
+	}
+}
+
+// releaseStage releases the next serial stage of c at instant now.
+func (r *run) releaseStage(c *ctrl, now simtime.Time) {
+	i := c.remaining
+	child := c.t.Children[i]
+	pexs := make([]simtime.Duration, 0, len(c.t.Children)-i)
+	for _, rest := range c.t.Children[i:] {
+		pexs = append(pexs, rest.PredictedCriticalPath())
+	}
+	dl := r.m.ssp.AssignSerial(now, c.t.VirtualDeadline, pexs)
+	cc := &ctrl{run: r, t: child, parent: c, stageIdx: i}
+	r.release(cc, now, dl, c.t.PriorityBoost)
+}
+
+// submitLeaf sends a simple subtask to its node.
+func (r *run) submitLeaf(c *ctrl) {
+	it := node.NewItem(c.t)
+	it.OnDone = func(done *node.Item, at simtime.Time) {
+		delete(r.live, done)
+		r.m.rec.RecordSubtask(c.t, at.After(r.root.RealDeadline))
+		r.finished(c, at)
+	}
+	it.OnLocalAbort = func(ab *node.Item, at simtime.Time) {
+		delete(r.live, ab)
+		r.resubmit(c, ab, at)
+	}
+	r.live[it] = struct{}{}
+	if err := r.m.nodes[c.t.Node].Submit(it); err != nil {
+		// Validated up front; a failure here is a bug in the manager.
+		panic(fmt.Sprintf("procmgr: submit leaf %q: %v", c.t.Name, err))
+	}
+}
+
+// resubmit handles a local-scheduler abort of leaf c: recompute the
+// virtual deadline from the remaining budget and try again, or abandon the
+// whole task when the subtask has become hopeless.
+func (r *run) resubmit(c *ctrl, it *node.Item, now simtime.Time) {
+	if r.over {
+		return
+	}
+	vdl, boost := r.reassign(c, now)
+	if vdl.Before(now) {
+		// The recomputed deadline is still in the past: the former trial
+		// consumed all the slack. Give up on the whole global task.
+		r.abortAll()
+		return
+	}
+	c.t.VirtualDeadline = vdl
+	c.t.PriorityBoost = boost
+	r.live[it] = struct{}{}
+	if err := r.m.nodes[c.t.Node].Submit(it); err != nil {
+		panic(fmt.Sprintf("procmgr: resubmit leaf %q: %v", c.t.Name, err))
+	}
+}
+
+// reassign recomputes the virtual deadline a leaf would receive if its
+// parent decomposed its budget at instant now.
+func (r *run) reassign(c *ctrl, now simtime.Time) (simtime.Time, bool) {
+	p := c.parent
+	if p == nil {
+		// A global task that is a bare simple subtask: its budget is the
+		// real deadline.
+		return r.root.RealDeadline, c.t.PriorityBoost
+	}
+	switch p.t.Kind {
+	case task.KindParallel:
+		a := r.m.psp.AssignParallel(now, p.t.VirtualDeadline, len(p.t.Children))
+		return a.Virtual, p.t.PriorityBoost || a.Boost
+	case task.KindSerial:
+		i := c.stageIdx
+		pexs := make([]simtime.Duration, 0, len(p.t.Children)-i)
+		for _, rest := range p.t.Children[i:] {
+			pexs = append(pexs, rest.PredictedCriticalPath())
+		}
+		return r.m.ssp.AssignSerial(now, p.t.VirtualDeadline, pexs), p.t.PriorityBoost
+	default:
+		return p.t.VirtualDeadline, p.t.PriorityBoost
+	}
+}
+
+// finished propagates completion of the subtree rooted at c upward.
+func (r *run) finished(c *ctrl, at simtime.Time) {
+	if r.over {
+		return
+	}
+	c.t.Finish = at
+	p := c.parent
+	if p == nil {
+		r.complete(at)
+		return
+	}
+	switch p.t.Kind {
+	case task.KindSerial:
+		next := c.stageIdx + 1
+		if next < len(p.t.Children) {
+			p.remaining = next
+			r.releaseStage(p, at)
+			return
+		}
+		r.finished(p, at)
+	case task.KindParallel:
+		p.remaining--
+		if p.remaining == 0 {
+			r.finished(p, at)
+		}
+	}
+}
+
+// complete closes out a successfully finished run.
+func (r *run) complete(at simtime.Time) {
+	r.over = true
+	if r.timer != nil {
+		r.m.eng.Cancel(r.timer)
+	}
+	r.m.rec.RecordGlobal(r.root, at.After(r.root.RealDeadline))
+}
+
+// abortAll withdraws every outstanding subtask and abandons the run.
+func (r *run) abortAll() {
+	if r.over {
+		return
+	}
+	r.over = true
+	if r.timer != nil {
+		r.m.eng.Cancel(r.timer)
+		r.timer = nil
+	}
+	for it := range r.live {
+		r.m.nodes[it.Task.Node].Remove(it)
+		it.Task.Aborted = true
+		r.m.rec.RecordSubtask(it.Task, true)
+	}
+	r.live = nil
+	r.root.Aborted = true
+	r.m.rec.RecordGlobal(r.root, true)
+}

@@ -1,0 +1,213 @@
+package procmgr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// randomTree builds a random valid serial-parallel tree whose leaves are
+// spread over k nodes with exponential-ish execution times.
+func randomTree(s *rng.Stream, k, depth int, counter *int) *task.Task {
+	if depth <= 0 || s.Float64() < 0.4 {
+		*counter++
+		leaf := task.MustSimple(fmt.Sprintf("leaf%d", *counter), s.IntN(k),
+			simtime.Duration(s.Exp(1.0)))
+		return leaf
+	}
+	n := s.IntRange(2, 4)
+	children := make([]*task.Task, n)
+	for i := range children {
+		children[i] = randomTree(s, k, depth-1, counter)
+	}
+	if s.Float64() < 0.5 {
+		return task.MustSerial("", children...)
+	}
+	// Parallel children must land on distinct nodes; re-home leaves that
+	// are direct children (nested groups keep their own placement — the
+	// paper's distinct-node constraint applies within one group, which we
+	// enforce for the direct simple children only, like the generator).
+	nodes := s.Choose(k, minInt(n, k))
+	for i, c := range children {
+		if c.IsSimple() && i < len(nodes) {
+			c.Node = nodes[i]
+		}
+	}
+	return task.MustParallel("", children...)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestRandomTreesStructuralInvariants runs many random serial-parallel
+// global tasks (alongside random local traffic) through the full manager
+// and checks the execution-structure invariants that must hold regardless
+// of strategy:
+//
+//   - every leaf finishes exactly once, at Finish >= Arrival + Exec
+//   - serial siblings are released only after their predecessor finishes
+//   - a composite's Finish equals its last child's Finish
+//   - the recorded global outcome matches Finish vs RealDeadline
+func TestRandomTreesStructuralInvariants(t *testing.T) {
+	strategies := []struct {
+		ssp sda.SSP
+		psp sda.PSP
+	}{
+		{sda.SerialUD{}, sda.UD{}},
+		{sda.EQF{}, sda.MustDiv(1)},
+		{sda.EQS{}, sda.GF{}},
+		{sda.ED{}, sda.MustDiv(4)},
+	}
+	const k = 5
+	stream := rng.NewStream(20240705)
+	for trial := 0; trial < 40; trial++ {
+		strat := strategies[trial%len(strategies)]
+		eng := des.New()
+		nodes := make([]*node.Node, k)
+		for i := range nodes {
+			nodes[i] = node.New(i, eng)
+		}
+		rec := &testRecorder{}
+		m := New(eng, nodes, strat.ssp, strat.psp, WithRecorder(rec))
+
+		// Random local background traffic.
+		for i := 0; i < 20; i++ {
+			at := simtime.Time(stream.Uniform(0, 20))
+			if _, err := eng.At(at, func() {
+				l := task.MustSimple("bg", stream.IntN(k), simtime.Duration(stream.Exp(1)))
+				l.RealDeadline = eng.Now().Add(simtime.Duration(stream.Uniform(1.25, 5)))
+				if err := m.SubmitLocal(l); err != nil {
+					t.Errorf("SubmitLocal: %v", err)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		counter := 0
+		root := randomTree(stream, k, 3, &counter)
+		if root.IsSimple() {
+			// Wrap a bare leaf so we always exercise composition.
+			root = task.MustParallel("", root)
+		}
+		slack := simtime.Duration(stream.Uniform(1.25, 5))
+		root.RealDeadline = simtime.Time(0).Add(root.CriticalPath() + slack)
+		if err := m.SubmitGlobal(root); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eng.Run()
+
+		// Invariant checks over the whole tree.
+		root.Walk(func(n *task.Task) {
+			if !n.Finished() {
+				t.Fatalf("trial %d: node %q never finished", trial, n.Name)
+			}
+			switch n.Kind {
+			case task.KindSimple:
+				if n.Finish.Before(n.Arrival.Add(n.Exec)) {
+					t.Fatalf("trial %d: leaf %q finished at %v before arrival %v + exec %v",
+						trial, n.Name, n.Finish, n.Arrival, n.Exec)
+				}
+			case task.KindSerial:
+				prevFinish := n.Arrival
+				for _, c := range n.Children {
+					if c.Arrival != prevFinish {
+						t.Fatalf("trial %d: serial child %q released at %v, want predecessor finish %v",
+							trial, c.Name, c.Arrival, prevFinish)
+					}
+					prevFinish = c.Finish
+				}
+				if n.Finish != prevFinish {
+					t.Fatalf("trial %d: serial %q finish %v != last child %v",
+						trial, n.Name, n.Finish, prevFinish)
+				}
+			case task.KindParallel:
+				var latest simtime.Time
+				for _, c := range n.Children {
+					if c.Arrival != n.Arrival {
+						t.Fatalf("trial %d: parallel child %q released at %v, want group release %v",
+							trial, c.Name, c.Arrival, n.Arrival)
+					}
+					latest = latest.Max(c.Finish)
+				}
+				if n.Finish != latest {
+					t.Fatalf("trial %d: parallel %q finish %v != max child %v",
+						trial, n.Name, n.Finish, latest)
+				}
+			}
+		})
+
+		got, ok := rec.find("global", root.Name)
+		if !ok {
+			t.Fatalf("trial %d: global outcome not recorded", trial)
+		}
+		wantMissed := root.Finish.After(root.RealDeadline)
+		if got.missed != wantMissed {
+			t.Fatalf("trial %d: recorded missed=%v, finish %v vs deadline %v",
+				trial, got.missed, root.Finish, root.RealDeadline)
+		}
+		// Exactly one record per leaf.
+		if rec.count("subtask") != counterLeaves(root) {
+			t.Fatalf("trial %d: %d subtask records for %d leaves",
+				trial, rec.count("subtask"), counterLeaves(root))
+		}
+	}
+}
+
+func counterLeaves(root *task.Task) int { return root.CountSimple() }
+
+// TestRandomTreesWithPMAbort reruns random trees under process-manager
+// abortion with tight deadlines and checks the abort invariants: the run
+// always resolves, aborted trees are marked, and nodes are left idle.
+func TestRandomTreesWithPMAbort(t *testing.T) {
+	const k = 4
+	stream := rng.NewStream(42)
+	for trial := 0; trial < 30; trial++ {
+		eng := des.New()
+		nodes := make([]*node.Node, k)
+		for i := range nodes {
+			nodes[i] = node.New(i, eng)
+		}
+		rec := &testRecorder{}
+		m := New(eng, nodes, sda.EQF{}, sda.MustDiv(1),
+			WithRecorder(rec), WithPMAbort())
+
+		counter := 0
+		root := randomTree(stream, k, 3, &counter)
+		if root.IsSimple() {
+			root = task.MustParallel("", root)
+		}
+		// Deliberately tight: half the critical path. Most runs abort.
+		root.RealDeadline = simtime.Time(float64(root.CriticalPath()) * 0.5)
+		if err := m.SubmitGlobal(root); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eng.Run()
+
+		got, ok := rec.find("global", root.Name)
+		if !ok {
+			t.Fatalf("trial %d: global never resolved", trial)
+		}
+		if !got.missed && root.Aborted {
+			t.Fatalf("trial %d: aborted but recorded as hit", trial)
+		}
+		for i, n := range nodes {
+			if n.Busy() {
+				t.Fatalf("trial %d: node %d still busy after drain", trial, i)
+			}
+			if n.QueueLen() != 0 {
+				t.Fatalf("trial %d: node %d queue not drained", trial, i)
+			}
+		}
+	}
+}

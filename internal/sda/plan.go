@@ -1,0 +1,71 @@
+package sda
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Plan applies the recursive SDA algorithm of the paper's Figure 13 to a
+// whole task tree *offline*, annotating every node's Arrival,
+// VirtualDeadline and PriorityBoost fields.
+//
+//	FUNCTION SDA(X, D):
+//	  if X is simple             -> dl(X) := D
+//	  if X = [X1 X2 ... Xn]      -> assign dl(X1) by the SSP strategy; recurse
+//	  if X = [X1 || ... || Xn]   -> assign dl(Xi) by the PSP strategy; recurse
+//
+// During a live run the process manager performs the same decomposition
+// online: each serial stage's deadline is computed when the stage actually
+// becomes executable. Offline planning has to predict those release
+// instants instead; it assumes stage j+1 is released exactly at stage j's
+// assigned virtual deadline, which is the budget the SSP strategy carved
+// out for stage j. Plan is therefore the right tool for calculators,
+// visualisation and tests, while the simulator uses the online path.
+//
+// ar is the release instant of the root and deadline its end-to-end
+// deadline. The tree is validated first; planning a nil tree or an invalid
+// tree returns an error.
+func Plan(root *task.Task, ar simtime.Time, deadline simtime.Time, ssp SSP, psp PSP) error {
+	if root == nil {
+		return fmt.Errorf("sda: nil task")
+	}
+	if ssp == nil || psp == nil {
+		return fmt.Errorf("sda: nil strategy")
+	}
+	if err := root.Validate(); err != nil {
+		return err
+	}
+	root.RealDeadline = deadline
+	plan(root, ar, deadline, ssp, psp, false)
+	return nil
+}
+
+func plan(t *task.Task, ar simtime.Time, deadline simtime.Time, ssp SSP, psp PSP, boost bool) {
+	t.Arrival = ar
+	t.VirtualDeadline = deadline
+	t.PriorityBoost = boost
+	switch t.Kind {
+	case task.KindSimple:
+		// dl(X) := D — nothing further to decompose.
+	case task.KindSerial:
+		release := ar
+		for i, child := range t.Children {
+			pexs := make([]simtime.Duration, 0, len(t.Children)-i)
+			for _, rest := range t.Children[i:] {
+				pexs = append(pexs, rest.PredictedCriticalPath())
+			}
+			dl := ssp.AssignSerial(release, deadline, pexs)
+			plan(child, release, dl, ssp, psp, boost)
+			// Offline approximation: the next stage is released when this
+			// stage's budget expires.
+			release = dl
+		}
+	case task.KindParallel:
+		a := psp.AssignParallel(ar, deadline, len(t.Children))
+		for _, child := range t.Children {
+			plan(child, ar, a.Virtual, ssp, psp, boost || a.Boost)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package sda
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+func TestPlanSimple(t *testing.T) {
+	leaf := task.MustSimple("a", 0, 2)
+	if err := Plan(leaf, 1, 9, SerialUD{}, UD{}); err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Arrival != 1 || leaf.VirtualDeadline != 9 || leaf.RealDeadline != 9 {
+		t.Errorf("leaf = ar %v vdl %v rdl %v", leaf.Arrival, leaf.VirtualDeadline, leaf.RealDeadline)
+	}
+}
+
+func TestPlanIntroExample(t *testing.T) {
+	// The paper's introduction example: T = [[T11||...||T15] T2], dl = 10.
+	// With EQF and pex(stage1) = pex(T2) = 5, EQF gives stage 1 exactly
+	// half the horizon: dl(stage1) = 5; DIV-1 then divides stage 1's
+	// allowance among its 5 parallel subtasks: 0 + 5/5 = 1.
+	par := make([]*task.Task, 5)
+	for i := range par {
+		par[i] = task.MustSimple("T1x", i, 5)
+	}
+	stage1 := task.MustParallel("stage1", par...)
+	t2 := task.MustSimple("T2", 5, 5)
+	g := task.MustSerial("T", stage1, t2)
+
+	if err := Plan(g, 0, 10, EQF{}, MustDiv(1)); err != nil {
+		t.Fatal(err)
+	}
+	if stage1.VirtualDeadline != 5 {
+		t.Errorf("stage1 deadline = %v, want 5", stage1.VirtualDeadline)
+	}
+	for _, p := range par {
+		if p.VirtualDeadline != 1 {
+			t.Errorf("parallel subtask deadline = %v, want 1", p.VirtualDeadline)
+		}
+	}
+	// T2 is released at stage 1's budget expiry and gets the rest.
+	if t2.Arrival != 5 || t2.VirtualDeadline != 10 {
+		t.Errorf("T2 = ar %v dl %v, want 5 and 10", t2.Arrival, t2.VirtualDeadline)
+	}
+}
+
+func TestPlanSerialEQFMatchesManual(t *testing.T) {
+	a := task.MustSimple("a", 0, 1)
+	b := task.MustSimple("b", 1, 2)
+	c := task.MustSimple("c", 2, 3)
+	g := task.MustSerial("g", a, b, c)
+	if err := Plan(g, 0, 12, EQF{}, UD{}); err != nil {
+		t.Fatal(err)
+	}
+	// Manual: slack 6; stage a gets 6*(1/6)=1 -> dl 2; b released at 2,
+	// remaining slack 12-2-5=5, share 5*2/5=2 -> dl 2+2+2=6; c released at
+	// 6, slack 12-6-3=3, share 3 -> dl 12.
+	if a.VirtualDeadline != 2 {
+		t.Errorf("a = %v, want 2", a.VirtualDeadline)
+	}
+	if math.Abs(float64(b.VirtualDeadline-6)) > 1e-12 {
+		t.Errorf("b = %v, want 6", b.VirtualDeadline)
+	}
+	if math.Abs(float64(c.VirtualDeadline-12)) > 1e-12 {
+		t.Errorf("c = %v, want 12", c.VirtualDeadline)
+	}
+}
+
+func TestPlanGFPropagatesBoost(t *testing.T) {
+	inner := task.MustSerial("inner",
+		task.MustSimple("x", 0, 1),
+		task.MustSimple("y", 1, 1),
+	)
+	g := task.MustParallel("g", inner, task.MustSimple("z", 2, 1))
+	if err := Plan(g, 0, 10, SerialUD{}, GF{}); err != nil {
+		t.Fatal(err)
+	}
+	boosted := 0
+	g.Walk(func(n *task.Task) {
+		if n.IsSimple() && n.PriorityBoost {
+			boosted++
+		}
+	})
+	if boosted != 3 {
+		t.Errorf("boosted leaves = %d, want 3 (boost must reach nested leaves)", boosted)
+	}
+	if g.PriorityBoost {
+		t.Error("the group root itself is not submitted and needs no boost")
+	}
+}
+
+func TestPlanNestedParallelDiv(t *testing.T) {
+	// [a || [b || c]] with dl 8: outer DIV-1 over n=2 gives 4; the inner
+	// pair then divides its 4-unit allowance again: 4/(2*1) = 2.
+	inner := task.MustParallel("inner",
+		task.MustSimple("b", 1, 1),
+		task.MustSimple("c", 2, 1),
+	)
+	g := task.MustParallel("g", task.MustSimple("a", 0, 1), inner)
+	if err := Plan(g, 0, 8, SerialUD{}, MustDiv(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Children[0].VirtualDeadline; got != 4 {
+		t.Errorf("a = %v, want 4", got)
+	}
+	if got := inner.Children[0].VirtualDeadline; got != 2 {
+		t.Errorf("b = %v, want 2", got)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if err := Plan(nil, 0, 1, SerialUD{}, UD{}); err == nil {
+		t.Error("nil task should error")
+	}
+	leaf := task.MustSimple("a", 0, 1)
+	if err := Plan(leaf, 0, 1, nil, UD{}); err == nil {
+		t.Error("nil SSP should error")
+	}
+	if err := Plan(leaf, 0, 1, SerialUD{}, nil); err == nil {
+		t.Error("nil PSP should error")
+	}
+	invalid := task.MustSimple("a", 0, 1)
+	invalid.Exec = -5
+	if err := Plan(invalid, 0, 1, SerialUD{}, UD{}); err == nil {
+		t.Error("invalid tree should error")
+	}
+}
+
+func TestPlanStockTradingShape(t *testing.T) {
+	// The Section 8 task: 5 serial stages, stages 2 and 4 parallel with 4
+	// subtasks each, all unit pex. EQF-DIV1 must give stage deadlines that
+	// partition [ar, dl] and divide the parallel stages' budgets by 4.
+	g := task.MustParse("[init [g1||g2||g3||g4] analyze [a1||a2||a3||a4] done]")
+	if err := Plan(g, 0, 25, EQF{}, MustDiv(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Stage pex: 1,1,1,1,1 (parallel stages have critical path 1), so EQF
+	// divides slack 20 into 5 equal shares of 4 -> stage deadlines 5,10,15,20,25.
+	want := []simtime.Time{5, 10, 15, 20, 25}
+	for i, stage := range g.Children {
+		if math.Abs(float64(stage.VirtualDeadline-want[i])) > 1e-12 {
+			t.Errorf("stage %d deadline = %v, want %v", i+1, stage.VirtualDeadline, want[i])
+		}
+	}
+	// Parallel stage 2 released at 5 with deadline 10: DIV-1 over 4
+	// subtasks gives 5 + 5/4 = 6.25.
+	leaf := g.Children[1].Children[0]
+	if math.Abs(float64(leaf.VirtualDeadline-6.25)) > 1e-12 {
+		t.Errorf("g1 deadline = %v, want 6.25", leaf.VirtualDeadline)
+	}
+}
+
+// TestPlanBudgetProperty checks, over random trees, that Plan never
+// assigns a leaf a virtual deadline after the end-to-end deadline for
+// budget-respecting strategy pairs, and that every leaf's deadline is at
+// or after the tree's release.
+func TestPlanBudgetProperty(t *testing.T) {
+	stream := rng.NewStream(99)
+	pairs := []struct {
+		ssp SSP
+		psp PSP
+	}{
+		{SerialUD{}, UD{}},
+		{EQF{}, MustDiv(1)},
+		{EQS{}, MustDiv(2)},
+		{ED{}, UD{}},
+	}
+	for trial := 0; trial < 200; trial++ {
+		tree := randomPlanTree(stream, 3)
+		ar := simtime.Time(stream.Uniform(0, 10))
+		// Ample deadline: critical path plus positive slack, so budgets
+		// stay non-negative at every level.
+		dl := ar.Add(tree.PredictedCriticalPath() + simtime.Duration(stream.Uniform(0.5, 10)))
+		pair := pairs[trial%len(pairs)]
+		if err := Plan(tree, ar, dl, pair.ssp, pair.psp); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		udud := trial%len(pairs) == 0
+		tree.Walk(func(n *task.Task) {
+			if !n.IsSimple() {
+				return
+			}
+			// Upper bound holds for every strategy: a virtual deadline is
+			// never later than the end-to-end deadline.
+			if n.VirtualDeadline.After(dl) {
+				t.Fatalf("trial %d (%s-%s): leaf %q deadline %v after end-to-end %v",
+					trial, pair.ssp.Name(), pair.psp.Name(), n.Name, n.VirtualDeadline, dl)
+			}
+			// The lower bound (deadline >= release) holds for UD-UD, where
+			// every budget is the full end-to-end deadline. Aggressive
+			// strategies may legitimately assign past-release deadlines
+			// inside a branch that DIV-x under-budgeted — that just means
+			// maximum priority.
+			if udud && n.VirtualDeadline.Before(n.Arrival) {
+				t.Fatalf("trial %d (UD-UD): leaf %q deadline %v before release %v",
+					trial, n.Name, n.VirtualDeadline, n.Arrival)
+			}
+		})
+	}
+}
+
+// randomPlanTree builds a random serial-parallel tree with positive pex.
+func randomPlanTree(s *rng.Stream, depth int) *task.Task {
+	if depth <= 0 || s.Float64() < 0.4 {
+		return task.MustSimple("leaf", s.IntN(4), simtime.Duration(s.Uniform(0.1, 3)))
+	}
+	n := s.IntRange(2, 4)
+	children := make([]*task.Task, n)
+	for i := range children {
+		children[i] = randomPlanTree(s, depth-1)
+	}
+	if s.Float64() < 0.5 {
+		return task.MustSerial("", children...)
+	}
+	return task.MustParallel("", children...)
+}

@@ -1,0 +1,122 @@
+package sda
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// Compile-time interface checks.
+var (
+	_ PSP = UD{}
+	_ PSP = Div{}
+	_ PSP = GF{}
+)
+
+// UD is the Ultimate Deadline baseline: every parallel subtask inherits the
+// deadline of its global task,
+//
+//	dl(Ti) = dl(T).
+//
+// Under UD a local scheduler believes it has the full end-to-end budget for
+// the subtask, which the paper shows amplifies the global miss rate roughly
+// as 1-(1-p)^n.
+type UD struct{}
+
+// AssignParallel implements PSP.
+func (UD) AssignParallel(_ simtime.Time, deadline simtime.Time, _ int) Assignment {
+	return Assignment{Virtual: deadline}
+}
+
+// Name implements PSP.
+func (UD) Name() string { return "UD" }
+
+// Div is the DIV-x strategy (paper Eq. 1): the group's time allowance is
+// divided by x times the number of parallel subtasks,
+//
+//	dl(Ti) = ar(T) + (dl(T) - ar(T)) / (n*x).
+//
+// Larger n*x products push the virtual deadline closer to the arrival
+// instant and hence raise the subtasks' EDF priority. The priority
+// promotion grows automatically with the fan-out n; the paper finds x = 1
+// adequate across workloads (Section 7.1).
+type Div struct {
+	X float64
+}
+
+// NewDiv returns the DIV-x strategy for a positive x.
+func NewDiv(x float64) (Div, error) {
+	if x <= 0 {
+		return Div{}, fmt.Errorf("%w: DIV-x needs x > 0, got %v", ErrBadParameter, x)
+	}
+	return Div{X: x}, nil
+}
+
+// MustDiv is NewDiv for statically valid parameters; it panics on error.
+func MustDiv(x float64) Div {
+	d, err := NewDiv(x)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// AssignParallel implements PSP.
+func (d Div) AssignParallel(ar simtime.Time, deadline simtime.Time, n int) Assignment {
+	if n < 1 {
+		n = 1
+	}
+	allowance := deadline.Sub(ar)
+	if allowance < 0 {
+		// The group is already past its deadline; keep the (hopeless)
+		// deadline rather than moving it later.
+		return Assignment{Virtual: deadline}
+	}
+	v := ar.Add(allowance.Scale(1 / (float64(n) * d.X)))
+	// With n*x < 1 the raw formula lands *after* the real deadline, which
+	// would deprioritise the subtasks below even UD; clamp to the deadline.
+	return Assignment{Virtual: v.Min(deadline)}
+}
+
+// Name implements PSP.
+func (d Div) Name() string { return fmt.Sprintf("DIV-%g", d.X) }
+
+// GFDelta is the default Δ used by GF in UseDelta mode; it exceeds any
+// deadline arising in the paper's workloads by many orders of magnitude.
+const GFDelta simtime.Duration = 1e9
+
+// GF is the Globals First strategy: subtasks of global tasks are always
+// served before local tasks; EDF order is preserved within each class.
+//
+// The paper implements GF on a pure EDF scheduler by subtracting a big
+// number Δ from the global deadline. We default to the exact semantics —
+// a priority band flag (Assignment.Boost) that class-aware queues order
+// before all unboosted tasks — and offer UseDelta for literal fidelity
+// with plain EDF queues.
+type GF struct {
+	// UseDelta selects the literal dl(Ti) = dl(T) - Δ encoding instead of
+	// the priority band.
+	UseDelta bool
+	// Delta overrides GFDelta when UseDelta is set and Delta > 0.
+	Delta simtime.Duration
+}
+
+// AssignParallel implements PSP.
+func (g GF) AssignParallel(_ simtime.Time, deadline simtime.Time, _ int) Assignment {
+	if g.UseDelta {
+		d := g.Delta
+		if d <= 0 {
+			d = GFDelta
+		}
+		return Assignment{Virtual: deadline.Add(-d)}
+	}
+	return Assignment{Virtual: deadline, Boost: true}
+}
+
+// Name implements PSP.
+func (g GF) Name() string {
+	if g.UseDelta {
+		return "GF-delta"
+	}
+	return "GF"
+}

@@ -1,0 +1,182 @@
+package sda
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+// TestFigure4 reproduces the paper's worked example: T = [T1||T2||T3]
+// arriving at time 0 with deadline 9.
+func TestFigure4(t *testing.T) {
+	const (
+		ar = simtime.Time(0)
+		dl = simtime.Time(9)
+		n  = 3
+	)
+	tests := []struct {
+		strategy PSP
+		want     simtime.Time
+	}{
+		{UD{}, 9},
+		{MustDiv(1), 3},   // 9/(3*1)
+		{MustDiv(2), 1.5}, // 9/(3*2)
+	}
+	for _, tt := range tests {
+		t.Run(tt.strategy.Name(), func(t *testing.T) {
+			got := tt.strategy.AssignParallel(ar, dl, n)
+			if got.Virtual != tt.want {
+				t.Errorf("virtual = %v, want %v", got.Virtual, tt.want)
+			}
+			if got.Boost {
+				t.Error("non-GF strategy set Boost")
+			}
+		})
+	}
+}
+
+func TestFigure4NonzeroArrival(t *testing.T) {
+	// Shifted version of the same example: ar=10, dl=19 must give 13 for
+	// DIV-1 (the formula is relative to arrival, not absolute time).
+	got := MustDiv(1).AssignParallel(10, 19, 3)
+	if got.Virtual != 13 {
+		t.Errorf("virtual = %v, want 13", got.Virtual)
+	}
+}
+
+func TestGFBoost(t *testing.T) {
+	got := GF{}.AssignParallel(0, 9, 3)
+	if !got.Boost {
+		t.Error("GF should set Boost")
+	}
+	if got.Virtual != 9 {
+		t.Errorf("GF band mode should keep the deadline for intra-class EDF, got %v", got.Virtual)
+	}
+}
+
+func TestGFDeltaMode(t *testing.T) {
+	got := GF{UseDelta: true}.AssignParallel(0, 9, 3)
+	if got.Boost {
+		t.Error("delta mode should not set Boost")
+	}
+	if want := simtime.Time(9).Add(-GFDelta); got.Virtual != want {
+		t.Errorf("virtual = %v, want %v", got.Virtual, want)
+	}
+	custom := GF{UseDelta: true, Delta: 100}.AssignParallel(0, 9, 3)
+	if custom.Virtual != -91 {
+		t.Errorf("custom delta virtual = %v, want -91", custom.Virtual)
+	}
+}
+
+func TestDivValidation(t *testing.T) {
+	if _, err := NewDiv(0); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("NewDiv(0) err = %v", err)
+	}
+	if _, err := NewDiv(-1); !errors.Is(err, ErrBadParameter) {
+		t.Errorf("NewDiv(-1) err = %v", err)
+	}
+	if _, err := NewDiv(0.5); err != nil {
+		t.Errorf("NewDiv(0.5) err = %v", err)
+	}
+}
+
+func TestMustDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDiv(0) did not panic")
+		}
+	}()
+	MustDiv(0)
+}
+
+func TestDivPastDeadline(t *testing.T) {
+	// A group released after its deadline keeps the (already missed)
+	// deadline rather than being assigned a later one.
+	got := MustDiv(1).AssignParallel(10, 5, 4)
+	if got.Virtual != 5 {
+		t.Errorf("virtual = %v, want 5", got.Virtual)
+	}
+}
+
+func TestDivDegenerateN(t *testing.T) {
+	// n < 1 is clamped rather than dividing by zero.
+	got := MustDiv(1).AssignParallel(0, 8, 0)
+	if got.Virtual != 8 {
+		t.Errorf("virtual = %v, want 8", got.Virtual)
+	}
+}
+
+// Property: DIV-x virtual deadlines are monotonically non-increasing in
+// both x and n, never later than the real deadline, and never earlier than
+// the arrival.
+func TestDivMonotonicity(t *testing.T) {
+	f := func(arRaw, allowRaw, xRaw uint16, nRaw uint8) bool {
+		ar := simtime.Time(float64(arRaw) / 16)
+		allow := simtime.Duration(float64(allowRaw)/256 + 0.001)
+		dl := ar.Add(allow)
+		x := float64(xRaw)/1024 + 0.01
+		n := int(nRaw)%8 + 1
+		v1 := MustDiv(x).AssignParallel(ar, dl, n).Virtual
+		v2 := MustDiv(x*2).AssignParallel(ar, dl, n).Virtual
+		v3 := MustDiv(x).AssignParallel(ar, dl, n+1).Virtual
+		if v2 > v1+1e-12 || v3 > v1+1e-12 {
+			return false
+		}
+		return v1 <= dl+1e-12 && v1 >= ar-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DIV-x with n*x == 1 equals UD.
+func TestDivReducesToUD(t *testing.T) {
+	d := MustDiv(1)
+	got := d.AssignParallel(2, 11, 1)
+	if got.Virtual != 11 {
+		t.Errorf("DIV-1 with n=1 = %v, want 11 (UD)", got.Virtual)
+	}
+}
+
+func TestPSPNamesParse(t *testing.T) {
+	for _, name := range PSPNames() {
+		if _, err := ParsePSP(name); err != nil {
+			t.Errorf("ParsePSP(%q): %v", name, err)
+		}
+	}
+}
+
+func TestParsePSP(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"UD", "UD"},
+		{"ud", "UD"},
+		{"DIV-1", "DIV-1"},
+		{"div-2.5", "DIV-2.5"},
+		{"GF", "GF"},
+		{"gf-delta", "GF-delta"},
+		{" DIV-100 ", "DIV-100"},
+	}
+	for _, tt := range tests {
+		got, err := ParsePSP(tt.in)
+		if err != nil {
+			t.Errorf("ParsePSP(%q): %v", tt.in, err)
+			continue
+		}
+		if got.Name() != tt.want {
+			t.Errorf("ParsePSP(%q).Name() = %q, want %q", tt.in, got.Name(), tt.want)
+		}
+	}
+}
+
+func TestParsePSPErrors(t *testing.T) {
+	for _, in := range []string{"", "bogus", "DIV-", "DIV-x", "DIV-0", "DIV--1"} {
+		if _, err := ParsePSP(in); err == nil {
+			t.Errorf("ParsePSP(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package sda implements the paper's subtask deadline assignment (SDA)
+// strategies: the PSP heuristics for parallel subtasks (Section 4.1), the
+// SSP heuristics for serial subtasks (Section 8, after Kao &
+// Garcia-Molina 1993 [6]), and the recursive SDA algorithm of Figure 13
+// that combines them over serial-parallel task trees.
+//
+// All strategies are pure functions of the task's timing attributes; they
+// carry no state and are safe to share across simulations.
+package sda
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Assignment is the outcome of assigning a deadline to a subtask: the
+// virtual deadline handed to the local scheduler, and whether the subtask
+// is boosted into the globals-first priority band (the GF strategy).
+type Assignment struct {
+	Virtual simtime.Time
+	Boost   bool
+}
+
+// PSP assigns a virtual deadline to the subtasks of a parallel group
+// T = [T1 || ... || Tn]. All strategies in the paper give every sibling
+// the same assignment, so one call covers the whole group.
+//
+// ar is the arrival (release) instant of the group, deadline its (virtual
+// or real) deadline, and n the number of parallel subtasks.
+type PSP interface {
+	// AssignParallel returns the assignment shared by the n siblings.
+	AssignParallel(ar simtime.Time, deadline simtime.Time, n int) Assignment
+	// Name returns the canonical strategy name (e.g. "DIV-1").
+	Name() string
+}
+
+// SSP assigns a virtual deadline to the *first* of the remaining serial
+// stages of a task T = [T1 ... Tm].
+//
+// ar is the instant the stage becomes executable, deadline the end-to-end
+// (or inherited virtual) deadline of the serial group, and pexRemaining
+// the predicted execution times of the remaining stages, current stage
+// first. Implementations must cope with negative slack (the system may be
+// overloaded) and with all-zero predictions.
+type SSP interface {
+	// AssignSerial returns the virtual deadline for the current stage.
+	AssignSerial(ar simtime.Time, deadline simtime.Time, pexRemaining []simtime.Duration) simtime.Time
+	// Name returns the canonical strategy name (e.g. "EQF").
+	Name() string
+}
+
+// Errors returned by the strategy parsers.
+var (
+	ErrUnknownStrategy = errors.New("sda: unknown strategy")
+	ErrBadParameter    = errors.New("sda: bad strategy parameter")
+)
+
+// ParsePSP resolves a PSP strategy name: "UD", "GF", "GF-delta", or
+// "DIV-x" with a positive x (e.g. "DIV-1", "DIV-2.5"). Matching is
+// case-insensitive.
+func ParsePSP(name string) (PSP, error) {
+	n := strings.ToUpper(strings.TrimSpace(name))
+	switch n {
+	case "UD":
+		return UD{}, nil
+	case "GF":
+		return GF{}, nil
+	case "GF-DELTA":
+		return GF{UseDelta: true}, nil
+	}
+	if rest, ok := strings.CutPrefix(n, "DIV-"); ok {
+		x, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q: %v", ErrBadParameter, name, err)
+		}
+		d, err := NewDiv(x)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("%w: PSP %q", ErrUnknownStrategy, name)
+}
+
+// ParseSSP resolves an SSP strategy name: "UD", "ED", "EQS" or "EQF".
+// Matching is case-insensitive.
+func ParseSSP(name string) (SSP, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "UD":
+		return SerialUD{}, nil
+	case "ED":
+		return ED{}, nil
+	case "EQS":
+		return EQS{}, nil
+	case "EQF":
+		return EQF{}, nil
+	default:
+		return nil, fmt.Errorf("%w: SSP %q", ErrUnknownStrategy, name)
+	}
+}
+
+// PSPNames lists the canonical parallel strategy names accepted by
+// ParsePSP (the DIV family is shown with its baseline parameter).
+func PSPNames() []string { return []string{"UD", "DIV-1", "DIV-2", "GF", "GF-delta"} }
+
+// SSPNames lists the canonical serial strategy names accepted by ParseSSP.
+func SSPNames() []string { return []string{"UD", "ED", "EQS", "EQF"} }
+
+func sum(ds []simtime.Duration) simtime.Duration {
+	var s simtime.Duration
+	for _, d := range ds {
+		s += d
+	}
+	return s
+}

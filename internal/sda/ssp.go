@@ -1,0 +1,105 @@
+package sda
+
+import (
+	"repro/internal/simtime"
+)
+
+// Compile-time interface checks.
+var (
+	_ SSP = SerialUD{}
+	_ SSP = ED{}
+	_ SSP = EQS{}
+	_ SSP = EQF{}
+)
+
+// SerialUD is the Ultimate Deadline baseline for serial stages: every
+// stage inherits the end-to-end deadline,
+//
+//	dl(Ti) = dl(T).
+//
+// Early stages then appear to have enormous slack and run at low priority,
+// leaving too little time for the stages that follow — the serial subtask
+// problem.
+type SerialUD struct{}
+
+// AssignSerial implements SSP.
+func (SerialUD) AssignSerial(_ simtime.Time, deadline simtime.Time, _ []simtime.Duration) simtime.Time {
+	return deadline
+}
+
+// Name implements SSP.
+func (SerialUD) Name() string { return "UD" }
+
+// ED is the Effective Deadline strategy from [6]: reserve exactly the
+// predicted execution time of all downstream stages,
+//
+//	dl(Ti) = dl(T) - sum_{j>i} pex(Tj).
+//
+// All of the task's slack is granted to the current stage; downstream
+// stages get no slack of their own.
+type ED struct{}
+
+// AssignSerial implements SSP.
+func (ED) AssignSerial(_ simtime.Time, deadline simtime.Time, pexRemaining []simtime.Duration) simtime.Time {
+	if len(pexRemaining) == 0 {
+		return deadline
+	}
+	downstream := sum(pexRemaining[1:])
+	return deadline.Add(-downstream)
+}
+
+// Name implements SSP.
+func (ED) Name() string { return "ED" }
+
+// EQS is the Equal Slack strategy from [6]: the task's remaining slack is
+// divided evenly among the remaining stages,
+//
+//	dl(Ti) = ar(Ti) + pex(Ti) + (dl(T) - ar(Ti) - sum_{j>=i} pex(Tj)) / m,
+//
+// where m is the number of remaining stages. Each stage receives the same
+// absolute slack regardless of its length.
+type EQS struct{}
+
+// AssignSerial implements SSP.
+func (EQS) AssignSerial(ar simtime.Time, deadline simtime.Time, pexRemaining []simtime.Duration) simtime.Time {
+	if len(pexRemaining) == 0 {
+		return deadline
+	}
+	total := sum(pexRemaining)
+	slack := deadline.Sub(ar) - total
+	share := slack.Scale(1 / float64(len(pexRemaining)))
+	return ar.Add(pexRemaining[0] + share)
+}
+
+// Name implements SSP.
+func (EQS) Name() string { return "EQS" }
+
+// EQF is the Equal Flexibility strategy (paper Section 8): the remaining
+// slack is divided among the remaining stages in proportion to their
+// predicted execution times, so every stage gets the same
+// slack-to-execution-time ratio (flexibility),
+//
+//	dl(Ti) = ar(Ti) + pex(Ti) +
+//	         (dl(T) - ar(Ti) - sum_{j>=i} pex(Tj)) * pex(Ti)/sum_{j>=i} pex(Tj).
+//
+// When every remaining prediction is zero the proportional rule is
+// undefined; EQF then degrades to EQS's equal split, which preserves the
+// total-slack budget.
+type EQF struct{}
+
+// AssignSerial implements SSP.
+func (EQF) AssignSerial(ar simtime.Time, deadline simtime.Time, pexRemaining []simtime.Duration) simtime.Time {
+	if len(pexRemaining) == 0 {
+		return deadline
+	}
+	total := sum(pexRemaining)
+	slack := deadline.Sub(ar) - total
+	if total <= 0 {
+		return EQS{}.AssignSerial(ar, deadline, pexRemaining)
+	}
+	share := slack.Scale(float64(pexRemaining[0]) / float64(total))
+	return ar.Add(pexRemaining[0] + share)
+}
+
+// Name implements SSP.
+func (EQF) Name() string { return "EQF" }

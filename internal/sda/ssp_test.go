@@ -1,0 +1,203 @@
+package sda
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func durs(xs ...float64) []simtime.Duration {
+	out := make([]simtime.Duration, len(xs))
+	for i, x := range xs {
+		out[i] = simtime.Duration(x)
+	}
+	return out
+}
+
+func TestSerialUD(t *testing.T) {
+	got := SerialUD{}.AssignSerial(0, 10, durs(1, 2, 3))
+	if got != 10 {
+		t.Errorf("UD = %v, want 10", got)
+	}
+}
+
+func TestED(t *testing.T) {
+	// dl = 10, downstream pex = 2+3 = 5 -> stage deadline 5.
+	got := ED{}.AssignSerial(0, 10, durs(1, 2, 3))
+	if got != 5 {
+		t.Errorf("ED = %v, want 5", got)
+	}
+	// Last stage: no downstream work, full deadline.
+	if got := (ED{}).AssignSerial(7, 10, durs(3)); got != 10 {
+		t.Errorf("ED last stage = %v, want 10", got)
+	}
+}
+
+func TestEQS(t *testing.T) {
+	// ar=0, dl=12, pex = (1,2,3): total 6, slack 6, three stages, share 2.
+	// dl(T1) = 0 + 1 + 2 = 3.
+	got := EQS{}.AssignSerial(0, 12, durs(1, 2, 3))
+	if got != 3 {
+		t.Errorf("EQS = %v, want 3", got)
+	}
+}
+
+func TestEQF(t *testing.T) {
+	// ar=0, dl=12, pex = (1,2,3): slack 6, share = 6 * 1/6 = 1.
+	// dl(T1) = 0 + 1 + 1 = 2.
+	got := EQF{}.AssignSerial(0, 12, durs(1, 2, 3))
+	if got != 2 {
+		t.Errorf("EQF = %v, want 2", got)
+	}
+	// Equal pex degenerates to EQS.
+	eqf := EQF{}.AssignSerial(0, 12, durs(2, 2, 2))
+	eqs := EQS{}.AssignSerial(0, 12, durs(2, 2, 2))
+	if eqf != eqs {
+		t.Errorf("EQF %v != EQS %v on equal stages", eqf, eqs)
+	}
+}
+
+func TestEQFPaperFormula(t *testing.T) {
+	// Direct transcription of the paper's EQF formula for a mid-task stage:
+	// dl(Ti) = ar + pex_i + (dl - ar - sum pex) * pex_i / sum pex.
+	ar := simtime.Time(4)
+	dl := simtime.Time(20)
+	pexs := durs(2, 5, 1)
+	total := 8.0
+	slack := float64(dl) - float64(ar) - total
+	want := simtime.Time(float64(ar) + 2 + slack*2/total)
+	got := EQF{}.AssignSerial(ar, dl, pexs)
+	if math.Abs(float64(got-want)) > 1e-12 {
+		t.Errorf("EQF = %v, want %v", got, want)
+	}
+}
+
+func TestEQFZeroPexFallsBackToEQS(t *testing.T) {
+	got := EQF{}.AssignSerial(0, 9, durs(0, 0, 0))
+	want := EQS{}.AssignSerial(0, 9, durs(0, 0, 0))
+	if got != want {
+		t.Errorf("EQF zero-pex = %v, want EQS %v", got, want)
+	}
+	if want != 3 { // slack 9 split into 3 shares
+		t.Errorf("EQS zero-pex = %v, want 3", want)
+	}
+}
+
+func TestNegativeSlack(t *testing.T) {
+	// dl=4 but 6 units of predicted work remain: slack = -2.
+	// EQS gives each of 2 stages -1; stage deadline = 0 + 2 - 1 = 1.
+	got := EQS{}.AssignSerial(0, 4, durs(2, 4))
+	if got != 1 {
+		t.Errorf("EQS negative slack = %v, want 1", got)
+	}
+	// EQF shares proportionally: share = -2 * 2/6 = -2/3; dl = 2 - 2/3.
+	gotF := EQF{}.AssignSerial(0, 4, durs(2, 4))
+	if math.Abs(float64(gotF)-(2-2.0/3)) > 1e-12 {
+		t.Errorf("EQF negative slack = %v, want %v", gotF, 2-2.0/3)
+	}
+}
+
+func TestEmptyRemaining(t *testing.T) {
+	for _, s := range []SSP{SerialUD{}, ED{}, EQS{}, EQF{}} {
+		if got := s.AssignSerial(3, 8, nil); got != 8 {
+			t.Errorf("%s with no stages = %v, want deadline 8", s.Name(), got)
+		}
+	}
+}
+
+// Property: for non-negative slack, every SSP strategy yields a deadline
+// within [ar + pex_0, dl], and the assignments of consecutive stages
+// conserve the budget (EQF/EQS never assign more total time than exists).
+func TestSSPBounds(t *testing.T) {
+	f := func(p1, p2, p3 uint8, slackRaw uint16) bool {
+		pexs := durs(float64(p1)/16, float64(p2)/16, float64(p3)/16)
+		total := float64(pexs[0] + pexs[1] + pexs[2])
+		ar := simtime.Time(1)
+		dl := ar.Add(simtime.Duration(total + float64(slackRaw)/256))
+		for _, s := range []SSP{ED{}, EQS{}, EQF{}} {
+			got := s.AssignSerial(ar, dl, pexs)
+			if got < ar.Add(pexs[0])-1e-9 || got > dl+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EQF conserves slack exactly — walking the stages forward,
+// releasing each stage at its assigned deadline, the last stage's deadline
+// is the end-to-end deadline.
+func TestEQFSlackConservation(t *testing.T) {
+	f := func(p1, p2, p3, p4 uint8, slackRaw uint16) bool {
+		pexs := durs(
+			float64(p1)/16+0.01, float64(p2)/16+0.01,
+			float64(p3)/16+0.01, float64(p4)/16+0.01,
+		)
+		var total simtime.Duration
+		for _, p := range pexs {
+			total += p
+		}
+		ar := simtime.Time(2)
+		dl := ar.Add(total + simtime.Duration(float64(slackRaw)/128))
+		for _, s := range []SSP{EQS{}, EQF{}} {
+			release := ar
+			var last simtime.Time
+			for i := range pexs {
+				last = s.AssignSerial(release, dl, pexs[i:])
+				release = last
+			}
+			if math.Abs(float64(last-dl)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EQF gives every stage the same flexibility (slack proportional
+// to pex): (dl_i - ar_i)/pex_i is the same constant for all stages when
+// stages are released at their assigned deadlines.
+func TestEQFEqualFlexibility(t *testing.T) {
+	pexs := durs(1, 2, 4, 0.5)
+	ar := simtime.Time(0)
+	dl := simtime.Time(30)
+	release := ar
+	var ratios []float64
+	for i := range pexs {
+		next := EQF{}.AssignSerial(release, dl, pexs[i:])
+		ratios = append(ratios, float64(next.Sub(release))/float64(pexs[i]))
+		release = next
+	}
+	for i := 1; i < len(ratios); i++ {
+		if math.Abs(ratios[i]-ratios[0]) > 1e-9 {
+			t.Fatalf("flexibility differs: %v", ratios)
+		}
+	}
+}
+
+func TestParseSSP(t *testing.T) {
+	for _, name := range SSPNames() {
+		s, err := ParseSSP(name)
+		if err != nil {
+			t.Errorf("ParseSSP(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("ParseSSP(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ParseSSP("eqf"); err != nil {
+		t.Errorf("lower-case parse failed: %v", err)
+	}
+	if _, err := ParseSSP("nope"); err == nil {
+		t.Error("ParseSSP(nope) succeeded")
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sda"
+	"repro/internal/workload"
+)
+
+// TestMM1ResponseTime validates the queueing substrate against theory: at
+// frac_local = 1 each node is an independent M/M/1 queue, and the mean
+// response time under any work-conserving, non-anticipating discipline is
+// E[T] = 1/(mu - lambda). With mu = 1 and lambda = load = 0.5, E[T] = 2.
+func TestMM1ResponseTime(t *testing.T) {
+	cfg := Default()
+	cfg.Spec = workload.Baseline(nil)
+	cfg.Spec.FracLocal = 1
+	cfg.Duration = 60000
+	cfg.Warmup = 2000
+	cfg.Replications = 2
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (1 - cfg.Spec.Load)
+	if math.Abs(res.RespLocalMean.Mean-want) > 0.15 {
+		t.Errorf("mean response = %v, M/M/1 theory gives %v", res.RespLocalMean.Mean, want)
+	}
+}
+
+func TestMM1ResponseTimeAcrossLoads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	for _, load := range []float64{0.3, 0.7} {
+		cfg := Default()
+		cfg.Spec = workload.Baseline(nil)
+		cfg.Spec.FracLocal = 1
+		cfg.Spec.Load = load
+		cfg.Duration = 60000
+		cfg.Warmup = 2000
+		cfg.Replications = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 - load)
+		tol := 0.08 * want / (1 - load) // looser near saturation
+		if math.Abs(res.RespLocalMean.Mean-want) > tol {
+			t.Errorf("load %v: mean response %v, want %v ± %v",
+				load, res.RespLocalMean.Mean, want, tol)
+		}
+	}
+}
+
+func TestResponseMetricsPopulated(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RespLocalMean.Mean <= 1 {
+		t.Errorf("local mean response %v must exceed the mean service time 1",
+			res.RespLocalMean.Mean)
+	}
+	if res.RespGlobalMean.Mean <= res.RespLocalMean.Mean {
+		t.Errorf("global response %v should exceed local %v (max of 4 subtasks)",
+			res.RespGlobalMean.Mean, res.RespLocalMean.Mean)
+	}
+	if res.RespLocalP95.Mean < res.RespLocalMean.Mean {
+		t.Errorf("p95 %v below the mean %v", res.RespLocalP95.Mean, res.RespLocalMean.Mean)
+	}
+	if res.RespGlobalP95.Mean < res.RespGlobalMean.Mean {
+		t.Errorf("global p95 %v below mean %v", res.RespGlobalP95.Mean, res.RespGlobalMean.Mean)
+	}
+}
+
+func TestResponseGrowsWithLoad(t *testing.T) {
+	lo := quickCfg()
+	lo.Spec.Load = 0.3
+	lores, err := Run(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := quickCfg()
+	hi.Spec.Load = 0.8
+	hires, err := Run(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hires.RespLocalMean.Mean <= lores.RespLocalMean.Mean {
+		t.Errorf("response at load 0.8 (%v) should exceed load 0.3 (%v)",
+			hires.RespLocalMean.Mean, lores.RespLocalMean.Mean)
+	}
+}
+
+// TestPreemptiveConfigRuns exercises the preemption ablation path
+// end-to-end and checks work conservation (utilization unchanged).
+func TestPreemptiveConfigRuns(t *testing.T) {
+	base := quickCfg()
+	base.Duration = 8000
+	np, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := base
+	pre.Preemptive = true
+	pres, err := Run(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pres.Utilization.Mean-np.Utilization.Mean) > 0.02 {
+		t.Errorf("preemption changed utilization: %v vs %v (must be work-conserving)",
+			pres.Utilization.Mean, np.Utilization.Mean)
+	}
+	if pres.Globals == 0 || pres.Locals == 0 {
+		t.Fatal("no tasks under preemption")
+	}
+}
+
+// TestPreemptionHelpsUrgentLocals: with preemptive EDF, urgent tasks no
+// longer wait behind long jobs in service, so overall miss rates should
+// not be (much) worse than non-preemptive — and locals typically gain.
+func TestPreemptionMissRatesSane(t *testing.T) {
+	base := quickCfg()
+	base.Spec.Load = 0.7
+	base.PSP = sda.MustDiv(1)
+	np, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := base
+	pre.Preemptive = true
+	pres, err := Run(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.MDLocal.Mean > np.MDLocal.Mean+0.03 {
+		t.Errorf("preemptive MD_local %v much worse than non-preemptive %v",
+			pres.MDLocal.Mean, np.MDLocal.Mean)
+	}
+}

@@ -1,0 +1,506 @@
+// Package sim wires the full simulated system together — nodes, process
+// manager, workload driver, statistics — and runs replicated experiments.
+//
+// One Config describes everything the paper's Table 1 describes plus the
+// strategy and abortion choices under study; Run executes R independent
+// replications (different seeds, same parameters) and aggregates per-class
+// miss rates with 95% confidence intervals, mirroring the paper's
+// methodology of multiple long runs per data point.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/procmgr"
+	"repro/internal/rng"
+	"repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// AbortMode selects the overload-management policy of Section 7.3.
+type AbortMode int
+
+// Abortion policies.
+const (
+	// AbortNone: tardy tasks run to completion (Table 1 baseline).
+	AbortNone AbortMode = iota + 1
+	// AbortProcessManager: a timer at each task's real deadline withdraws
+	// unfinished work.
+	AbortProcessManager
+	// AbortLocalScheduler: nodes discard tasks whose virtual deadline has
+	// passed; the process manager resubmits subtasks with recomputed
+	// deadlines.
+	AbortLocalScheduler
+)
+
+// String returns the mode name.
+func (m AbortMode) String() string {
+	switch m {
+	case AbortNone:
+		return "none"
+	case AbortProcessManager:
+		return "process-manager"
+	case AbortLocalScheduler:
+		return "local-scheduler"
+	default:
+		return fmt.Sprintf("AbortMode(%d)", int(m))
+	}
+}
+
+// Config describes one experiment cell.
+type Config struct {
+	Spec workload.Spec // workload parameters (Table 1 defaults via Default)
+
+	SSP sda.SSP // serial strategy (default UD)
+	PSP sda.PSP // parallel strategy (default UD)
+
+	Abort      AbortMode   // overload management (default AbortNone)
+	Policy     node.Policy // local queue policy (default EDF)
+	Preemptive bool        // preemptive service (ablation; paper model is non-preemptive)
+
+	// Servers is the number of identical servers per node (default 1, the
+	// paper's model; larger values model pooled resources, M/M/c).
+	Servers int
+
+	// Observer, when non-nil, receives every node scheduling event (see
+	// internal/trace). Intended for small demonstration runs.
+	Observer node.Observer
+
+	Duration     simtime.Duration // measured portion of each replication
+	Warmup       simtime.Duration // tasks arriving before this are not counted
+	Replications int              // independent replications (>= 1)
+	Seed         uint64           // master seed; replication r uses a derived seed
+}
+
+// Default returns a ready-to-run baseline configuration: Table 1 workload,
+// UD-UD strategies, no abortion, EDF queues, and a simulation length that
+// keeps unit tests fast. Experiments scale Duration/Replications up.
+func Default() Config {
+	return Config{
+		Spec:         workload.Baseline(workload.FixedParallel{N: 4}),
+		SSP:          sda.SerialUD{},
+		PSP:          sda.UD{},
+		Abort:        AbortNone,
+		Policy:       node.EDF{},
+		Duration:     20000,
+		Warmup:       1000,
+		Replications: 2,
+		Seed:         1,
+	}
+}
+
+// normalized returns a copy with zero-value fields defaulted.
+func (c Config) normalized() Config {
+	if c.SSP == nil {
+		c.SSP = sda.SerialUD{}
+	}
+	if c.PSP == nil {
+		c.PSP = sda.UD{}
+	}
+	if c.Abort == 0 {
+		c.Abort = AbortNone
+	}
+	if c.Policy == nil {
+		c.Policy = node.EDF{}
+	}
+	if c.Replications == 0 {
+		c.Replications = 1
+	}
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.normalized()
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sim: duration %v must be positive", c.Duration)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("sim: warmup %v must be non-negative", c.Warmup)
+	}
+	if c.Replications < 1 {
+		return fmt.Errorf("sim: replications %d must be >= 1", c.Replications)
+	}
+	switch c.Abort {
+	case AbortNone, AbortProcessManager, AbortLocalScheduler:
+	default:
+		return fmt.Errorf("sim: invalid abort mode %d", int(c.Abort))
+	}
+	if c.Servers < 1 {
+		return fmt.Errorf("sim: servers %d must be >= 1", c.Servers)
+	}
+	if c.Preemptive && c.Servers > 1 {
+		return fmt.Errorf("sim: preemption requires single-server nodes")
+	}
+	return nil
+}
+
+// Name renders the strategy combination, e.g. "UD-DIV-1" (SSP-PSP).
+func (c Config) Name() string {
+	cc := c.normalized()
+	return cc.SSP.Name() + "-" + cc.PSP.Name()
+}
+
+// RepResult is the outcome of a single replication.
+type RepResult struct {
+	MDLocal    float64         // fraction of local tasks missing their deadline
+	MDSubtask  float64         // fraction of subtasks late w.r.t. their global deadline
+	MDGlobal   float64         // fraction of global tasks missing their deadline
+	MDGlobalBy map[int]float64 // MD_global per subtask-count class
+
+	MissedWork  float64 // fraction of executed work belonging to tardy tasks
+	Utilization float64 // busy time / capacity over the measured horizon
+
+	// Response-time statistics over completed (non-aborted) tasks:
+	// response = finish - arrival.
+	RespLocalMean  float64
+	RespGlobalMean float64
+	RespLocalP95   float64
+	RespGlobalP95  float64
+
+	// MeanQueueLen is the time-averaged number of waiting items per node
+	// over the measured horizon (excludes items in service).
+	MeanQueueLen float64
+
+	Locals, Globals, Subtasks int64 // counted (post-warmup) tasks
+	Events                    uint64
+}
+
+// Result aggregates replications into interval estimates.
+type Result struct {
+	Config Config
+
+	MDLocal    stats.Interval
+	MDSubtask  stats.Interval
+	MDGlobal   stats.Interval
+	MDGlobalBy map[int]stats.Interval
+
+	MissedWork  stats.Interval
+	Utilization stats.Interval
+
+	RespLocalMean  stats.Interval
+	RespGlobalMean stats.Interval
+	RespLocalP95   stats.Interval
+	RespGlobalP95  stats.Interval
+	MeanQueueLen   stats.Interval
+
+	Locals, Globals int64 // totals across replications
+	Reps            []RepResult
+}
+
+// ErrNoTasks is returned when a replication observed no tasks at all —
+// usually a sign of a zero load or a horizon shorter than the warmup.
+var ErrNoTasks = errors.New("sim: no tasks observed")
+
+// Run executes the configured number of replications and aggregates them.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	sp := rng.NewSplitter(cfg.Seed)
+	res := Result{Config: cfg, MDGlobalBy: make(map[int]stats.Interval)}
+	var (
+		mdLocal, mdSub, mdGlob, missedWork, util []float64
+		respL, respG, respLP, respGP, qlen       []float64
+		byClass                                  = map[int][]float64{}
+	)
+	for r := 0; r < cfg.Replications; r++ {
+		rep, err := RunOne(cfg, sp.Seed())
+		if err != nil {
+			return Result{}, fmt.Errorf("replication %d: %w", r, err)
+		}
+		res.Reps = append(res.Reps, rep)
+		res.Locals += rep.Locals
+		res.Globals += rep.Globals
+		mdLocal = append(mdLocal, rep.MDLocal)
+		mdSub = append(mdSub, rep.MDSubtask)
+		mdGlob = append(mdGlob, rep.MDGlobal)
+		missedWork = append(missedWork, rep.MissedWork)
+		util = append(util, rep.Utilization)
+		respL = append(respL, rep.RespLocalMean)
+		respG = append(respG, rep.RespGlobalMean)
+		respLP = append(respLP, rep.RespLocalP95)
+		respGP = append(respGP, rep.RespGlobalP95)
+		qlen = append(qlen, rep.MeanQueueLen)
+		for n, v := range rep.MDGlobalBy {
+			byClass[n] = append(byClass[n], v)
+		}
+	}
+	res.MDLocal = stats.MeanCI(mdLocal)
+	res.MDSubtask = stats.MeanCI(mdSub)
+	res.MDGlobal = stats.MeanCI(mdGlob)
+	res.MissedWork = stats.MeanCI(missedWork)
+	res.Utilization = stats.MeanCI(util)
+	res.RespLocalMean = stats.MeanCI(respL)
+	res.RespGlobalMean = stats.MeanCI(respG)
+	res.RespLocalP95 = stats.MeanCI(respLP)
+	res.RespGlobalP95 = stats.MeanCI(respGP)
+	res.MeanQueueLen = stats.MeanCI(qlen)
+	for n, vs := range byClass {
+		res.MDGlobalBy[n] = stats.MeanCI(vs)
+	}
+	return res, nil
+}
+
+// RunOne executes a single replication with an explicit seed.
+func RunOne(cfg Config, seed uint64) (RepResult, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return RepResult{}, err
+	}
+	eng := des.New()
+
+	nodeOpts := []node.Option{node.WithPolicy(cfg.Policy)}
+	if cfg.Abort == AbortLocalScheduler {
+		nodeOpts = append(nodeOpts, node.WithLocalAbort())
+	}
+	if cfg.Preemptive {
+		nodeOpts = append(nodeOpts, node.WithPreemption())
+	}
+	if cfg.Observer != nil {
+		nodeOpts = append(nodeOpts, node.WithObserver(cfg.Observer))
+	}
+	if cfg.Servers > 1 {
+		nodeOpts = append(nodeOpts, node.WithServers(cfg.Servers))
+	}
+	nodes := make([]*node.Node, cfg.Spec.K)
+	for i := range nodes {
+		nodes[i] = node.New(i, eng, nodeOpts...)
+	}
+
+	rec := &collector{warmup: simtime.Time(cfg.Warmup)}
+	mgrOpts := []procmgr.Option{procmgr.WithRecorder(rec)}
+	if cfg.Abort == AbortProcessManager {
+		mgrOpts = append(mgrOpts, procmgr.WithPMAbort())
+	}
+	mgr := procmgr.New(eng, nodes, cfg.SSP, cfg.PSP, mgrOpts...)
+
+	driver, err := workload.NewDriver(eng, mgr, cfg.Spec, seed)
+	if err != nil {
+		return RepResult{}, err
+	}
+	horizon := simtime.Time(cfg.Warmup + cfg.Duration)
+	if err := driver.Start(horizon); err != nil {
+		return RepResult{}, err
+	}
+	// Run to the horizon, then let the queues drain so every counted task
+	// resolves to a hit or a miss.
+	eng.RunUntil(horizon)
+	measuredBusy := busyTime(nodes)
+	var qlenSum float64
+	for _, n := range nodes {
+		qlenSum += n.MeanQueueLength()
+	}
+	eng.Run()
+
+	rep := rec.result()
+	rep.Events = eng.Fired()
+	if cfg.Spec.Load > 0 && rep.Locals+rep.Globals == 0 {
+		return rep, ErrNoTasks
+	}
+	// Utilization over the measured horizon (warmup included in busy time
+	// keeps the estimator simple; the horizon dwarfs the warmup).
+	if horizon > 0 {
+		capacity := float64(horizon) * float64(cfg.Spec.K) * float64(cfg.Servers)
+		rep.Utilization = float64(measuredBusy) / capacity
+	}
+	rep.MeanQueueLen = qlenSum / float64(cfg.Spec.K)
+	return rep, nil
+}
+
+func busyTime(nodes []*node.Node) simtime.Duration {
+	var total simtime.Duration
+	for _, n := range nodes {
+		total += n.BusyTime()
+	}
+	return total
+}
+
+// collector implements procmgr.Recorder with warmup filtering and
+// per-class accounting.
+type collector struct {
+	warmup simtime.Time
+
+	local   stats.Ratio
+	subtask stats.Ratio
+	global  stats.Ratio
+	byClass map[int]*stats.Ratio
+
+	workTotal  float64
+	workMissed float64
+
+	respLocal  *stats.Histogram
+	respGlobal *stats.Histogram
+}
+
+// respHistogram covers response times up to 200 mean service times with
+// 0.25-unit resolution; overflow mass pins the p95 estimate at the upper
+// bound, which only matters in saturated systems.
+func respHistogram() *stats.Histogram {
+	h, err := stats.NewHistogram(0, 200, 800)
+	if err != nil {
+		// Static bounds; cannot fail.
+		panic(err)
+	}
+	return h
+}
+
+var _ procmgr.Recorder = (*collector)(nil)
+
+// counted reports whether a task belongs to the measured population.
+func (c *collector) counted(t *task.Task) bool {
+	return !t.Arrival.Before(c.warmup)
+}
+
+// RecordLocal implements procmgr.Recorder.
+func (c *collector) RecordLocal(t *task.Task, missed bool) {
+	if !c.counted(t) {
+		return
+	}
+	c.local.Observe(missed)
+	c.workTotal += float64(t.Exec)
+	if missed {
+		c.workMissed += float64(t.Exec)
+	}
+	if t.Finished() {
+		if c.respLocal == nil {
+			c.respLocal = respHistogram()
+		}
+		c.respLocal.Add(float64(t.Finish.Sub(t.Arrival)))
+	}
+}
+
+// RecordSubtask implements procmgr.Recorder.
+func (c *collector) RecordSubtask(t *task.Task, missed bool) {
+	if !c.counted(t) {
+		return
+	}
+	c.subtask.Observe(missed)
+}
+
+// RecordGlobal implements procmgr.Recorder.
+func (c *collector) RecordGlobal(root *task.Task, missed bool) {
+	if !c.counted(root) {
+		return
+	}
+	c.global.Observe(missed)
+	if c.byClass == nil {
+		c.byClass = make(map[int]*stats.Ratio)
+	}
+	n := root.CountSimple()
+	r := c.byClass[n]
+	if r == nil {
+		r = &stats.Ratio{}
+		c.byClass[n] = r
+	}
+	r.Observe(missed)
+	work := float64(root.TotalWork())
+	c.workTotal += work
+	if missed {
+		c.workMissed += work
+	}
+	if root.Finished() {
+		if c.respGlobal == nil {
+			c.respGlobal = respHistogram()
+		}
+		c.respGlobal.Add(float64(root.Finish.Sub(root.Arrival)))
+	}
+}
+
+func (c *collector) result() RepResult {
+	rep := RepResult{
+		MDLocal:    c.local.Value(),
+		MDSubtask:  c.subtask.Value(),
+		MDGlobal:   c.global.Value(),
+		MDGlobalBy: make(map[int]float64, len(c.byClass)),
+		Locals:     c.local.Trials,
+		Globals:    c.global.Trials,
+		Subtasks:   c.subtask.Trials,
+	}
+	for n, r := range c.byClass {
+		rep.MDGlobalBy[n] = r.Value()
+	}
+	if c.workTotal > 0 {
+		rep.MissedWork = c.workMissed / c.workTotal
+	}
+	if c.respLocal != nil {
+		rep.RespLocalMean = c.respLocal.Mean()
+		rep.RespLocalP95 = c.respLocal.Quantile(0.95)
+	}
+	if c.respGlobal != nil {
+		rep.RespGlobalMean = c.respGlobal.Mean()
+		rep.RespGlobalP95 = c.respGlobal.Quantile(0.95)
+	}
+	return rep
+}
+
+// ReplayTrace runs one replication driven by recorded arrivals instead of
+// live generation. Strategy, abortion, policy and statistics behave as in
+// RunOne; the workload's stochastic parameters are ignored (the trace IS
+// the workload). The horizon for utilisation is the last arrival instant.
+func ReplayTrace(cfg Config, arrivals []workload.Arrival) (RepResult, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return RepResult{}, err
+	}
+	eng := des.New()
+	nodeOpts := []node.Option{node.WithPolicy(cfg.Policy)}
+	if cfg.Abort == AbortLocalScheduler {
+		nodeOpts = append(nodeOpts, node.WithLocalAbort())
+	}
+	if cfg.Preemptive {
+		nodeOpts = append(nodeOpts, node.WithPreemption())
+	}
+	if cfg.Observer != nil {
+		nodeOpts = append(nodeOpts, node.WithObserver(cfg.Observer))
+	}
+	if cfg.Servers > 1 {
+		nodeOpts = append(nodeOpts, node.WithServers(cfg.Servers))
+	}
+	nodes := make([]*node.Node, cfg.Spec.K)
+	for i := range nodes {
+		nodes[i] = node.New(i, eng, nodeOpts...)
+	}
+	rec := &collector{warmup: simtime.Time(cfg.Warmup)}
+	mgrOpts := []procmgr.Option{procmgr.WithRecorder(rec)}
+	if cfg.Abort == AbortProcessManager {
+		mgrOpts = append(mgrOpts, procmgr.WithPMAbort())
+	}
+	mgr := procmgr.New(eng, nodes, cfg.SSP, cfg.PSP, mgrOpts...)
+	if err := workload.Replay(eng, mgr, arrivals); err != nil {
+		return RepResult{}, err
+	}
+	var horizon simtime.Time
+	for _, a := range arrivals {
+		horizon = horizon.Max(a.At)
+	}
+	eng.RunUntil(horizon)
+	measuredBusy := busyTime(nodes)
+	var qlenSum float64
+	for _, n := range nodes {
+		qlenSum += n.MeanQueueLength()
+	}
+	eng.Run()
+
+	rep := rec.result()
+	rep.Events = eng.Fired()
+	if horizon > 0 {
+		capacity := float64(horizon) * float64(cfg.Spec.K) * float64(cfg.Servers)
+		rep.Utilization = float64(measuredBusy) / capacity
+	}
+	rep.MeanQueueLen = qlenSum / float64(cfg.Spec.K)
+	return rep, nil
+}

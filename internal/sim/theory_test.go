@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/queueing"
+	"repro/internal/workload"
+)
+
+// pureLocalCfg is a frac_local = 1 system: k independent M/M/1 queues.
+func pureLocalCfg(load float64) Config {
+	cfg := Default()
+	cfg.Spec = workload.Baseline(nil)
+	cfg.Spec.FracLocal = 1
+	cfg.Spec.Load = load
+	cfg.Duration = 60000
+	cfg.Warmup = 2000
+	cfg.Replications = 2
+	cfg.Seed = 99
+	return cfg
+}
+
+// TestLittlesLawQueueLength cross-checks the simulator's time-averaged
+// queue length against L_q = lambda * W with W from M/M/1 theory.
+func TestLittlesLawQueueLength(t *testing.T) {
+	cfg := pureLocalCfg(0.5)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queueing.MM1{Lambda: cfg.Spec.LocalRate(), Mu: 1 / cfg.Spec.MeanLocalExec}
+	want, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanQueueLen.Mean-want) > 0.08 {
+		t.Errorf("mean queue length = %v, M/M/1 theory gives %v", res.MeanQueueLen.Mean, want)
+	}
+	// Distribution-free consistency inside the simulation itself:
+	// L_q = lambda * (E[T] - E[S]) with measured response.
+	measuredWait := res.RespLocalMean.Mean - cfg.Spec.MeanLocalExec
+	little := queueing.LittlesLaw(cfg.Spec.LocalRate(), measuredWait)
+	if math.Abs(res.MeanQueueLen.Mean-little) > 0.08 {
+		t.Errorf("internal Little's law violated: Lq %v vs lambda*W %v",
+			res.MeanQueueLen.Mean, little)
+	}
+}
+
+// TestMissProbabilityBand compares MD_local under UD with the analytical
+// waiting-time tail P(W > slack) averaged over the slack distribution.
+// A task misses exactly when its waiting time exceeds its slack, and the
+// M/M/1 FCFS waiting-tail applies to the deadline-ordered queue only
+// approximately, so we assert a generous band.
+func TestMissProbabilityBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	cfg := pureLocalCfg(0.5)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queueing.MM1{Lambda: cfg.Spec.LocalRate(), Mu: 1 / cfg.Spec.MeanLocalExec}
+	approx, err := q.MissProbUniformSlack(cfg.Spec.SlackMin, cfg.Spec.SlackMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.MDLocal.Mean
+	if got < approx*0.5 || got > approx*2.0 {
+		t.Errorf("MD_local = %v, analytical approximation %v (want within 2x)", got, approx)
+	}
+}
+
+// TestQueueLengthGrowsWithLoad is a monotonicity check on the new metric.
+func TestQueueLengthGrowsWithLoad(t *testing.T) {
+	lo, err := Run(pureLocalCfg(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(pureLocalCfg(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.MeanQueueLen.Mean <= lo.MeanQueueLen.Mean {
+		t.Errorf("queue length at load 0.7 (%v) should exceed 0.3 (%v)",
+			hi.MeanQueueLen.Mean, lo.MeanQueueLen.Mean)
+	}
+}
+
+// TestMG1PollaczekKhinchine validates the simulator against the P-K
+// formula for deterministic, Erlang and hyperexponential service at
+// frac_local = 1. P-K holds exactly for disciplines whose service order is
+// independent of service times, so the check uses FIFO queues: the
+// paper's deadline-ordered EDF is *not* service-blind, because a task's
+// deadline ar + ex + slack contains its own execution time (see the
+// companion test below).
+func TestMG1PollaczekKhinchine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	dists := []workload.Dist{
+		workload.Deterministic{},
+		workload.ErlangK{K: 4},
+		workload.HyperExp{CV2: 4},
+	}
+	for _, d := range dists {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			cfg := pureLocalCfg(0.5)
+			cfg.Spec.LocalService = d
+			cfg.Policy = node.FIFO{}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := queueing.MG1{Lambda: cfg.Spec.LocalRate(), Mu: 1, SCV: d.SCV()}
+			want, err := q.MeanResponse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tol := 0.08 * (1 + d.SCV()) // looser for high variability
+			if math.Abs(res.RespLocalMean.Mean-want) > tol {
+				t.Errorf("%s: mean response %v, P-K gives %v",
+					d.Name(), res.RespLocalMean.Mean, want)
+			}
+		})
+	}
+}
+
+// TestEDFShortJobBias documents the effect excluded above: with the
+// paper's deadline construction (dl = ar + ex + slack), EDF correlates
+// priority with service time and achieves a lower mean response than
+// FIFO's P-K value when service variability is high.
+func TestEDFShortJobBias(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	cfg := pureLocalCfg(0.5)
+	cfg.Spec.LocalService = workload.HyperExp{CV2: 4}
+	edf, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo := cfg
+	fifo.Policy = node.FIFO{}
+	fres, err := Run(fifo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(edf.RespLocalMean.Mean < fres.RespLocalMean.Mean-0.1) {
+		t.Errorf("EDF mean response %v should undercut FIFO %v under SCV 4",
+			edf.RespLocalMean.Mean, fres.RespLocalMean.Mean)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchMeans estimates a confidence interval for the mean of a single
+// long, autocorrelated output stream (e.g. per-task response times from
+// one simulation run) by the method of non-overlapping batch means: the
+// stream is cut into nbatches equal batches, each batch mean is treated
+// as one (approximately independent) observation, and a Student-t
+// interval is computed over the batch means.
+//
+// This complements the independent-replications estimator (MeanCI); the
+// paper's methodology uses replications, but batch means lets a user get
+// an interval from one long run without re-warming the system.
+func BatchMeans(xs []float64, nbatches int) (Interval, error) {
+	if nbatches < 2 {
+		return Interval{}, fmt.Errorf("stats: batch means needs >= 2 batches, got %d", nbatches)
+	}
+	if len(xs) < nbatches {
+		return Interval{}, fmt.Errorf("stats: %d observations cannot fill %d batches", len(xs), nbatches)
+	}
+	size := len(xs) / nbatches // trailing remainder is discarded
+	means := make([]float64, nbatches)
+	for b := 0; b < nbatches; b++ {
+		var w Welford
+		for _, x := range xs[b*size : (b+1)*size] {
+			w.Add(x)
+		}
+		means[b] = w.Mean()
+	}
+	return MeanCI(means), nil
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs, a
+// diagnostic for choosing a batch size: batches should be long enough
+// that adjacent batch means are nearly uncorrelated.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	mean := w.Mean()
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// EffectiveSampleSize estimates how many independent observations the
+// autocorrelated stream xs is worth, using the initial-positive-sequence
+// truncation of the autocorrelation sum.
+func EffectiveSampleSize(xs []float64) float64 {
+	n := len(xs)
+	if n < 3 {
+		return float64(n)
+	}
+	sum := 0.0
+	for lag := 1; lag < n/2; lag++ {
+		r := Autocorrelation(xs, lag)
+		if r <= 0 {
+			break
+		}
+		sum += r
+	}
+	ess := float64(n) / (1 + 2*sum)
+	return math.Max(1, ess)
+}

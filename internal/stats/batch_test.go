@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBatchMeansIID(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = 5 + r.NormFloat64()
+	}
+	iv, err := BatchMeans(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-5) > 0.1 {
+		t.Errorf("mean = %v, want ~5", iv.Mean)
+	}
+	if !iv.Contains(5) {
+		t.Errorf("interval %v should contain the true mean 5", iv)
+	}
+	if iv.N != 20 {
+		t.Errorf("N = %d, want 20", iv.N)
+	}
+}
+
+func TestBatchMeansCorrelatedWiderThanNaive(t *testing.T) {
+	// An AR(1) stream with strong positive correlation: the naive
+	// all-samples interval is far too tight; batch means must be wider.
+	r := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20000)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.95*prev + r.NormFloat64()
+		xs[i] = prev
+	}
+	batched, err := BatchMeans(xs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := MeanCI(xs)
+	if batched.HalfWidth <= naive.HalfWidth {
+		t.Errorf("batched half-width %v should exceed naive %v on AR(1) data",
+			batched.HalfWidth, naive.HalfWidth)
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := BatchMeans([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("1 batch accepted")
+	}
+	if _, err := BatchMeans([]float64{1, 2}, 3); err == nil {
+		t.Error("more batches than samples accepted")
+	}
+}
+
+func TestBatchMeansDiscardsRemainder(t *testing.T) {
+	// 7 values in 2 batches of 3: the 7th must not shift the estimate of
+	// a constant stream.
+	xs := []float64{1, 1, 1, 1, 1, 1, 99}
+	iv, err := BatchMeans(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean != 1 {
+		t.Errorf("mean = %v, want 1 (remainder discarded)", iv.Mean)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A deterministic alternating series has lag-1 autocorrelation ~ -1.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	if r := Autocorrelation(xs, 1); r > -0.9 {
+		t.Errorf("lag-1 autocorr of alternating series = %v, want ~ -1", r)
+	}
+	if r := Autocorrelation(xs, 2); r < 0.9 {
+		t.Errorf("lag-2 autocorr of alternating series = %v, want ~ 1", r)
+	}
+	// Degenerate cases.
+	if Autocorrelation(xs, 0) != 0 || Autocorrelation(xs, len(xs)) != 0 {
+		t.Error("degenerate lags should return 0")
+	}
+	if Autocorrelation([]float64{3, 3, 3}, 1) != 0 {
+		t.Error("constant series should return 0 (zero variance)")
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	iid := make([]float64, 5000)
+	for i := range iid {
+		iid[i] = r.NormFloat64()
+	}
+	essIID := EffectiveSampleSize(iid)
+	if essIID < 2000 {
+		t.Errorf("ESS of iid data = %v, want near n", essIID)
+	}
+	ar := make([]float64, 5000)
+	prev := 0.0
+	for i := range ar {
+		prev = 0.9*prev + r.NormFloat64()
+		ar[i] = prev
+	}
+	essAR := EffectiveSampleSize(ar)
+	if essAR >= essIID/2 {
+		t.Errorf("ESS of AR(1) data = %v, want far below iid %v", essAR, essIID)
+	}
+	if got := EffectiveSampleSize([]float64{1, 2}); got != 2 {
+		t.Errorf("tiny stream ESS = %v, want 2", got)
+	}
+}

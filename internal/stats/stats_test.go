@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasic(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		w.Add(x)
+	}
+	if w.N() != 5 {
+		t.Errorf("N = %d, want 5", w.N())
+	}
+	if math.Abs(w.Mean()-3) > 1e-12 {
+		t.Errorf("Mean = %v, want 3", w.Mean())
+	}
+	if math.Abs(w.Variance()-2.5) > 1e-12 {
+		t.Errorf("Variance = %v, want 2.5", w.Variance())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("empty Welford should report zeros")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(7)
+	if w.Variance() != 0 {
+		t.Errorf("single-sample variance = %v, want 0", w.Variance())
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e6))
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var seq, wa, wb Welford
+		for _, x := range a {
+			seq.Add(x)
+			wa.Add(x)
+		}
+		for _, x := range b {
+			seq.Add(x)
+			wb.Add(x)
+		}
+		wa.Merge(wb)
+		if wa.N() != seq.N() {
+			return false
+		}
+		if seq.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(seq.Mean()))
+		if math.Abs(wa.Mean()-seq.Mean()) > tol {
+			return false
+		}
+		return math.Abs(wa.Variance()-seq.Variance()) <= 1e-4*(1+seq.Variance())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	for i := 0; i < 100; i++ {
+		r.Observe(i%4 == 0)
+	}
+	if got := r.Value(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Value = %v, want 0.25", got)
+	}
+	if r.Trials != 100 || r.Hits != 25 {
+		t.Errorf("counts = %d/%d, want 25/100", r.Hits, r.Trials)
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Errorf("empty ratio Value = %v, want 0", r.Value())
+	}
+}
+
+func TestRatioMerge(t *testing.T) {
+	a := Ratio{Hits: 3, Trials: 10}
+	b := Ratio{Hits: 2, Trials: 10}
+	a.Merge(b)
+	if a.Hits != 5 || a.Trials != 20 {
+		t.Errorf("merged = %d/%d, want 5/20", a.Hits, a.Trials)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	iv := MeanCI([]float64{10, 12, 14, 16, 18})
+	if math.Abs(iv.Mean-14) > 1e-12 {
+		t.Errorf("Mean = %v, want 14", iv.Mean)
+	}
+	if iv.HalfWidth <= 0 {
+		t.Error("half-width should be positive for multiple estimates")
+	}
+	if !iv.Contains(14) {
+		t.Error("interval should contain its mean")
+	}
+	// Hand check: sd = sqrt(10), se = sqrt(2), t(4) = 2.776.
+	want := 2.776 * math.Sqrt(2)
+	if math.Abs(iv.HalfWidth-want) > 1e-3 {
+		t.Errorf("HalfWidth = %v, want %v", iv.HalfWidth, want)
+	}
+}
+
+func TestMeanCISingle(t *testing.T) {
+	iv := MeanCI([]float64{5})
+	if iv.Mean != 5 || iv.HalfWidth != 0 {
+		t.Errorf("single-run interval = %+v, want point estimate", iv)
+	}
+}
+
+func TestMeanCIEmpty(t *testing.T) {
+	iv := MeanCI(nil)
+	if iv.Mean != 0 || iv.HalfWidth != 0 || iv.N != 0 {
+		t.Errorf("empty interval = %+v", iv)
+	}
+}
+
+func TestIntervalBounds(t *testing.T) {
+	iv := Interval{Mean: 10, HalfWidth: 2}
+	if iv.Lo() != 8 || iv.Hi() != 12 {
+		t.Errorf("bounds = [%v, %v], want [8, 12]", iv.Lo(), iv.Hi())
+	}
+	if iv.Contains(7.9) || !iv.Contains(8) || !iv.Contains(12) || iv.Contains(12.1) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if iv.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if got := tQuantile95(1); math.Abs(got-12.706) > 1e-9 {
+		t.Errorf("t(1) = %v", got)
+	}
+	if got := tQuantile95(100); got != 1.96 {
+		t.Errorf("t(100) = %v, want 1.96", got)
+	}
+	if got := tQuantile95(0); got != 0 {
+		t.Errorf("t(0) = %v, want 0", got)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(100)
+	if h.Count() != 12 {
+		t.Errorf("Count = %d, want 12", h.Count())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Errorf("out of range = %d/%d, want 1/1", under, over)
+	}
+	for i, b := range h.Buckets() {
+		if b != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, b)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Errorf("median = %v, want ~50", q)
+	}
+	if q := h.Quantile(0.0); q > 1 {
+		t.Errorf("q0 = %v, want ~0", q)
+	}
+	if q := h.Quantile(1.0); q < 99 {
+		t.Errorf("q1 = %v, want ~100", q)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets should error")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{5, 1, 3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, tt := range tests {
+		if got := Median(tt.xs); got != tt.want {
+			t.Errorf("Median(%v) = %v, want %v", tt.xs, got, tt.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its argument")
+	}
+}

@@ -1,0 +1,133 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title:  "Demo",
+		XLabel: "load",
+		YLabel: "MD",
+		Series: []string{"UD", "DIV-1"},
+		X:      []float64{0.1, 0.5, 0.9},
+		Y: [][]float64{
+			{0.02, 0.02},
+			{0.25, 0.13},
+			{0.97, 0.90},
+		},
+	}
+}
+
+func TestRenderLineChart(t *testing.T) {
+	svg, err := Render(lineChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle", "Demo", "load", "MD", "UD", "DIV-1",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2 (one per series)", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+}
+
+func TestRenderBarChart(t *testing.T) {
+	c := Chart{
+		Title:  "Classes",
+		XLabel: "class",
+		Series: []string{"UD", "DIV-1", "GF"},
+		Labels: []string{"local", "n2", "n4"},
+		Y: [][]float64{
+			{0.09, 0.12, 0.12},
+			{0.15, 0.11, 0.06},
+			{0.25, 0.13, 0.09},
+		},
+	}
+	svg, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 groups x 3 series bars + 3 legend swatches + background.
+	if got := strings.Count(svg, "<rect"); got != 9+3+1 {
+		t.Errorf("rects = %d, want 13", got)
+	}
+	for _, label := range c.Labels {
+		if !strings.Contains(svg, label) {
+			t.Errorf("missing group label %q", label)
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(Chart{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	c := lineChart()
+	c.Y[0] = c.Y[0][:1]
+	if _, err := Render(c); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	c2 := lineChart()
+	c2.X = c2.X[:2]
+	if _, err := Render(c2); err == nil {
+		t.Error("x/rows mismatch accepted")
+	}
+	c3 := lineChart()
+	c3.X = nil
+	c3.Labels = []string{"only-one"}
+	if _, err := Render(c3); err == nil {
+		t.Error("labels/rows mismatch accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := lineChart()
+	c.Title = `<bad> & "quoted"`
+	svg, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "<bad>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;bad&gt; &amp; &quot;quoted&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestDefaultsAndDegenerate(t *testing.T) {
+	c := lineChart()
+	c.Width, c.Height = 0, 0
+	svg, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, `width="720"`) || !strings.Contains(svg, `height="420"`) {
+		t.Error("default dimensions not applied")
+	}
+	// All-zero values must not divide by zero.
+	zero := Chart{
+		Title: "z", XLabel: "x", Series: []string{"s"},
+		X: []float64{1}, Y: [][]float64{{0}},
+	}
+	if _, err := Render(zero); err != nil {
+		t.Errorf("degenerate chart: %v", err)
+	}
+	// Single x point (zero span).
+	single := Chart{
+		Title: "one", XLabel: "x", Series: []string{"s"},
+		X: []float64{2}, Y: [][]float64{{0.5}},
+	}
+	if _, err := Render(single); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}

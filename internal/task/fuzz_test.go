@@ -1,0 +1,53 @@
+package task
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the bracket-notation parser never panics and that
+// any successfully parsed tree validates, prints, and re-parses to an
+// equivalent tree (print/parse is a retraction).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"T1",
+		"[T1 T2 T3]",
+		"[a || b || c]",
+		"[init@0:1 [g1||g2||g3||g4] done@5:2.5]",
+		"a@2:1.5/2",
+		"[x [y || [z w]] v]",
+		"[a@1:1e3 || b]",
+		"[",
+		"]",
+		"[a |",
+		"[||]",
+		"a@:1",
+		"a:1/",
+		"  [ a || b ]  ",
+		"_-_:0.25",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tree, err := Parse(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("parsed tree fails validation: %v (input %q)", err, input)
+		}
+		printed := tree.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v (printed %q from %q)",
+				err, printed, input)
+		}
+		if back.CountSimple() != tree.CountSimple() {
+			t.Fatalf("leaf count changed across round trip: %d vs %d (input %q)",
+				back.CountSimple(), tree.CountSimple(), input)
+		}
+		if back.String() != printed {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)",
+				printed, back.String(), input)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package task
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/simtime"
+)
+
+// Parse reads a task tree in the paper's bracket notation:
+//
+//	task     := leaf | serial | parallel
+//	serial   := '[' task (task)* ']'          // children separated by spaces
+//	parallel := '[' task ('||' task)+ ']'
+//	leaf     := name ['@' node] [':' ex ['/' pex]]
+//
+// Examples:
+//
+//	"[T1 T2 T3]"                  three serial stages
+//	"[a || b || c]"               three parallel subtasks
+//	"[init [g1||g2||g3||g4] done]" a serial pipeline with a parallel stage
+//	"T1@2:1.5"                    leaf at node 2 with execution time 1.5
+//	"T1@2:1.5/2.0"                ... with predicted execution time 2.0
+//
+// Omitted node defaults to 0; omitted ex defaults to 1; omitted pex
+// defaults to ex. A bracket group mixing ' ' and '||' separators is an
+// error, as is an empty group.
+func Parse(input string) (*Task, error) {
+	p := &parser{src: input}
+	t, err := p.parseTask()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("task: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and examples with
+// constant inputs.
+func MustParse(input string) *Task {
+	t, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("task: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseTask() (*Task, error) {
+	p.skipSpace()
+	if p.peek() == '[' {
+		return p.parseGroup()
+	}
+	return p.parseLeaf()
+}
+
+func (p *parser) parseGroup() (*Task, error) {
+	p.pos++ // consume '['
+	var children []*Task
+	parallel := false
+	afterSep := false // the token just consumed was '||'
+	for {
+		p.skipSpace()
+		switch {
+		case p.pos >= len(p.src):
+			return nil, p.errf("unterminated '['")
+		case p.peek() == ']':
+			p.pos++
+			if afterSep {
+				return nil, p.errf("dangling '||' before ']'")
+			}
+			if len(children) == 0 {
+				return nil, p.errf("empty task group")
+			}
+			if parallel {
+				return NewParallel("", children...)
+			}
+			if len(children) == 1 {
+				// "[X]" is just X; the brackets add no structure.
+				return children[0], nil
+			}
+			return NewSerial("", children...)
+		case strings.HasPrefix(p.src[p.pos:], "||"):
+			if len(children) == 0 || afterSep {
+				return nil, p.errf("'||' without a preceding subtask")
+			}
+			if !parallel && len(children) > 1 {
+				return nil, p.errf("cannot mix serial and parallel separators in one group")
+			}
+			parallel = true
+			afterSep = true
+			p.pos += 2
+		default:
+			if parallel && !afterSep {
+				// After the first '||' every further child needs its own
+				// separator; adjacency is ambiguous.
+				return nil, p.errf("expected '||' between parallel subtasks")
+			}
+			child, err := p.parseTask()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+			afterSep = false
+		}
+	}
+}
+
+func (p *parser) parseLeaf() (*Task, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected task name or '['")
+	}
+	name := p.src[start:p.pos]
+	node := 0
+	ex := 1.0
+	pexSet := false
+	pex := 0.0
+	if p.peek() == '@' {
+		p.pos++
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		node = n
+	}
+	if p.peek() == ':' {
+		p.pos++
+		f, err := p.parseFloat()
+		if err != nil {
+			return nil, err
+		}
+		ex = f
+		if p.peek() == '/' {
+			p.pos++
+			f, err := p.parseFloat()
+			if err != nil {
+				return nil, err
+			}
+			pex = f
+			pexSet = true
+		}
+	}
+	t, err := NewSimple(name, node, simtime.Duration(ex))
+	if err != nil {
+		return nil, err
+	}
+	if pexSet {
+		if pex < 0 {
+			return nil, p.errf("negative predicted execution time %v", pex)
+		}
+		t.Pex = simtime.Duration(pex)
+	}
+	return t, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected node number after '@'")
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad node number: %v", err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseFloat() (float64, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+			((c == '+' || c == '-') && p.pos > start && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E')) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, p.errf("expected number")
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	if f < 0 {
+		return 0, p.errf("negative execution time %v", f)
+	}
+	return f, nil
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		(c >= '0' && c <= '9') ||
+		(c >= 'a' && c <= 'z') ||
+		(c >= 'A' && c <= 'Z')
+}

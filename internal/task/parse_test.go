@@ -1,0 +1,216 @@
+package task
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+func TestParseLeaf(t *testing.T) {
+	tests := []struct {
+		in      string
+		name    string
+		node    int
+		ex, pex simtime.Duration
+	}{
+		{"T1", "T1", 0, 1, 1},
+		{"T1@3", "T1", 3, 1, 1},
+		{"T1:2.5", "T1", 0, 2.5, 2.5},
+		{"T1@2:1.5", "T1", 2, 1.5, 1.5},
+		{"T1@2:1.5/2", "T1", 2, 1.5, 2},
+		{"a-b_c:0.5", "a-b_c", 0, 0.5, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := Parse(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.IsSimple() {
+				t.Fatal("want simple")
+			}
+			if got.Name != tt.name || got.Node != tt.node || got.Exec != tt.ex || got.Pex != tt.pex {
+				t.Errorf("got %+v", got)
+			}
+		})
+	}
+}
+
+func TestParseSerial(t *testing.T) {
+	g, err := Parse("[T1 T2 T3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindSerial || len(g.Children) != 3 {
+		t.Fatalf("got %v with %d children", g.Kind, len(g.Children))
+	}
+}
+
+func TestParseParallel(t *testing.T) {
+	g, err := Parse("[a || b || c || d]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindParallel || len(g.Children) != 4 {
+		t.Fatalf("got %v with %d children", g.Kind, len(g.Children))
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	g, err := Parse("[init [g1||g2||g3||g4] analyze [a1||a2||a3||a4] done]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindSerial || len(g.Children) != 5 {
+		t.Fatalf("top = %v/%d", g.Kind, len(g.Children))
+	}
+	if g.Children[1].Kind != KindParallel || len(g.Children[1].Children) != 4 {
+		t.Error("stage 2 should be 4-way parallel")
+	}
+	if g.CountSimple() != 11 {
+		t.Errorf("CountSimple = %d, want 11", g.CountSimple())
+	}
+}
+
+func TestParseSingletonGroupCollapses(t *testing.T) {
+	g, err := Parse("[T1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSimple() || g.Name != "T1" {
+		t.Errorf("[T1] should collapse to the leaf, got %v", g)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"[]",
+		"[a b || c]", // mixed separators
+		"[a || b c]", // mixed separators
+		"[|| a]",     // leading separator
+		"[a ||]",     // dangling separator
+		"[a",         // unterminated
+		"a]",         // trailing input
+		"a@:1",       // missing node number
+		"a@x",        // bad node number
+		"a:",         // missing exec
+		"a:1/",       // missing pex
+		"[a || b] c", // trailing input after group
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseWhitespaceTolerant(t *testing.T) {
+	g, err := Parse("  [ a@1:2   ||\tb@2:3 ]  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != KindParallel || len(g.Children) != 2 {
+		t.Fatalf("got %v/%d", g.Kind, len(g.Children))
+	}
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	g, err := Parse("a:1.5e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Exec != 0.015 {
+		t.Errorf("Exec = %v, want 0.015", g.Exec)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	inputs := []string{
+		"[T1@1:2 [T2@2:3 || T3@3:1] T4@4:0.5]",
+		"[a@0:1 || b@1:2 || c@2:3]",
+		"x@5:2.25",
+		"[a@1:1 b@2:2/3]",
+	}
+	for _, in := range inputs {
+		g1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		out := g1.String()
+		g2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", out, err)
+		}
+		if g2.String() != out {
+			t.Errorf("round trip unstable: %q -> %q", out, g2.String())
+		}
+	}
+}
+
+// randomTree builds a random valid serial-parallel tree for the
+// property-based round-trip test.
+func randomTree(s *rng.Stream, depth int) *Task {
+	if depth <= 0 || s.Float64() < 0.5 {
+		ex := simtime.Duration(float64(s.IntRange(1, 40)) / 4)
+		leaf := MustSimple(leafName(s), s.IntN(6), ex)
+		if s.Float64() < 0.3 {
+			leaf.Pex = simtime.Duration(float64(s.IntRange(1, 40)) / 4)
+		}
+		return leaf
+	}
+	n := s.IntRange(2, 4)
+	children := make([]*Task, n)
+	for i := range children {
+		children[i] = randomTree(s, depth-1)
+	}
+	if s.Float64() < 0.5 {
+		return MustSerial("", children...)
+	}
+	return MustParallel("", children...)
+}
+
+func leafName(s *rng.Stream) string {
+	letters := "abcdefghij"
+	var b strings.Builder
+	for i := 0; i < 3; i++ {
+		b.WriteByte(letters[s.IntN(len(letters))])
+	}
+	return b.String()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := rng.NewStream(2024)
+	f := func(uint8) bool {
+		tree := randomTree(s, 3)
+		out := tree.String()
+		back, err := Parse(out)
+		if err != nil {
+			t.Logf("Parse(%q): %v", out, err)
+			return false
+		}
+		if back.String() != out {
+			t.Logf("unstable: %q -> %q", out, back.String())
+			return false
+		}
+		// Structural equivalence: same critical path, work and leaf count.
+		return back.CriticalPath() == tree.CriticalPath() &&
+			back.TotalWork() == tree.TotalWork() &&
+			back.CountSimple() == tree.CountSimple()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("[")
+}

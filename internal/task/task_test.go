@@ -1,0 +1,224 @@
+package task
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// fig1 builds the paper's Figure 1 example: [T1 [T2 || [T3 T4 T5]] [T6 || T7] T8].
+func fig1(t *testing.T) *Task {
+	t.Helper()
+	mk := func(name string, ex simtime.Duration) *Task {
+		return MustSimple(name, 0, ex)
+	}
+	inner := MustSerial("", mk("T3", 1), mk("T4", 1), mk("T5", 1))
+	stage2 := MustParallel("", mk("T2", 2), inner)
+	stage3 := MustParallel("", mk("T6", 1), mk("T7", 4))
+	return MustSerial("T", mk("T1", 1), stage2, stage3, mk("T8", 1))
+}
+
+func TestConstructors(t *testing.T) {
+	s, err := NewSimple("a", 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsSimple() || s.Node != 2 || s.Exec != 1.5 || s.Pex != 1.5 {
+		t.Errorf("simple = %+v", s)
+	}
+	if _, err := NewSimple("bad", 0, -1); !errors.Is(err, ErrNegativeExec) {
+		t.Errorf("negative exec err = %v", err)
+	}
+	if _, err := NewSerial("s"); !errors.Is(err, ErrNoChildren) {
+		t.Errorf("empty serial err = %v", err)
+	}
+	if _, err := NewParallel("p"); !errors.Is(err, ErrNoChildren) {
+		t.Errorf("empty parallel err = %v", err)
+	}
+	if _, err := NewSerial("s", s, nil); !errors.Is(err, ErrNilChild) {
+		t.Errorf("nil child err = %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSimple.String() != "simple" || KindSerial.String() != "serial" ||
+		KindParallel.String() != "parallel" {
+		t.Error("kind names wrong")
+	}
+	if Kind(0).String() != "Kind(0)" {
+		t.Errorf("unknown kind = %q", Kind(0).String())
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := fig1(t)
+	// T1(1) + max(T2=2, T3+T4+T5=3) + max(T6=1, T7=4) + T8(1) = 1+3+4+1 = 9.
+	if got := g.CriticalPath(); got != 9 {
+		t.Errorf("critical path = %v, want 9", got)
+	}
+	if got := g.TotalWork(); got != 12 {
+		t.Errorf("total work = %v, want 12", got)
+	}
+}
+
+func TestPredictedCriticalPath(t *testing.T) {
+	g := fig1(t)
+	if got := g.PredictedCriticalPath(); got != g.CriticalPath() {
+		t.Errorf("with pex == ex predicted path %v != real %v", got, g.CriticalPath())
+	}
+	// Inflate every pex by 2x; predicted path should double.
+	g.Walk(func(n *Task) {
+		if n.IsSimple() {
+			n.Pex = n.Exec.Scale(2)
+		}
+	})
+	if got := g.PredictedCriticalPath(); got != 18 {
+		t.Errorf("inflated predicted path = %v, want 18", got)
+	}
+}
+
+func TestCountAndLeaves(t *testing.T) {
+	g := fig1(t)
+	if got := g.CountSimple(); got != 8 {
+		t.Errorf("CountSimple = %d, want 8", got)
+	}
+	leaves := g.Leaves()
+	if len(leaves) != 8 {
+		t.Fatalf("len(Leaves) = %d, want 8", len(leaves))
+	}
+	wantOrder := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"}
+	for i, l := range leaves {
+		if l.Name != wantOrder[i] {
+			t.Errorf("leaf %d = %q, want %q", i, l.Name, wantOrder[i])
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if got := MustSimple("a", 0, 1).Depth(); got != 1 {
+		t.Errorf("leaf depth = %d, want 1", got)
+	}
+	if got := fig1(t).Depth(); got != 4 {
+		t.Errorf("fig1 depth = %d, want 4", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fig1(t).Validate(); err != nil {
+		t.Errorf("fig1 should validate: %v", err)
+	}
+	bad := MustSimple("x", 0, 1)
+	bad.Children = []*Task{MustSimple("y", 0, 1)}
+	if err := bad.Validate(); err == nil {
+		t.Error("simple with children should fail validation")
+	}
+	bad2 := MustSimple("x", 0, 1)
+	bad2.Exec = -1
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative exec should fail validation")
+	}
+	bad3 := MustSimple("x", 0, 1)
+	bad3.Pex = -1
+	if err := bad3.Validate(); err == nil {
+		t.Error("negative pex should fail validation")
+	}
+	bad4 := &Task{Name: "k", Kind: Kind(99)}
+	if err := bad4.Validate(); err == nil {
+		t.Error("bogus kind should fail validation")
+	}
+}
+
+func TestSlackAndMissed(t *testing.T) {
+	s := MustSimple("a", 0, 2)
+	s.Arrival = 10
+	s.RealDeadline = 15
+	if got := s.Slack(); got != 3 {
+		t.Errorf("slack = %v, want 3", got)
+	}
+	if s.Finished() {
+		t.Error("unfinished task reports Finished")
+	}
+	if s.Missed() {
+		t.Error("unfinished task reports Missed")
+	}
+	s.Finish = 14
+	if !s.Finished() || s.Missed() {
+		t.Error("on-time completion misreported")
+	}
+	s.Finish = 16
+	if !s.Missed() {
+		t.Error("late completion not reported as missed")
+	}
+	s.Finish = simtime.Never
+	s.Aborted = true
+	if !s.Missed() {
+		t.Error("aborted task should count as missed")
+	}
+}
+
+func TestMissedExactlyAtDeadline(t *testing.T) {
+	s := MustSimple("a", 0, 1)
+	s.Arrival = 0
+	s.RealDeadline = 5
+	s.Finish = 5
+	if s.Missed() {
+		t.Error("finishing exactly at the deadline is a hit, not a miss")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := fig1(t)
+	g.Arrival = 3
+	g.RealDeadline = 12
+	g.Children[0].Finish = 4
+	g.Children[0].Aborted = true
+	c := g.Clone()
+	if c.CriticalPath() != g.CriticalPath() || c.CountSimple() != g.CountSimple() {
+		t.Error("clone changed structure")
+	}
+	if c.Arrival != 0 || !c.RealDeadline.IsNever() {
+		t.Error("clone did not reset runtime attributes")
+	}
+	if c.Children[0].Aborted || c.Children[0].Finished() {
+		t.Error("clone did not reset child runtime attributes")
+	}
+	// Mutating the clone must not touch the original.
+	c.Children[0].Name = "mutated"
+	if g.Children[0].Name == "mutated" {
+		t.Error("clone shares nodes with original")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	g := MustSerial("",
+		MustSimple("a", 1, 2),
+		MustParallel("", MustSimple("b", 2, 1), MustSimple("c", 3, 1)),
+	)
+	got := g.String()
+	want := "[a@1:2 [b@2:1 || c@3:1]]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestStringShowsPex(t *testing.T) {
+	s := MustSimple("a", 0, 2)
+	s.Pex = 3
+	if got := s.String(); got != "a@0:2/3" {
+		t.Errorf("String() = %q, want a@0:2/3", got)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	g := fig1(t)
+	var names []string
+	g.Walk(func(n *Task) {
+		if n.Name != "" {
+			names = append(names, n.Name)
+		}
+	})
+	if names[0] != "T" || names[1] != "T1" {
+		t.Errorf("walk not pre-order: %v", names)
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/procmgr"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+)
+
+// Driver feeds a process manager with the Spec's arrival streams: one
+// Poisson stream of local tasks per node and one system-wide Poisson
+// stream of global tasks. Arrivals stop at the horizon given to Start; the
+// simulation then drains naturally.
+//
+// Every stream draws from its own substream of the seed, so per-node
+// processes are statistically independent and the whole run is
+// reproducible.
+type Driver struct {
+	eng     *des.Engine
+	mgr     *procmgr.Manager
+	spec    Spec
+	horizon simtime.Time
+
+	localStreams []*rng.Stream
+	globalStream *rng.Stream
+
+	locals  int64
+	globals int64
+}
+
+// NewDriver validates the spec and prepares the random streams.
+func NewDriver(eng *des.Engine, mgr *procmgr.Manager, spec Spec, seed uint64) (*Driver, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sp := rng.NewSplitter(seed)
+	d := &Driver{
+		eng:          eng,
+		mgr:          mgr,
+		spec:         spec,
+		localStreams: make([]*rng.Stream, spec.K),
+		globalStream: sp.Stream(),
+	}
+	for i := range d.localStreams {
+		d.localStreams[i] = sp.Stream()
+	}
+	return d, nil
+}
+
+// Locals returns the number of local tasks generated so far.
+func (d *Driver) Locals() int64 { return d.locals }
+
+// Globals returns the number of global tasks generated so far.
+func (d *Driver) Globals() int64 { return d.globals }
+
+// Start schedules the first arrival of every stream. New arrivals are
+// generated while they fall at or before the horizon.
+func (d *Driver) Start(horizon simtime.Time) error {
+	d.horizon = horizon
+	localRate := d.spec.LocalRate()
+	if localRate > 0 {
+		for i := 0; i < d.spec.K; i++ {
+			if err := d.scheduleLocal(i, 1/localRate); err != nil {
+				return err
+			}
+		}
+	}
+	globalRate := d.spec.GlobalRate()
+	if globalRate > 0 {
+		if err := d.scheduleGlobal(1 / globalRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) scheduleLocal(nodeID int, meanInter float64) error {
+	s := d.localStreams[nodeID]
+	at := d.eng.Now().Add(simtime.Duration(s.Exp(meanInter)))
+	if at.After(d.horizon) {
+		return nil
+	}
+	_, err := d.eng.At(at, func() {
+		t := d.spec.NewLocal(s, nodeID, d.eng.Now())
+		d.locals++
+		if err := d.mgr.SubmitLocal(t); err != nil {
+			panic(fmt.Sprintf("workload: submit local: %v", err))
+		}
+		if err := d.scheduleLocal(nodeID, meanInter); err != nil {
+			panic(fmt.Sprintf("workload: schedule local: %v", err))
+		}
+	})
+	return err
+}
+
+func (d *Driver) scheduleGlobal(meanInter float64) error {
+	s := d.globalStream
+	at := d.eng.Now().Add(simtime.Duration(s.Exp(meanInter)))
+	if at.After(d.horizon) {
+		return nil
+	}
+	_, err := d.eng.At(at, func() {
+		root, err := d.spec.NewGlobal(s, d.eng.Now())
+		if err != nil {
+			panic(fmt.Sprintf("workload: build global: %v", err))
+		}
+		d.globals++
+		if err := d.mgr.SubmitGlobal(root); err != nil {
+			panic(fmt.Sprintf("workload: submit global: %v", err))
+		}
+		if err := d.scheduleGlobal(meanInter); err != nil {
+			panic(fmt.Sprintf("workload: schedule global: %v", err))
+		}
+	})
+	return err
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// ExecSampler draws one subtask execution time. Spec builds it from the
+// configured service-time distribution and mean.
+type ExecSampler func(s *rng.Stream) simtime.Duration
+
+// Factory produces the tree shape of global tasks: structure, execution
+// times and node placement. Implementations must place the subtasks of a
+// parallel group at *distinct* nodes, per the paper's model ("n subtasks
+// to be executed in parallel at n different nodes").
+type Factory interface {
+	// New draws one global task for a system of k nodes, drawing every
+	// simple subtask's execution time from draw.
+	New(stream *rng.Stream, k int, draw ExecSampler) (*task.Task, error)
+	// ExpectedWork returns the expected total execution time per global
+	// task given the mean subtask execution time; the load equations use
+	// it to derive λ_global.
+	ExpectedWork(meanExec float64) float64
+	// Validate checks that the factory is realisable on k nodes.
+	Validate(k int) error
+	// Name identifies the factory in reports.
+	Name() string
+}
+
+// Compile-time interface checks.
+var (
+	_ Factory = FixedParallel{}
+	_ Factory = UniformParallel{}
+	_ Factory = SerialParallel{}
+)
+
+// FixedParallel builds the homogeneous global tasks of the baseline
+// experiment: N simple subtasks executed in parallel at N distinct nodes,
+// each with exponential execution time.
+type FixedParallel struct {
+	N int // number of parallel subtasks (Table 1 baseline: 4)
+}
+
+// New implements Factory.
+func (f FixedParallel) New(stream *rng.Stream, k int, draw ExecSampler) (*task.Task, error) {
+	if err := f.Validate(k); err != nil {
+		return nil, err
+	}
+	return parallelGroup(stream, f.N, k, draw)
+}
+
+// ExpectedWork implements Factory.
+func (f FixedParallel) ExpectedWork(meanExec float64) float64 {
+	return float64(f.N) * meanExec
+}
+
+// Validate implements Factory.
+func (f FixedParallel) Validate(k int) error {
+	if f.N < 1 {
+		return fmt.Errorf("%w: FixedParallel needs N >= 1, got %d", ErrBadSpec, f.N)
+	}
+	if f.N > k {
+		return fmt.Errorf("%w: %d parallel subtasks need %d distinct nodes but k = %d",
+			ErrBadSpec, f.N, f.N, k)
+	}
+	return nil
+}
+
+// Name implements Factory.
+func (f FixedParallel) Name() string { return fmt.Sprintf("parallel-%d", f.N) }
+
+// UniformParallel builds the non-homogeneous mix of Section 7.4: the
+// number of parallel subtasks is uniform on [Min..Max] (the paper uses
+// [2..6]), so the system carries five classes of global tasks.
+type UniformParallel struct {
+	Min, Max int
+}
+
+// New implements Factory.
+func (f UniformParallel) New(stream *rng.Stream, k int, draw ExecSampler) (*task.Task, error) {
+	if err := f.Validate(k); err != nil {
+		return nil, err
+	}
+	n := stream.IntRange(f.Min, f.Max)
+	return parallelGroup(stream, n, k, draw)
+}
+
+// ExpectedWork implements Factory.
+func (f UniformParallel) ExpectedWork(meanExec float64) float64 {
+	return float64(f.Min+f.Max) / 2 * meanExec
+}
+
+// Validate implements Factory.
+func (f UniformParallel) Validate(k int) error {
+	if f.Min < 1 || f.Max < f.Min {
+		return fmt.Errorf("%w: UniformParallel range [%d, %d]", ErrBadSpec, f.Min, f.Max)
+	}
+	if f.Max > k {
+		return fmt.Errorf("%w: up to %d parallel subtasks need %d nodes but k = %d",
+			ErrBadSpec, f.Max, f.Max, k)
+	}
+	return nil
+}
+
+// Name implements Factory.
+func (f UniformParallel) Name() string {
+	return fmt.Sprintf("parallel-u%d-%d", f.Min, f.Max)
+}
+
+// SerialParallel builds the Section 8 / Figure 14 task shape: Stages
+// serial stages of which the 2nd, 4th, ... alternate stages (ParallelAt)
+// are parallel groups of Fanout subtasks. The default (Stages=5, Fanout=4)
+// models the stock-trading pipeline: initialization, distributed
+// information gathering, analysis, action implementation, conclusion.
+type SerialParallel struct {
+	Stages int // number of serial stages (paper: 5)
+	Fanout int // subtasks per parallel stage (paper: 4)
+}
+
+// parallelStage reports whether stage i (0-based) is a parallel group;
+// Figure 14 makes stages 2 and 4 (1-based) parallel, i.e. odd 0-based.
+func (f SerialParallel) parallelStage(i int) bool { return i%2 == 1 }
+
+// New implements Factory.
+func (f SerialParallel) New(stream *rng.Stream, k int, draw ExecSampler) (*task.Task, error) {
+	if err := f.Validate(k); err != nil {
+		return nil, err
+	}
+	stages := make([]*task.Task, f.Stages)
+	for i := range stages {
+		if f.parallelStage(i) {
+			g, err := parallelGroup(stream, f.Fanout, k, draw)
+			if err != nil {
+				return nil, err
+			}
+			stages[i] = g
+			continue
+		}
+		leaf, err := simpleSubtask(stream, stream.IntN(k), draw)
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = leaf
+	}
+	if len(stages) == 1 {
+		return stages[0], nil
+	}
+	return task.NewSerial("", stages...)
+}
+
+// ExpectedWork implements Factory.
+func (f SerialParallel) ExpectedWork(meanExec float64) float64 {
+	n := 0
+	for i := 0; i < f.Stages; i++ {
+		if f.parallelStage(i) {
+			n += f.Fanout
+		} else {
+			n++
+		}
+	}
+	return float64(n) * meanExec
+}
+
+// Validate implements Factory.
+func (f SerialParallel) Validate(k int) error {
+	if f.Stages < 1 {
+		return fmt.Errorf("%w: SerialParallel needs >= 1 stage, got %d", ErrBadSpec, f.Stages)
+	}
+	if f.Stages > 1 && f.Fanout < 1 {
+		return fmt.Errorf("%w: SerialParallel fanout %d", ErrBadSpec, f.Fanout)
+	}
+	if f.Fanout > k {
+		return fmt.Errorf("%w: fanout %d needs %d distinct nodes but k = %d",
+			ErrBadSpec, f.Fanout, f.Fanout, k)
+	}
+	return nil
+}
+
+// Name implements Factory.
+func (f SerialParallel) Name() string {
+	return fmt.Sprintf("serial%d-fan%d", f.Stages, f.Fanout)
+}
+
+// parallelGroup draws n simple subtasks at n distinct nodes. A group of
+// one collapses to the bare subtask.
+func parallelGroup(stream *rng.Stream, n, k int, draw ExecSampler) (*task.Task, error) {
+	nodes := stream.Choose(k, n)
+	children := make([]*task.Task, n)
+	for i := range children {
+		leaf, err := simpleSubtask(stream, nodes[i], draw)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = leaf
+	}
+	if n == 1 {
+		return children[0], nil
+	}
+	return task.NewParallel("", children...)
+}
+
+func simpleSubtask(stream *rng.Stream, nodeID int, draw ExecSampler) (*task.Task, error) {
+	return task.NewSimple("", nodeID, draw(stream))
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/procmgr"
+	"repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+func sampleArrivals(t *testing.T) []Arrival {
+	t.Helper()
+	local := task.MustSimple("l1", 2, 1.5)
+	global := task.MustParse("[a@0:1 || b@1:2]")
+	return []Arrival{
+		{At: 1, Deadline: 5, Task: local},
+		{At: 2.5, Deadline: 10, Task: global},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	arrivals := sampleArrivals(t)
+	var buf strings.Builder
+	if err := WriteTrace(&buf, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(arrivals) {
+		t.Fatalf("read %d arrivals, want %d", len(back), len(arrivals))
+	}
+	for i := range back {
+		if back[i].At != arrivals[i].At || back[i].Deadline != arrivals[i].Deadline {
+			t.Errorf("arrival %d timing mismatch: %+v vs %+v", i, back[i], arrivals[i])
+		}
+		if back[i].Task.String() != arrivals[i].Task.String() {
+			t.Errorf("arrival %d task mismatch: %s vs %s",
+				i, back[i].Task, arrivals[i].Task)
+		}
+	}
+}
+
+func TestReadTraceSortsAndSkipsComments(t *testing.T) {
+	in := `# comment
+
+5 9 b@1:1
+1 4 a@0:1
+`
+	arrivals, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 || arrivals[0].At != 1 || arrivals[1].At != 5 {
+		t.Errorf("arrivals = %+v, want sorted by time", arrivals)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	bad := []string{
+		"1 2",       // missing task
+		"x 2 a@0:1", // bad time
+		"1 y a@0:1", // bad deadline
+		"1 2 [",     // bad task
+		"5 2 a@0:1", // deadline before arrival
+	}
+	for _, in := range bad {
+		if _, err := ReadTrace(strings.NewReader(in)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("ReadTrace(%q) err = %v, want ErrBadTrace", in, err)
+		}
+	}
+}
+
+func TestWriteTraceNilTask(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteTrace(&buf, []Arrival{{At: 1, Deadline: 2}}); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := Baseline(FixedParallel{N: 4})
+	a, err := Synthesize(spec, 42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(spec, 42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Task.String() != b[i].Task.String() {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+	// Sorted by time.
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestSynthesizeMatchesDriverStatistically(t *testing.T) {
+	spec := Baseline(FixedParallel{N: 4})
+	const horizon = 5000
+	arrivals, err := Synthesize(spec, 9, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locals, globals := 0, 0
+	for _, a := range arrivals {
+		if a.Task.IsSimple() {
+			locals++
+		} else {
+			globals++
+		}
+	}
+	// lambda_local*k = 2.25/unit, lambda_global = 0.1875/unit.
+	wantLocals := 2.25 * horizon
+	wantGlobals := 0.1875 * horizon
+	if f := float64(locals); f < wantLocals*0.9 || f > wantLocals*1.1 {
+		t.Errorf("locals = %d, want ~%v", locals, wantLocals)
+	}
+	if f := float64(globals); f < wantGlobals*0.8 || f > wantGlobals*1.2 {
+		t.Errorf("globals = %d, want ~%v", globals, wantGlobals)
+	}
+}
+
+func TestReplayExecutesTrace(t *testing.T) {
+	eng := des.New()
+	nodes := make([]*node.Node, 3)
+	for i := range nodes {
+		nodes[i] = node.New(i, eng)
+	}
+	rec := &countingRecorder{}
+	mgr := procmgr.New(eng, nodes, sda.EQF{}, sda.MustDiv(1), procmgr.WithRecorder(rec))
+	trace := `# two locals and one global
+0.5 3 l0@0:1
+1 6 [p0@1:1 || p1@2:2]
+2 5 l1@1:0.5
+`
+	arrivals, err := ReadTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(eng, mgr, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if rec.locals != 2 {
+		t.Errorf("locals recorded = %d, want 2", rec.locals)
+	}
+	if rec.globals != 1 {
+		t.Errorf("globals recorded = %d, want 1", rec.globals)
+	}
+	if rec.subtasks != 2 {
+		t.Errorf("subtasks recorded = %d, want 2", rec.subtasks)
+	}
+	if rec.localMiss != 0 || rec.globalMiss != 0 {
+		t.Errorf("misses = %d/%d, want none (ample slack)", rec.localMiss, rec.globalMiss)
+	}
+}
+
+func TestReplayIsRepeatable(t *testing.T) {
+	// Replaying the same trace twice must produce identical outcomes
+	// (tasks are cloned, so the first run cannot poison the second).
+	spec := Baseline(FixedParallel{N: 4})
+	arrivals, err := Synthesize(spec, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (int64, int64) {
+		eng := des.New()
+		nodes := make([]*node.Node, spec.K)
+		for i := range nodes {
+			nodes[i] = node.New(i, eng)
+		}
+		rec := &countingRecorder{}
+		mgr := procmgr.New(eng, nodes, sda.SerialUD{}, sda.UD{}, procmgr.WithRecorder(rec))
+		if err := Replay(eng, mgr, arrivals); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return rec.localMiss, rec.globalMiss
+	}
+	l1, g1 := run()
+	l2, g2 := run()
+	if l1 != l2 || g1 != g2 {
+		t.Errorf("replay diverged: (%d,%d) vs (%d,%d)", l1, g1, l2, g2)
+	}
+}
+
+func TestReplayMatchesLiveDriver(t *testing.T) {
+	// A synthesized trace replayed through the manager must yield the
+	// same outcome counts as the live Driver with the same seed.
+	spec := Baseline(FixedParallel{N: 4})
+	const horizon = 2000
+
+	liveEng := des.New()
+	liveNodes := make([]*node.Node, spec.K)
+	for i := range liveNodes {
+		liveNodes[i] = node.New(i, liveEng)
+	}
+	liveRec := &countingRecorder{}
+	liveMgr := procmgr.New(liveEng, liveNodes, sda.SerialUD{}, sda.UD{}, procmgr.WithRecorder(liveRec))
+	d, err := NewDriver(liveEng, liveMgr, spec, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(horizon); err != nil {
+		t.Fatal(err)
+	}
+	liveEng.Run()
+
+	arrivals, err := Synthesize(spec, 77, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEng := des.New()
+	repNodes := make([]*node.Node, spec.K)
+	for i := range repNodes {
+		repNodes[i] = node.New(i, repEng)
+	}
+	repRec := &countingRecorder{}
+	repMgr := procmgr.New(repEng, repNodes, sda.SerialUD{}, sda.UD{}, procmgr.WithRecorder(repRec))
+	if err := Replay(repEng, repMgr, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	repEng.Run()
+
+	if liveRec.locals != repRec.locals || liveRec.globals != repRec.globals {
+		t.Errorf("counts differ: live (%d,%d) vs replay (%d,%d)",
+			liveRec.locals, liveRec.globals, repRec.locals, repRec.globals)
+	}
+	if liveRec.localMiss != repRec.localMiss || liveRec.globalMiss != repRec.globalMiss {
+		t.Errorf("misses differ: live (%d,%d) vs replay (%d,%d)",
+			liveRec.localMiss, liveRec.globalMiss, repRec.localMiss, repRec.globalMiss)
+	}
+}
+
+func TestReplayRejectsPastArrival(t *testing.T) {
+	eng := des.New()
+	if _, err := eng.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run() // clock now at 10
+	mgr := procmgr.New(eng, nil, sda.SerialUD{}, sda.UD{})
+	err := Replay(eng, mgr, []Arrival{{At: 5, Deadline: 6, Task: task.MustSimple("x", 0, 1)}})
+	if err == nil {
+		t.Error("past arrival accepted")
+	}
+	var none []Arrival
+	if err := Replay(eng, mgr, none); err != nil {
+		t.Errorf("empty trace: %v", err)
+	}
+	_ = simtime.Time(0)
+}

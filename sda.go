@@ -1,0 +1,103 @@
+package sda
+
+import (
+	isda "repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Time is an instant on the simulated clock (abstract time units).
+type Time = simtime.Time
+
+// Duration is a span of simulated time.
+type Duration = simtime.Duration
+
+// Task is one node of a serial-parallel task tree; see the task model in
+// the package documentation.
+type Task = task.Task
+
+// Kind discriminates simple, serial and parallel task-tree nodes.
+type Kind = task.Kind
+
+// Task tree kinds.
+const (
+	KindSimple   = task.KindSimple
+	KindSerial   = task.KindSerial
+	KindParallel = task.KindParallel
+)
+
+// NewSimple returns a simple subtask executed at the given node with the
+// given execution time.
+func NewSimple(name string, nodeID int, ex Duration) (*Task, error) {
+	return task.NewSimple(name, nodeID, ex)
+}
+
+// NewSerial returns a global task whose children execute in series.
+func NewSerial(name string, children ...*Task) (*Task, error) {
+	return task.NewSerial(name, children...)
+}
+
+// NewParallel returns a global task whose children execute in parallel.
+func NewParallel(name string, children ...*Task) (*Task, error) {
+	return task.NewParallel(name, children...)
+}
+
+// Parse reads a task tree from the paper's bracket notation, e.g.
+// "[T1 [T2 || T3] T4]"; see internal/task.Parse for the grammar.
+func Parse(input string) (*Task, error) { return task.Parse(input) }
+
+// MustParse is Parse, panicking on error; for constant inputs.
+func MustParse(input string) *Task { return task.MustParse(input) }
+
+// PSP assigns virtual deadlines to parallel subtasks (UD, DIV-x, GF).
+type PSP = isda.PSP
+
+// SSP assigns virtual deadlines to serial stages (UD, ED, EQS, EQF).
+type SSP = isda.SSP
+
+// Assignment is a strategy's output: a virtual deadline and the optional
+// GF priority boost.
+type Assignment = isda.Assignment
+
+// UD returns the Ultimate Deadline baseline for parallel subtasks:
+// dl(Ti) = dl(T).
+func UD() PSP { return isda.UD{} }
+
+// Div returns the DIV-x strategy: dl(Ti) = ar + (dl - ar)/(n*x).
+// It panics if x <= 0; use ParsePSP for validated construction from
+// untrusted input.
+func Div(x float64) PSP { return isda.MustDiv(x) }
+
+// GF returns the Globals First strategy (priority-band encoding).
+func GF() PSP { return isda.GF{} }
+
+// GFDelta returns the Globals First strategy in the paper's literal
+// encoding: a huge constant is subtracted from the deadline.
+func GFDelta() PSP { return isda.GF{UseDelta: true} }
+
+// SerialUD returns the Ultimate Deadline baseline for serial stages.
+func SerialUD() SSP { return isda.SerialUD{} }
+
+// ED returns the Effective Deadline strategy: reserve exactly the
+// predicted downstream execution time.
+func ED() SSP { return isda.ED{} }
+
+// EQS returns the Equal Slack strategy: split the remaining slack evenly
+// across the remaining stages.
+func EQS() SSP { return isda.EQS{} }
+
+// EQF returns the Equal Flexibility strategy: split the remaining slack
+// in proportion to predicted stage execution times.
+func EQF() SSP { return isda.EQF{} }
+
+// ParsePSP resolves a parallel strategy by name ("UD", "DIV-1", "GF", ...).
+func ParsePSP(name string) (PSP, error) { return isda.ParsePSP(name) }
+
+// ParseSSP resolves a serial strategy by name ("UD", "ED", "EQS", "EQF").
+func ParseSSP(name string) (SSP, error) { return isda.ParseSSP(name) }
+
+// Plan applies the recursive SDA algorithm (paper Figure 13) offline,
+// annotating every tree node's Arrival and VirtualDeadline.
+func Plan(root *Task, ar Time, deadline Time, ssp SSP, psp PSP) error {
+	return isda.Plan(root, ar, deadline, ssp, psp)
+}

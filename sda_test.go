@@ -1,0 +1,119 @@
+package sda_test
+
+import (
+	"math"
+	"testing"
+
+	sda "repro"
+)
+
+func TestPublicTaskBuilding(t *testing.T) {
+	a, err := sda.NewSimple("a", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sda.NewSimple("b", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sda.NewParallel("p", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sda.NewSimple("c", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sda.NewSerial("g", par, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind != sda.KindSerial || g.CriticalPath() != 4 {
+		t.Errorf("kind %v path %v, want serial/4", g.Kind, g.CriticalPath())
+	}
+}
+
+func TestPublicParse(t *testing.T) {
+	g, err := sda.Parse("[a@0:1 [b@1:2 || c@2:2] d@0:1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CountSimple() != 4 {
+		t.Errorf("CountSimple = %d, want 4", g.CountSimple())
+	}
+	if _, err := sda.Parse("["); err == nil {
+		t.Error("bad input accepted")
+	}
+}
+
+func TestPublicPlan(t *testing.T) {
+	g := sda.MustParse("[a@0:5 b@1:5]")
+	if err := sda.Plan(g, 0, 20, sda.EQF(), sda.Div(1)); err != nil {
+		t.Fatal(err)
+	}
+	// EQF: slack 10, stage a gets 5 -> dl 10.
+	if g.Children[0].VirtualDeadline != 10 {
+		t.Errorf("stage a vdl = %v, want 10", g.Children[0].VirtualDeadline)
+	}
+}
+
+func TestPublicStrategyParsers(t *testing.T) {
+	for _, name := range []string{"UD", "DIV-1", "GF"} {
+		if _, err := sda.ParsePSP(name); err != nil {
+			t.Errorf("ParsePSP(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"UD", "ED", "EQS", "EQF"} {
+		if _, err := sda.ParseSSP(name); err != nil {
+			t.Errorf("ParseSSP(%q): %v", name, err)
+		}
+	}
+}
+
+func TestPublicRun(t *testing.T) {
+	cfg := sda.Default()
+	cfg.Duration = 5000
+	cfg.Warmup = 200
+	cfg.Replications = 1
+	cfg.PSP = sda.Div(1)
+	res, err := sda.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals == 0 || res.Locals == 0 {
+		t.Fatal("no tasks simulated")
+	}
+	if math.Abs(res.Utilization.Mean-0.5) > 0.08 {
+		t.Errorf("utilization = %v, want ~0.5", res.Utilization.Mean)
+	}
+}
+
+func TestPublicRunOne(t *testing.T) {
+	cfg := sda.Default()
+	cfg.Duration = 3000
+	cfg.Warmup = 100
+	rep, err := sda.RunOne(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Locals == 0 {
+		t.Error("no locals")
+	}
+}
+
+func TestPublicWorkloadTypes(t *testing.T) {
+	spec := sda.Baseline(sda.SerialParallel{Stages: 5, Fanout: 4})
+	spec.Estimator = sda.Noisy{Factor: 2}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := sda.Default()
+	cfg.Spec = spec
+	cfg.Duration = 2000
+	cfg.Warmup = 100
+	cfg.Abort = sda.AbortProcessManager
+	cfg.Policy = sda.FIFOPolicy()
+	if _, err := sda.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package sda
+
+import (
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated experiment: workload, strategies,
+// abortion policy and run lengths.
+type Config = sim.Config
+
+// Result aggregates replications into per-class miss-rate intervals.
+type Result = sim.Result
+
+// RepResult is the outcome of a single replication.
+type RepResult = sim.RepResult
+
+// Interval is a point estimate with a 95% confidence half-width.
+type Interval = stats.Interval
+
+// AbortMode selects the overload-management policy.
+type AbortMode = sim.AbortMode
+
+// Abortion policies (paper Section 7.3).
+const (
+	AbortNone           = sim.AbortNone
+	AbortProcessManager = sim.AbortProcessManager
+	AbortLocalScheduler = sim.AbortLocalScheduler
+)
+
+// Default returns the paper's Table 1 baseline configuration.
+func Default() Config { return sim.Default() }
+
+// Run executes the configured replications and aggregates the results.
+func Run(cfg Config) (Result, error) { return sim.Run(cfg) }
+
+// RunOne executes a single replication with an explicit seed.
+func RunOne(cfg Config, seed uint64) (RepResult, error) { return sim.RunOne(cfg, seed) }
+
+// Spec is the stochastic workload parameterisation (Section 5).
+type Spec = workload.Spec
+
+// Factory produces global task shapes.
+type Factory = workload.Factory
+
+// Estimator models predicted execution times (pex).
+type Estimator = workload.Estimator
+
+// Workload factories.
+type (
+	// FixedParallel builds n parallel subtasks at n distinct nodes
+	// (the baseline's global tasks).
+	FixedParallel = workload.FixedParallel
+	// UniformParallel draws the fan-out uniformly from [Min..Max]
+	// (Section 7.4's non-homogeneous mix).
+	UniformParallel = workload.UniformParallel
+	// SerialParallel builds the Figure 14 pipeline: serial stages with
+	// alternating parallel groups.
+	SerialParallel = workload.SerialParallel
+)
+
+// Execution-time estimators.
+type (
+	// Exact is the oracle: pex = ex.
+	Exact = workload.Exact
+	// Mean predicts the distribution mean for every subtask.
+	Mean = workload.Mean
+	// Noisy multiplies ex by a log-uniform factor in [1/F, F].
+	Noisy = workload.Noisy
+)
+
+// Baseline returns the Table 1 workload with the given factory.
+func Baseline(factory Factory) Spec { return workload.Baseline(factory) }
+
+// QueuePolicy orders a node's waiting queue.
+type QueuePolicy = node.Policy
+
+// EDFPolicy returns the earliest-deadline-first queue policy (default).
+func EDFPolicy() QueuePolicy { return node.EDF{} }
+
+// FIFOPolicy returns the deadline-blind FIFO queue policy (ablation).
+func FIFOPolicy() QueuePolicy { return node.FIFO{} }
+
+// Dist is a service-time distribution family for the workload model.
+type Dist = workload.Dist
+
+// Service-time distribution families (the paper's model is Exponential).
+type (
+	// Exponential service (SCV 1), the paper's model.
+	Exponential = workload.Exponential
+	// Deterministic service (SCV 0).
+	Deterministic = workload.Deterministic
+	// ErlangK service, the sum of K exponential phases (SCV 1/K).
+	ErlangK = workload.ErlangK
+	// HyperExp service with a chosen SCV > 1.
+	HyperExp = workload.HyperExp
+)
+
+// NetworkPipeline is the Figure 14 pipeline with explicit network-hop
+// subtasks queueing at dedicated network nodes (the paper's Section 3.2
+// treatment of communication as a resource).
+type NetworkPipeline = workload.NetworkPipeline
