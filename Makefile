@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check vet build test race scenarios bless bench
+
+# check runs exactly what CI runs.
+check: vet build race scenarios
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# scenarios runs the fault-injection suite against the golden hashes.
+scenarios:
+	$(GO) run ./cmd/sdascen -v
+
+# bless re-records the golden trace hashes after a deliberate behaviour
+# change. Inspect and commit the golden.txt diff.
+bless:
+	$(GO) run ./cmd/sdascen -bless
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -1,0 +1,128 @@
+// Command sdascen runs the deterministic scenario & fault-injection
+// suite: every scenario file under -dir is executed with the invariant
+// checker attached, its assertions are evaluated, and its canonical trace
+// hash is compared against the golden registry (golden.txt in the same
+// directory).
+//
+// Usage:
+//
+//	sdascen                     # run all scenarios in testdata/scenarios
+//	sdascen crash-restart       # run scenarios by name
+//	sdascen -v                  # include per-scenario metrics
+//	sdascen -bless              # re-bless golden hashes after a deliberate
+//	                            # behaviour change (commit the diff!)
+//
+// Exit status is non-zero when any scenario fails an assertion, violates
+// an invariant, or drifts from its golden hash.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdascen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sdascen", flag.ContinueOnError)
+	var (
+		dir     = fs.String("dir", "testdata/scenarios", "directory holding scenario *.json files")
+		bless   = fs.Bool("bless", false, "rewrite the golden hash registry from this run")
+		list    = fs.Bool("list", false, "list scenarios and exit")
+		verbose = fs.Bool("v", false, "print per-scenario metrics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scs, err := scenario.LoadDir(*dir)
+	if err != nil {
+		return err
+	}
+	if len(scs) == 0 {
+		return fmt.Errorf("no scenario files in %s", *dir)
+	}
+	if picked := fs.Args(); len(picked) > 0 {
+		byName := make(map[string]*scenario.Scenario, len(scs))
+		for _, sc := range scs {
+			byName[sc.Name] = sc
+		}
+		var subset []*scenario.Scenario
+		for _, name := range picked {
+			sc, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("unknown scenario %q (use -list)", name)
+			}
+			subset = append(subset, sc)
+		}
+		scs = subset
+	}
+	if *list {
+		for _, sc := range scs {
+			fmt.Fprintf(w, "%-24s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+
+	goldenPath := filepath.Join(*dir, scenario.GoldenFile)
+	golden, err := scenario.ReadGolden(goldenPath)
+	if err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, sc := range scs {
+		out, err := scenario.Run(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		fails := append([]string(nil), out.Failures...)
+		if !*bless {
+			switch want, ok := golden[sc.Name]; {
+			case !ok:
+				fails = append(fails, fmt.Sprintf("no golden hash (got %s; run sdascen -bless)", out.TraceHash))
+			case want != out.TraceHash:
+				fails = append(fails, fmt.Sprintf("trace hash %s differs from golden %s", out.TraceHash, want))
+			}
+		}
+		status := "PASS"
+		if len(fails) > 0 {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%s %-24s %d events, hash %s\n", status, sc.Name, out.TraceEvents, out.TraceHash)
+		if *verbose {
+			fmt.Fprintf(w, "     md_local %.4f  md_global %.4f  md_subtask %.4f  missed_work %.4f  util %.4f  locals %d  globals %d\n",
+				out.Rep.MDLocal, out.Rep.MDGlobal, out.Rep.MDSubtask,
+				out.Rep.MissedWork, out.Rep.Utilization, out.Rep.Locals, out.Rep.Globals)
+		}
+		for _, f := range fails {
+			fmt.Fprintf(w, "     FAIL: %s\n", f)
+		}
+		golden[sc.Name] = out.TraceHash
+	}
+	if *bless {
+		if failed > 0 {
+			return fmt.Errorf("%d scenario(s) failed; fix them before blessing", failed)
+		}
+		if err := scenario.WriteGolden(goldenPath, golden); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "blessed %d hashes into %s\n", len(scs), goldenPath)
+		return nil
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(scs))
+	}
+	fmt.Fprintf(w, "all %d scenarios passed\n", len(scs))
+	return nil
+}

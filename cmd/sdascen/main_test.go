@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func scenarioDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	body := `{
+		"name": "tiny", "description": "smoke scenario", "seed": 5, "duration": 200,
+		"workload": {"k": 3, "load": 0.5, "frac_local": 0.8, "n": 2},
+		"events": [{"at": 50, "action": "crash", "node": 1},
+		           {"at": 90, "action": "restart", "node": 1}],
+		"assert": {"utilization_min": 0.1}
+	}`
+	if err := os.WriteFile(filepath.Join(dir, "tiny.json"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestBlessThenPass(t *testing.T) {
+	dir := scenarioDir(t)
+	var out strings.Builder
+	if err := run([]string{"-dir", dir, "-bless"}, &out); err != nil {
+		t.Fatalf("bless: %v\n%s", err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "golden.txt")); err != nil {
+		t.Fatalf("golden.txt not written: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-v"}, &out); err != nil {
+		t.Fatalf("verify after bless: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS tiny") {
+		t.Errorf("output lacks PASS line:\n%s", out.String())
+	}
+}
+
+func TestHashDriftFails(t *testing.T) {
+	dir := scenarioDir(t)
+	golden := filepath.Join(dir, "golden.txt")
+	if err := os.WriteFile(golden, []byte("tiny 0000000000000000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-dir", dir}, &out)
+	if err == nil {
+		t.Fatalf("want failure on hash drift, got pass:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "differs from golden") {
+		t.Errorf("output lacks drift message:\n%s", out.String())
+	}
+}
+
+func TestMissingGoldenFails(t *testing.T) {
+	dir := scenarioDir(t)
+	var out strings.Builder
+	if err := run([]string{"-dir", dir}, &out); err == nil {
+		t.Fatalf("want failure without golden hashes, got pass:\n%s", out.String())
+	}
+}
+
+func TestUnknownScenarioName(t *testing.T) {
+	dir := scenarioDir(t)
+	var out strings.Builder
+	if err := run([]string{"-dir", dir, "nope"}, &out); err == nil {
+		t.Fatal("want error for unknown scenario name")
+	}
+}
+
+func TestList(t *testing.T) {
+	dir := scenarioDir(t)
+	var out strings.Builder
+	if err := run([]string{"-dir", dir, "-list"}, &out); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if !strings.Contains(out.String(), "tiny") || !strings.Contains(out.String(), "smoke scenario") {
+		t.Errorf("list output incomplete:\n%s", out.String())
+	}
+}
+
+// TestRepoSuitePasses runs the real checked-in suite end to end, exactly
+// as CI does.
+func TestRepoSuitePasses(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-dir", filepath.Join("..", "..", "testdata", "scenarios")}, &out); err != nil {
+		t.Fatalf("repo scenario suite failed: %v\n%s", err, out.String())
+	}
+}

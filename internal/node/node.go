@@ -21,6 +21,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/simtime"
@@ -165,9 +166,16 @@ type Node struct {
 	servers int
 	seq     uint64
 
+	// Fault-injection state (scenario harness): a crashed node stops
+	// dispatching, and a degraded node serves at rate work units per time
+	// unit (1 = nominal).
+	down bool
+	rate float64
+
 	busy    simtime.Duration
 	served  uint64
 	aborted uint64
+	crashes uint64
 
 	// Time-weighted queue-length accounting (waiting items only).
 	qlenIntegral float64      // ∫ len(queue) dt
@@ -232,7 +240,7 @@ func WithServers(c int) Option {
 // New returns a node attached to the simulation engine. It panics on an
 // invalid option combination (a programming error, caught at setup).
 func New(id int, eng *des.Engine, opts ...Option) *Node {
-	n := &Node{id: id, eng: eng, policy: EDF{}, servers: 1,
+	n := &Node{id: id, eng: eng, policy: EDF{}, servers: 1, rate: 1,
 		serving: make(map[*Item]struct{})}
 	for _, o := range opts {
 		o(n)
@@ -287,6 +295,102 @@ func (n *Node) Utilization() float64 {
 	return float64(n.BusyTime()) / (float64(now) * float64(n.servers))
 }
 
+// Policy returns the queue policy the node orders its waiting items by.
+func (n *Node) Policy() Policy { return n.policy }
+
+// Rate returns the current service rate (work units per time unit;
+// 1 = nominal speed).
+func (n *Node) Rate() float64 { return n.rate }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Crashes returns the number of Crash calls that took the node down.
+func (n *Node) Crashes() uint64 { return n.crashes }
+
+// SetRate changes the node's service rate to r > 0 (fault injection:
+// r < 1 models a degraded component, r > 1 a fast one). Items in service
+// keep the work they have completed so far; their completion is
+// rescheduled for the residual demand at the new rate. Rate changes are
+// deterministic: they take effect at the current simulated instant.
+func (n *Node) SetRate(r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("node: invalid service rate %v", r))
+	}
+	if r == n.rate {
+		return
+	}
+	now := n.eng.Now()
+	for _, it := range n.servingInOrder() {
+		n.eng.Cancel(it.service)
+		elapsed := now.Sub(it.startedAt)
+		it.remaining -= elapsed.Scale(n.rate)
+		if it.remaining < 0 {
+			it.remaining = 0
+		}
+		n.busy += elapsed
+		it.startedAt = now
+		ev, err := n.eng.After(it.remaining.Scale(1/r), func() { n.complete(it) })
+		if err != nil {
+			panic(fmt.Sprintf("node: reschedule service at new rate: %v", err))
+		}
+		it.service = ev
+	}
+	n.rate = r
+}
+
+// servingInOrder returns the in-service items in submission order. Fault
+// injection must not iterate the serving map directly: map order is
+// random per process, and the order of cancellations and re-insertions
+// is visible in the event trace, which must be reproducible.
+func (n *Node) servingInOrder() []*Item {
+	if len(n.serving) == 0 {
+		return nil
+	}
+	out := make([]*Item, 0, len(n.serving))
+	for it := range n.serving {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Crash takes the node down (fault injection). Items in service lose the
+// progress of their current service stretch and return to the waiting
+// queue (the server was occupied, so the lost stretch still counts as
+// busy time); queued items stay queued. No service happens until Restart.
+// Crashing a crashed node is a no-op.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.crashes++
+	now := n.eng.Now()
+	for _, it := range n.servingInOrder() {
+		n.eng.Cancel(it.service)
+		it.service = nil
+		n.busy += now.Sub(it.startedAt)
+		it.state = StateQueued
+		n.noteQueueChange()
+		heap.Push(&n.queue, it)
+		delete(n.serving, it)
+		if n.observer != nil {
+			n.observer.OnPreempt(n, it, now)
+		}
+	}
+}
+
+// Restart brings a crashed node back up and resumes dispatching.
+// Restarting a live node is a no-op.
+func (n *Node) Restart() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.dispatch()
+}
+
 // Submit hands an item to the node's scheduler. The item must wrap a
 // simple subtask and must not be live at any node.
 func (n *Node) Submit(it *Item) error {
@@ -332,7 +436,7 @@ func (n *Node) preempt(cur *Item) {
 	n.eng.Cancel(cur.service)
 	cur.service = nil
 	elapsed := n.eng.Now().Sub(cur.startedAt)
-	cur.remaining -= elapsed
+	cur.remaining -= elapsed.Scale(n.rate)
 	if cur.remaining < 0 {
 		cur.remaining = 0
 	}
@@ -381,8 +485,11 @@ func (n *Node) Remove(it *Item) bool {
 }
 
 // dispatch starts service on the best waiting items while servers are
-// idle.
+// idle. A crashed node dispatches nothing until Restart.
 func (n *Node) dispatch() {
+	if n.down {
+		return
+	}
 	for len(n.serving) < n.servers && len(n.queue) > 0 {
 		n.noteQueueChange()
 		it, ok := heap.Pop(&n.queue).(*Item)
@@ -410,7 +517,7 @@ func (n *Node) dispatch() {
 		if n.observer != nil {
 			n.observer.OnStart(n, it, now)
 		}
-		ev, err := n.eng.After(it.remaining, func() { n.complete(it) })
+		ev, err := n.eng.After(it.remaining.Scale(1/n.rate), func() { n.complete(it) })
 		if err != nil {
 			// Exec is validated non-negative at construction; a scheduling
 			// failure here is a programming error in the kernel.

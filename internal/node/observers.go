@@ -1,0 +1,64 @@
+package node
+
+import "repro/internal/simtime"
+
+// multiObserver fans every callback out to several observers in order.
+type multiObserver []Observer
+
+var _ Observer = multiObserver(nil)
+
+// CombineObservers returns an Observer that forwards every event to each
+// of the given observers in argument order. Nil entries are skipped; a
+// single non-nil observer is returned unwrapped, and combining nothing
+// yields nil.
+func CombineObservers(obs ...Observer) Observer {
+	flat := make(multiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return flat
+	}
+}
+
+// OnEnqueue implements Observer.
+func (m multiObserver) OnEnqueue(n *Node, it *Item, at simtime.Time) {
+	for _, o := range m {
+		o.OnEnqueue(n, it, at)
+	}
+}
+
+// OnStart implements Observer.
+func (m multiObserver) OnStart(n *Node, it *Item, at simtime.Time) {
+	for _, o := range m {
+		o.OnStart(n, it, at)
+	}
+}
+
+// OnFinish implements Observer.
+func (m multiObserver) OnFinish(n *Node, it *Item, at simtime.Time) {
+	for _, o := range m {
+		o.OnFinish(n, it, at)
+	}
+}
+
+// OnAbort implements Observer.
+func (m multiObserver) OnAbort(n *Node, it *Item, at simtime.Time) {
+	for _, o := range m {
+		o.OnAbort(n, it, at)
+	}
+}
+
+// OnPreempt implements Observer.
+func (m multiObserver) OnPreempt(n *Node, it *Item, at simtime.Time) {
+	for _, o := range m {
+		o.OnPreempt(n, it, at)
+	}
+}

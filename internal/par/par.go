@@ -5,14 +5,32 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// PanicError is what Map re-panics with on the caller's goroutine when a
+// job function panicked: the original panic value plus the job index, so
+// the failure is attributable and — like errors — the lowest index wins
+// deterministically when several jobs panic.
+type PanicError struct {
+	Index int
+	Value any
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("par: fn(%d) panicked: %v", p.Index, p.Value)
+}
 
 // Map runs fn(0..n-1) on at most workers goroutines and waits for all of
 // them. It returns the error of the lowest index that failed (results of
 // other calls are still produced by fn's own side effects). workers <= 0
 // selects GOMAXPROCS.
+//
+// A panic inside fn does not crash the pool: remaining jobs still run,
+// every worker drains, and Map re-panics on the caller's goroutine with a
+// *PanicError for the lowest panicking index.
 func Map(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -28,7 +46,27 @@ func Map(workers, n int, fn func(i int) error) error {
 		mu       sync.Mutex
 		firstErr error
 		firstIdx = n
+		pan      *PanicError
 	)
+	runOne := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				mu.Lock()
+				if pan == nil || i < pan.Index {
+					pan = &PanicError{Index: i, Value: v}
+				}
+				mu.Unlock()
+			}
+		}()
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx = i
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -36,14 +74,7 @@ func Map(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx = i
-						firstErr = err
-					}
-					mu.Unlock()
-				}
+				runOne(i)
 			}
 		}()
 	}
@@ -52,5 +83,8 @@ func Map(workers, n int, fn func(i int) error) error {
 	}
 	close(jobs)
 	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
 	return firstErr
 }

@@ -2,8 +2,10 @@ package par
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapRunsAll(t *testing.T) {
@@ -86,5 +88,68 @@ func TestMapConcurrencyBound(t *testing.T) {
 	}
 	if peak > 3 {
 		t.Errorf("peak concurrency %d exceeds worker bound 3", peak)
+	}
+}
+
+func TestMapPropagatesPanic(t *testing.T) {
+	var ran int64
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("want re-panic on the caller goroutine, got none")
+		}
+		pe, ok := v.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicError", v, v)
+		}
+		// Both 2 and 6 panic; the lowest index must win regardless of
+		// which worker hit its panic first.
+		if pe.Index != 2 {
+			t.Errorf("PanicError.Index = %d, want 2", pe.Index)
+		}
+		if pe.Value != "boom-2" {
+			t.Errorf("PanicError.Value = %v, want boom-2", pe.Value)
+		}
+		// Every non-panicking job still ran: the pool drains instead of
+		// deadlocking when a worker's job blows up.
+		if ran != 8 {
+			t.Errorf("%d jobs completed, want 8", ran)
+		}
+	}()
+	_ = Map(4, 10, func(i int) error {
+		if i == 2 || i == 6 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	t.Fatal("unreachable: Map must panic")
+}
+
+func TestMapPanicWithSingleWorkerDoesNotDeadlock(t *testing.T) {
+	// With one worker and a panic on the first job, the job feeder must
+	// not block forever on a dead worker.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { _ = recover() }()
+		_ = Map(1, 50, func(i int) error {
+			if i == 0 {
+				panic("first job dies")
+			}
+			return nil
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map deadlocked after a worker panic")
+	}
+}
+
+func TestMapPanicErrorMessage(t *testing.T) {
+	pe := &PanicError{Index: 3, Value: "v"}
+	if got := pe.Error(); got != "par: fn(3) panicked: v" {
+		t.Errorf("Error() = %q", got)
 	}
 }

@@ -67,6 +67,14 @@ func (NopRecorder) RecordSubtask(*task.Task, bool) {}
 // RecordGlobal implements Recorder.
 func (NopRecorder) RecordGlobal(*task.Task, bool) {}
 
+// ReleaseHook observes every deadline assignment the manager makes: t is
+// the tree node that just became executable (Arrival, VirtualDeadline and
+// PriorityBoost freshly set), root the global task it belongs to, and
+// budget the deadline budget the release was decomposed from. The scenario
+// harness uses it for invariant checks; hooks run synchronously on the
+// simulation goroutine and must be cheap.
+type ReleaseHook func(t, root *task.Task, budget simtime.Time)
+
 // Manager is the process manager. Create one with New.
 type Manager struct {
 	eng     *des.Engine
@@ -75,6 +83,7 @@ type Manager struct {
 	psp     sda.PSP
 	rec     Recorder
 	pmAbort bool
+	onRel   ReleaseHook
 }
 
 // Option configures a Manager.
@@ -91,6 +100,11 @@ func WithRecorder(r Recorder) Option {
 	return func(m *Manager) { m.rec = r }
 }
 
+// WithReleaseHook registers a hook observing every deadline assignment.
+func WithReleaseHook(h ReleaseHook) Option {
+	return func(m *Manager) { m.onRel = h }
+}
+
 // New returns a process manager submitting to the given nodes and using
 // the given SSP and PSP strategies for deadline decomposition.
 func New(eng *des.Engine, nodes []*node.Node, ssp sda.SSP, psp sda.PSP, opts ...Option) *Manager {
@@ -100,6 +114,24 @@ func New(eng *des.Engine, nodes []*node.Node, ssp sda.SSP, psp sda.PSP, opts ...
 	}
 	return m
 }
+
+// SetStrategies hot-swaps the deadline-assignment strategies. A nil
+// argument keeps the current strategy. The swap affects every assignment
+// made from this instant on — tasks already decomposed keep the virtual
+// deadlines they were given, but later serial stages (and local-abort
+// resubmissions) of in-flight tasks use the new strategies, matching a
+// live reconfiguration of the process manager.
+func (m *Manager) SetStrategies(ssp sda.SSP, psp sda.PSP) {
+	if ssp != nil {
+		m.ssp = ssp
+	}
+	if psp != nil {
+		m.psp = psp
+	}
+}
+
+// Strategies returns the currently active serial and parallel strategies.
+func (m *Manager) Strategies() (sda.SSP, sda.PSP) { return m.ssp, m.psp }
 
 // SubmitLocal submits a local task: a simple task executed at exactly one
 // node, scheduled by its own (real) deadline. The task's Arrival is set to
@@ -169,7 +201,7 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 		return badNode
 	}
 
-	r := &run{m: m, root: root, live: make(map[*node.Item]struct{})}
+	r := &run{m: m, root: root}
 	if m.pmAbort {
 		ev, err := m.eng.At(root.RealDeadline, r.abortAll)
 		if err != nil {
@@ -179,7 +211,7 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 		}
 		r.timer = ev
 	}
-	r.release(&ctrl{run: r, t: root}, m.eng.Now(), root.RealDeadline, false)
+	r.release(&ctrl{run: r, t: root}, m.eng.Now(), root.RealDeadline, root.RealDeadline, false)
 	return nil
 }
 
@@ -188,8 +220,26 @@ type run struct {
 	m     *Manager
 	root  *task.Task
 	timer *des.Event
-	live  map[*node.Item]struct{} // submitted, not yet finished
-	over  bool                    // completed or aborted
+	live  liveSet // submitted, not yet finished
+	over  bool    // completed or aborted
+}
+
+// liveSet is the insertion-ordered set of a run's outstanding items.
+// Abortion iterates it and the resulting event order is visible in the
+// trace, which must be reproducible — a map's random iteration order is
+// not an option. Runs hold at most a handful of concurrent items, so
+// linear removal is cheap.
+type liveSet []*node.Item
+
+func (s *liveSet) add(it *node.Item) { *s = append(*s, it) }
+
+func (s *liveSet) remove(it *node.Item) {
+	for i, v := range *s {
+		if v == it {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
 }
 
 // ctrl is the control block for one node of the task tree.
@@ -202,14 +252,19 @@ type ctrl struct {
 }
 
 // release makes the subtree rooted at c executable at instant now with the
-// given deadline budget and GF boost flag.
-func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, boost bool) {
+// given deadline budget and GF boost flag. parentBudget is the budget the
+// assignment was decomposed from (equal to budget for the root), passed to
+// the release hook for invariant checking.
+func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, parentBudget simtime.Time, boost bool) {
 	if r.over {
 		return
 	}
 	c.t.Arrival = now
 	c.t.VirtualDeadline = budget
 	c.t.PriorityBoost = boost
+	if r.m.onRel != nil {
+		r.m.onRel(c.t, r.root, parentBudget)
+	}
 	switch c.t.Kind {
 	case task.KindSimple:
 		r.submitLeaf(c)
@@ -221,7 +276,7 @@ func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, boost bool
 		a := r.m.psp.AssignParallel(now, budget, len(c.t.Children))
 		for i, child := range c.t.Children {
 			cc := &ctrl{run: r, t: child, parent: c, stageIdx: i}
-			r.release(cc, now, a.Virtual, boost || a.Boost)
+			r.release(cc, now, a.Virtual, budget, boost || a.Boost)
 		}
 	}
 }
@@ -236,22 +291,22 @@ func (r *run) releaseStage(c *ctrl, now simtime.Time) {
 	}
 	dl := r.m.ssp.AssignSerial(now, c.t.VirtualDeadline, pexs)
 	cc := &ctrl{run: r, t: child, parent: c, stageIdx: i}
-	r.release(cc, now, dl, c.t.PriorityBoost)
+	r.release(cc, now, dl, c.t.VirtualDeadline, c.t.PriorityBoost)
 }
 
 // submitLeaf sends a simple subtask to its node.
 func (r *run) submitLeaf(c *ctrl) {
 	it := node.NewItem(c.t)
 	it.OnDone = func(done *node.Item, at simtime.Time) {
-		delete(r.live, done)
+		r.live.remove(done)
 		r.m.rec.RecordSubtask(c.t, at.After(r.root.RealDeadline))
 		r.finished(c, at)
 	}
 	it.OnLocalAbort = func(ab *node.Item, at simtime.Time) {
-		delete(r.live, ab)
+		r.live.remove(ab)
 		r.resubmit(c, ab, at)
 	}
-	r.live[it] = struct{}{}
+	r.live.add(it)
 	if err := r.m.nodes[c.t.Node].Submit(it); err != nil {
 		// Validated up front; a failure here is a bug in the manager.
 		panic(fmt.Sprintf("procmgr: submit leaf %q: %v", c.t.Name, err))
@@ -274,7 +329,14 @@ func (r *run) resubmit(c *ctrl, it *node.Item, now simtime.Time) {
 	}
 	c.t.VirtualDeadline = vdl
 	c.t.PriorityBoost = boost
-	r.live[it] = struct{}{}
+	if r.m.onRel != nil {
+		budget := r.root.RealDeadline
+		if c.parent != nil {
+			budget = c.parent.t.VirtualDeadline
+		}
+		r.m.onRel(c.t, r.root, budget)
+	}
+	r.live.add(it)
 	if err := r.m.nodes[c.t.Node].Submit(it); err != nil {
 		panic(fmt.Sprintf("procmgr: resubmit leaf %q: %v", c.t.Name, err))
 	}
@@ -352,7 +414,7 @@ func (r *run) abortAll() {
 		r.m.eng.Cancel(r.timer)
 		r.timer = nil
 	}
-	for it := range r.live {
+	for _, it := range r.live {
 		r.m.nodes[it.Task.Node].Remove(it)
 		it.Task.Aborted = true
 		r.m.rec.RecordSubtask(it.Task, true)

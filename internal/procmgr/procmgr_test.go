@@ -2,6 +2,7 @@ package procmgr
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 
@@ -556,5 +557,57 @@ func TestNestedSerialInsideParallel(t *testing.T) {
 	got, _ := rec.find("global", "G")
 	if got.finish != 5 {
 		t.Errorf("global finish = %v, want 5", got.finish)
+	}
+}
+
+func (r *testRecorder) countByName(kind, name string) int {
+	n := 0
+	for _, rec := range r.records {
+		if rec.kind == kind && rec.name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPMAbortTimerFiresOncePerTask floods two nodes with competing global
+// tasks so most real-deadline timers fire. Every global task must be
+// recorded exactly once — a timer firing twice, or a timer firing after
+// completion, would double-record — and every subtask resolves exactly
+// once as done or aborted.
+func TestPMAbortTimerFiresOncePerTask(t *testing.T) {
+	eng, _, m, rec := rig(t, 2, sda.SerialUD{}, sda.UD{}, []Option{WithPMAbort()})
+	const tasks = 12
+	for i := 0; i < tasks; i++ {
+		g := task.MustParallel(fmt.Sprintf("G%d", i),
+			task.MustSimple(fmt.Sprintf("G%d.a", i), 0, 1),
+			task.MustSimple(fmt.Sprintf("G%d.b", i), 1, 1),
+		)
+		g.RealDeadline = simtime.Time(2 + float64(i)*0.5)
+		if err := m.SubmitGlobal(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	misses := 0
+	for i := 0; i < tasks; i++ {
+		name := fmt.Sprintf("G%d", i)
+		if n := rec.countByName("global", name); n != 1 {
+			t.Errorf("%s recorded %d times, want exactly 1", name, n)
+		}
+		for _, leaf := range []string{name + ".a", name + ".b"} {
+			if n := rec.countByName("subtask", leaf); n != 1 {
+				t.Errorf("%s recorded %d times, want exactly 1", leaf, n)
+			}
+		}
+		if got, _ := rec.find("global", name); got.missed {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Error("overloaded rig produced no aborted tasks; the timer path was not exercised")
+	}
+	if misses == tasks {
+		t.Error("every task aborted; expected the earliest ones to complete")
 	}
 }

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/sda"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// burstSeedSalt decorrelates the burst generator from the workload
+// driver's substreams (which are split directly from the scenario seed).
+const burstSeedSalt = 0x6275727374 // "burst"
+
+// Outcome is the result of one scenario run.
+type Outcome struct {
+	Scenario *Scenario
+
+	Rep         sim.RepResult // replication statistics
+	TraceHash   string        // canonical hash of the full event trace
+	TraceEvents int           // recorded node scheduling events
+
+	Violations []string // invariant violations (always part of Failures)
+	Failures   []string // failed assertions; empty = scenario passed
+}
+
+// Passed reports whether every invariant and assertion held.
+func (o *Outcome) Passed() bool { return len(o.Failures) == 0 }
+
+// Run executes the scenario once: it wires a full simulated system, arms
+// the injection timeline, runs to the horizon with the invariant checker
+// and tracer attached, drains, and evaluates the assertions. The run is
+// deterministic: the same scenario produces the same Outcome (including
+// TraceHash) on every call.
+func Run(sc *Scenario) (*Outcome, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := sc.Config()
+	if err != nil {
+		return nil, err
+	}
+	chk := NewChecker(sc.Assert.AllowEarlyVDL)
+	tr := trace.New()
+	cfg.Observer = node.CombineObservers(tr, chk)
+	cfg.ReleaseHook = chk.OnRelease
+
+	sys, err := sim.NewSystem(cfg, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	chk.Bind(sys.Nodes)
+	if err := armTimeline(sys, sc, cfg.Spec); err != nil {
+		return nil, err
+	}
+	if err := sys.Start(); err != nil {
+		return nil, err
+	}
+	rep := sys.Finish(sys.Horizon())
+	chk.Finish()
+
+	out := &Outcome{
+		Scenario:    sc,
+		Rep:         rep,
+		TraceHash:   tr.Hash(),
+		TraceEvents: tr.Len(),
+		Violations:  chk.Violations(),
+	}
+	for _, v := range out.Violations {
+		out.Failures = append(out.Failures, "invariant: "+v)
+	}
+	out.Failures = append(out.Failures, sc.Assert.evaluate(rep)...)
+	return out, nil
+}
+
+// armTimeline schedules every injected event on the simulation engine.
+// Injections are scheduled before arrivals start, so events landing on
+// the same instant as an arrival fire in a fixed, documented order:
+// injections first.
+func armTimeline(sys *sim.System, sc *Scenario, spec workload.Spec) error {
+	burst := rng.NewSplitter(sc.Seed + burstSeedSalt)
+	for i := range sc.Events {
+		ev := sc.Events[i]
+		var apply func()
+		switch ev.Action {
+		case ActionCrash:
+			apply = func() { sys.Nodes[ev.Node].Crash() }
+		case ActionRestart:
+			apply = func() { sys.Nodes[ev.Node].Restart() }
+		case ActionSetRate:
+			apply = func() { sys.Nodes[ev.Node].SetRate(ev.Rate) }
+		case ActionSwap:
+			var ssp sda.SSP
+			var psp sda.PSP
+			if ev.SSP != "" {
+				s, err := sda.ParseSSP(ev.SSP)
+				if err != nil {
+					return err
+				}
+				ssp = s
+			}
+			if ev.PSP != "" {
+				p, err := sda.ParsePSP(ev.PSP)
+				if err != nil {
+					return err
+				}
+				psp = p
+			}
+			apply = func() { sys.Mgr.SetStrategies(ssp, psp) }
+		case ActionBurst:
+			stream := burst.Stream()
+			target := ev.Node
+			count := ev.Count
+			kind := ev.Kind
+			apply = func() {
+				now := sys.Eng.Now()
+				for j := 0; j < count; j++ {
+					switch kind {
+					case "local":
+						nodeID := target
+						if nodeID < 0 {
+							nodeID = stream.IntN(len(sys.Nodes))
+						}
+						t := spec.NewLocal(stream, nodeID, now)
+						if err := sys.Mgr.SubmitLocal(t); err != nil {
+							panic(fmt.Sprintf("scenario: burst local: %v", err))
+						}
+					case "global":
+						root, err := spec.NewGlobal(stream, now)
+						if err != nil {
+							panic(fmt.Sprintf("scenario: burst global: %v", err))
+						}
+						if err := sys.Mgr.SubmitGlobal(root); err != nil {
+							panic(fmt.Sprintf("scenario: burst global submit: %v", err))
+						}
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("%w: %s: unknown action %q", ErrBadScenario, sc.Name, ev.Action)
+		}
+		if _, err := sys.Eng.At(simtime.Time(ev.At), apply); err != nil {
+			return fmt.Errorf("%w: %s: schedule %s at %v: %v", ErrBadScenario, sc.Name, ev.Action, ev.At, err)
+		}
+	}
+	return nil
+}
+
+// evaluate checks the replication result against the assertion bounds and
+// returns one message per failed bound.
+func (a Assertions) evaluate(rep sim.RepResult) []string {
+	var fails []string
+	check := func(cond bool, format string, args ...any) {
+		if !cond {
+			fails = append(fails, fmt.Sprintf(format, args...))
+		}
+	}
+	if a.MDLocalMax != nil {
+		check(rep.MDLocal <= *a.MDLocalMax, "md_local %.4f > max %.4f", rep.MDLocal, *a.MDLocalMax)
+	}
+	if a.MDLocalMin != nil {
+		check(rep.MDLocal >= *a.MDLocalMin, "md_local %.4f < min %.4f", rep.MDLocal, *a.MDLocalMin)
+	}
+	if a.MDGlobalMax != nil {
+		check(rep.MDGlobal <= *a.MDGlobalMax, "md_global %.4f > max %.4f", rep.MDGlobal, *a.MDGlobalMax)
+	}
+	if a.MDGlobalMin != nil {
+		check(rep.MDGlobal >= *a.MDGlobalMin, "md_global %.4f < min %.4f", rep.MDGlobal, *a.MDGlobalMin)
+	}
+	if a.MDSubtaskMax != nil {
+		check(rep.MDSubtask <= *a.MDSubtaskMax, "md_subtask %.4f > max %.4f", rep.MDSubtask, *a.MDSubtaskMax)
+	}
+	if a.MissedWorkMax != nil {
+		check(rep.MissedWork <= *a.MissedWorkMax, "missed_work %.4f > max %.4f", rep.MissedWork, *a.MissedWorkMax)
+	}
+	check(rep.MissedWork >= 0 && rep.MissedWork <= 1, "missed_work %.4f outside [0, 1]", rep.MissedWork)
+	if a.UtilizationMin != nil {
+		check(rep.Utilization >= *a.UtilizationMin, "utilization %.4f < min %.4f", rep.Utilization, *a.UtilizationMin)
+	}
+	if a.UtilizationMax != nil {
+		check(rep.Utilization <= *a.UtilizationMax, "utilization %.4f > max %.4f", rep.Utilization, *a.UtilizationMax)
+	}
+	if a.MinEvents != nil {
+		check(rep.Events >= *a.MinEvents, "events %d < min %d", rep.Events, *a.MinEvents)
+	}
+	if a.MaxEvents != nil {
+		check(rep.Events <= *a.MaxEvents, "events %d > max %d", rep.Events, *a.MaxEvents)
+	}
+	if a.MinLocals != nil {
+		check(rep.Locals >= *a.MinLocals, "locals %d < min %d", rep.Locals, *a.MinLocals)
+	}
+	if a.MinGlobals != nil {
+		check(rep.Globals >= *a.MinGlobals, "globals %d < min %d", rep.Globals, *a.MinGlobals)
+	}
+	return fails
+}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// GoldenFile is the default name of the golden-hash registry kept next to
+// the scenario files.
+const GoldenFile = "golden.txt"
+
+// ReadGolden parses a golden-hash registry: one "<name> <hash>" pair per
+// line, '#' comments and blank lines ignored. A missing file is not an
+// error — it returns an empty map so a fresh checkout can bless from
+// scratch.
+func ReadGolden(path string) (map[string]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]string{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: %s:%d: want '<name> <hash>'", ErrBadScenario, path, lineNo)
+		}
+		if _, dup := out[fields[0]]; dup {
+			return nil, fmt.Errorf("%w: %s:%d: duplicate golden entry %q", ErrBadScenario, path, lineNo, fields[0])
+		}
+		out[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteGolden writes the registry sorted by scenario name, so re-blessing
+// produces minimal diffs.
+func WriteGolden(path string, entries map[string]string) error {
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# Golden trace hashes per scenario — regenerate with: go run ./cmd/sdascen -bless\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %s\n", name, entries[name])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

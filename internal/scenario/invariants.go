@@ -1,0 +1,221 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// maxViolations caps how many violations a checker records; a broken
+// invariant in a long run would otherwise flood memory with millions of
+// identical reports.
+const maxViolations = 32
+
+// Checker is the always-on invariant monitor of the scenario harness. It
+// observes every node scheduling event and every process-manager deadline
+// assignment and records violations of the simulator's structural
+// invariants:
+//
+//   - event times never go backwards;
+//   - a node never serves more items than it has servers, and never
+//     starts service while crashed;
+//   - every service start respects the node's queue policy — no waiting
+//     item strictly outranks the one chosen (EDF order, GF band first);
+//   - every assigned virtual deadline is concrete and, while the
+//     assignment still has non-negative slack, never later than the
+//     budget it was decomposed from (budgets chain down from the root's
+//     real deadline) nor — unless the strategy moves deadlines before
+//     the release instant by design (GF-delta) — in the past;
+//   - conservation: every submitted item is eventually finished or
+//     aborted (items stranded on a node that is down at the end of the
+//     run are tolerated — nothing can serve them).
+//
+// All callbacks run on the single simulation goroutine.
+type Checker struct {
+	allowEarlyVDL bool
+
+	nodes   []*node.Node
+	waiting map[*node.Item]int // item -> node id, while queued
+	serving map[*node.Item]int // item -> node id, while in service
+	perNode map[int]int        // node id -> in-service count
+
+	last       simtime.Time
+	violations []string
+	dropped    int // violations beyond maxViolations
+}
+
+var _ node.Observer = (*Checker)(nil)
+
+// NewChecker returns a checker; allowEarlyVDL disables the
+// deadline-not-before-release check (needed for GF-delta).
+func NewChecker(allowEarlyVDL bool) *Checker {
+	return &Checker{
+		allowEarlyVDL: allowEarlyVDL,
+		waiting:       make(map[*node.Item]int),
+		serving:       make(map[*node.Item]int),
+		perNode:       make(map[int]int),
+	}
+}
+
+// Bind attaches the nodes under observation; needed only for the final
+// conservation check's down-node tolerance.
+func (c *Checker) Bind(nodes []*node.Node) { c.nodes = nodes }
+
+// Violations returns the recorded invariant violations in order.
+func (c *Checker) Violations() []string {
+	out := make([]string, len(c.violations))
+	copy(out, c.violations)
+	if c.dropped > 0 {
+		out = append(out, fmt.Sprintf("... and %d more violations", c.dropped))
+	}
+	return out
+}
+
+func (c *Checker) violate(format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// clock checks monotone event time.
+func (c *Checker) clock(at simtime.Time) {
+	if at.Before(c.last) {
+		c.violate("time went backwards: %v after %v", at, c.last)
+	}
+	c.last = at
+}
+
+// OnEnqueue implements node.Observer.
+func (c *Checker) OnEnqueue(n *node.Node, it *node.Item, at simtime.Time) {
+	c.clock(at)
+	if _, dup := c.waiting[it]; dup {
+		c.violate("t=%v node%d: item %q enqueued while already waiting", at, n.ID(), it.Task.Name)
+	}
+	if _, dup := c.serving[it]; dup {
+		c.violate("t=%v node%d: item %q enqueued while in service", at, n.ID(), it.Task.Name)
+	}
+	if it.Task.VirtualDeadline.IsNever() {
+		c.violate("t=%v node%d: item %q enqueued without a virtual deadline", at, n.ID(), it.Task.Name)
+	}
+	c.waiting[it] = n.ID()
+}
+
+// OnStart implements node.Observer.
+func (c *Checker) OnStart(n *node.Node, it *node.Item, at simtime.Time) {
+	c.clock(at)
+	if n.Down() {
+		c.violate("t=%v node%d: service started while node is down", at, n.ID())
+	}
+	if _, ok := c.waiting[it]; !ok {
+		c.violate("t=%v node%d: item %q started without being enqueued", at, n.ID(), it.Task.Name)
+	}
+	delete(c.waiting, it)
+	// Queue-policy order: nothing left waiting at this node may strictly
+	// outrank the item just chosen.
+	pol := n.Policy()
+	for w, id := range c.waiting {
+		if id == n.ID() && pol.Less(w, it) {
+			c.violate("t=%v node%d: started %q but waiting %q outranks it under %s",
+				at, n.ID(), it.Task.Name, w.Task.Name, pol.Name())
+		}
+	}
+	c.serving[it] = n.ID()
+	c.perNode[n.ID()]++
+	if c.perNode[n.ID()] > n.Servers() {
+		c.violate("t=%v node%d: %d items in service but only %d servers",
+			at, n.ID(), c.perNode[n.ID()], n.Servers())
+	}
+}
+
+// OnFinish implements node.Observer.
+func (c *Checker) OnFinish(n *node.Node, it *node.Item, at simtime.Time) {
+	c.clock(at)
+	if _, ok := c.serving[it]; !ok {
+		c.violate("t=%v node%d: item %q finished without being in service", at, n.ID(), it.Task.Name)
+		return
+	}
+	delete(c.serving, it)
+	c.perNode[n.ID()]--
+}
+
+// OnAbort implements node.Observer.
+func (c *Checker) OnAbort(n *node.Node, it *node.Item, at simtime.Time) {
+	c.clock(at)
+	if _, ok := c.serving[it]; ok {
+		delete(c.serving, it)
+		c.perNode[n.ID()]--
+		return
+	}
+	if _, ok := c.waiting[it]; ok {
+		delete(c.waiting, it)
+		return
+	}
+	c.violate("t=%v node%d: item %q aborted but was neither waiting nor in service", at, n.ID(), it.Task.Name)
+}
+
+// OnPreempt implements node.Observer.
+func (c *Checker) OnPreempt(n *node.Node, it *node.Item, at simtime.Time) {
+	c.clock(at)
+	if _, ok := c.serving[it]; !ok {
+		c.violate("t=%v node%d: item %q preempted without being in service", at, n.ID(), it.Task.Name)
+		return
+	}
+	delete(c.serving, it)
+	c.perNode[n.ID()]--
+	c.waiting[it] = n.ID()
+}
+
+// OnRelease is a procmgr.ReleaseHook checking every deadline assignment:
+// t has just been released against budget; root is its global task.
+func (c *Checker) OnRelease(t, root *task.Task, budget simtime.Time) {
+	vdl := t.VirtualDeadline
+	if vdl.IsNever() {
+		c.violate("release of %q: no virtual deadline assigned", t.Name)
+		return
+	}
+	if root.RealDeadline.IsNever() {
+		c.violate("release of %q: global task %q has no real deadline", t.Name, root.Name)
+		return
+	}
+	// Both bounds only bind while the decomposition still has room: a
+	// stage released after its budget has already passed (negative slack)
+	// may legitimately be pushed past the budget by EQS/EQF's
+	// proportional split, and past deadlines make the bounds moot anyway.
+	slack := budget.Sub(t.Arrival) - t.PredictedCriticalPath()
+	if slack < 0 {
+		return
+	}
+	if vdl.After(budget) {
+		c.violate("release of %q (root %q): virtual deadline %v after budget %v with slack %v >= 0",
+			t.Name, root.Name, vdl, budget, slack)
+	}
+	if !c.allowEarlyVDL && vdl.Before(t.Arrival) {
+		c.violate("release of %q (root %q): virtual deadline %v before release %v with slack %v >= 0",
+			t.Name, root.Name, vdl, t.Arrival, slack)
+	}
+}
+
+// Finish runs the end-of-simulation conservation check: every submitted
+// item must have resolved to done or aborted, except items stranded on a
+// node that is down at the end of the run.
+func (c *Checker) Finish() {
+	downNode := make(map[int]bool)
+	for _, n := range c.nodes {
+		if n.Down() {
+			downNode[n.ID()] = true
+		}
+	}
+	for it, id := range c.waiting {
+		if downNode[id] {
+			continue
+		}
+		c.violate("conservation: item %q still waiting at node%d after drain", it.Task.Name, id)
+	}
+	for it, id := range c.serving {
+		c.violate("conservation: item %q still in service at node%d after drain", it.Task.Name, id)
+	}
+}

@@ -1,0 +1,195 @@
+package sda
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Property tests over randomized parameters: each trial draws an arrival
+// instant, a deadline, and stage/fan-out shapes from a fixed-seed stream,
+// so the suite is deterministic yet covers a wide parameter region.
+
+const trials = 2000
+
+// drawSerial produces a random serial decomposition instance with
+// non-negative slack: ar, deadline and the remaining-stage predictions.
+func drawSerial(s *rng.Stream) (ar, dl simtime.Time, pex []simtime.Duration) {
+	ar = simtime.Time(s.Uniform(0, 1e4))
+	m := s.IntRange(1, 8)
+	pex = make([]simtime.Duration, m)
+	var total simtime.Duration
+	for i := range pex {
+		pex[i] = simtime.Duration(s.Exp(2.0))
+		total += pex[i]
+	}
+	slack := simtime.Duration(s.Uniform(0, 50))
+	dl = ar.Add(total + slack)
+	return ar, dl, pex
+}
+
+// TestSSPDeadlineWithinWindow: with non-negative slack every serial
+// strategy must place the stage deadline inside [ar, dl].
+func TestSSPDeadlineWithinWindow(t *testing.T) {
+	strategies := []SSP{SerialUD{}, ED{}, EQS{}, EQF{}}
+	s := rng.NewStream(0xa11ce)
+	for trial := 0; trial < trials; trial++ {
+		ar, dl, pex := drawSerial(s)
+		for _, ssp := range strategies {
+			v := ssp.AssignSerial(ar, dl, pex)
+			if v.Before(ar) || v.After(dl) {
+				t.Fatalf("trial %d: %s placed stage deadline %v outside [%v, %v] (pex %v)",
+					trial, ssp.Name(), v, ar, dl, pex)
+			}
+		}
+	}
+}
+
+// TestPSPDeadlineWithinWindow: with a deadline at or after arrival every
+// parallel strategy (band-encoded GF aside, whose deadline equals dl)
+// must stay inside [ar, dl]; GF-delta deliberately leaves the window and
+// is checked separately.
+func TestPSPDeadlineWithinWindow(t *testing.T) {
+	strategies := []PSP{UD{}, MustDiv(0.5), MustDiv(1), MustDiv(2), MustDiv(7.5), GF{}}
+	s := rng.NewStream(0xb0b)
+	for trial := 0; trial < trials; trial++ {
+		ar := simtime.Time(s.Uniform(0, 1e4))
+		dl := ar.Add(simtime.Duration(s.Uniform(0, 100)))
+		n := s.IntRange(1, 12)
+		for _, psp := range strategies {
+			v := psp.AssignParallel(ar, dl, n).Virtual
+			if v.Before(ar) || v.After(dl) {
+				t.Fatalf("trial %d: %s placed deadline %v outside [%v, %v] (n=%d)",
+					trial, psp.Name(), v, ar, dl, n)
+			}
+		}
+	}
+}
+
+// TestEQFCollapsesToEQSUnderEqualPex: when every remaining stage has the
+// same predicted execution time, proportional slack equals equal slack.
+func TestEQFCollapsesToEQSUnderEqualPex(t *testing.T) {
+	s := rng.NewStream(0xecf)
+	for trial := 0; trial < trials; trial++ {
+		ar := simtime.Time(s.Uniform(0, 1e4))
+		m := s.IntRange(1, 10)
+		pex := make([]simtime.Duration, m)
+		c := simtime.Duration(s.Uniform(0.01, 5))
+		for i := range pex {
+			pex[i] = c
+		}
+		// Include negative slack: the identity must hold there too.
+		dl := ar.Add(c.Scale(float64(m)) + simtime.Duration(s.Uniform(-20, 50)))
+		f := EQF{}.AssignSerial(ar, dl, pex)
+		q := EQS{}.AssignSerial(ar, dl, pex)
+		if diff := math.Abs(float64(f.Sub(q))); diff > 1e-9*math.Max(1, math.Abs(float64(f))) {
+			t.Fatalf("trial %d: EQF %v != EQS %v under equal pex (m=%d, c=%v, dl=%v)",
+				trial, f, q, m, c, dl)
+		}
+	}
+}
+
+// TestDivMonotoneInX: a larger divisor x must never yield a later virtual
+// deadline — DIV-x tightens monotonically.
+func TestDivMonotoneInX(t *testing.T) {
+	s := rng.NewStream(0xd1f)
+	for trial := 0; trial < trials; trial++ {
+		ar := simtime.Time(s.Uniform(0, 1e4))
+		dl := ar.Add(simtime.Duration(s.Uniform(0, 100)))
+		n := s.IntRange(1, 8)
+		xs := []float64{s.Uniform(0.1, 10), s.Uniform(0.1, 10), s.Uniform(0.1, 10)}
+		for i := range xs {
+			for j := range xs {
+				if xs[i] >= xs[j] {
+					continue
+				}
+				lo := MustDiv(xs[i]).AssignParallel(ar, dl, n).Virtual
+				hi := MustDiv(xs[j]).AssignParallel(ar, dl, n).Virtual
+				if hi.After(lo) {
+					t.Fatalf("trial %d: DIV-%g gave %v, later than DIV-%g's %v (n=%d)",
+						trial, xs[j], hi, xs[i], lo, n)
+				}
+			}
+		}
+	}
+}
+
+// TestGFBeatsAnyLocalDeadline: a GF-boosted subtask must outrank every
+// unboosted item in the EDF queue no matter how tight the local deadline,
+// and the GF-delta encoding achieves the same with plain EDF arithmetic
+// for every deadline below Δ.
+func TestGFBeatsAnyLocalDeadline(t *testing.T) {
+	mkItem := func(vdl simtime.Time, boost bool) *node.Item {
+		tk, err := task.NewSimple("t", 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk.VirtualDeadline = vdl
+		tk.PriorityBoost = boost
+		return node.NewItem(tk)
+	}
+	edf := node.EDF{}
+	s := rng.NewStream(0x6f)
+	for trial := 0; trial < trials; trial++ {
+		ar := simtime.Time(s.Uniform(0, 1e4))
+		gdl := ar.Add(simtime.Duration(s.Uniform(0, 100)))
+		localDL := simtime.Time(s.Uniform(0, 1e4)) // arbitrarily tight local deadline
+
+		band := GF{}.AssignParallel(ar, gdl, s.IntRange(1, 8))
+		if !band.Boost {
+			t.Fatal("GF band assignment must set Boost")
+		}
+		global := mkItem(band.Virtual, band.Boost)
+		local := mkItem(localDL, false)
+		if !edf.Less(global, local) {
+			t.Fatalf("trial %d: boosted global (vdl %v) does not outrank local (vdl %v)",
+				trial, band.Virtual, localDL)
+		}
+		if edf.Less(local, global) {
+			t.Fatalf("trial %d: local outranks boosted global", trial)
+		}
+
+		delta := GF{UseDelta: true}.AssignParallel(ar, gdl, 1)
+		if delta.Boost {
+			t.Fatal("GF-delta must not use the priority band")
+		}
+		if !delta.Virtual.Before(localDL) {
+			t.Fatalf("trial %d: GF-delta deadline %v not before local deadline %v",
+				trial, delta.Virtual, localDL)
+		}
+		if got, want := delta.Virtual, gdl.Add(-GFDelta); got != want {
+			t.Fatalf("trial %d: GF-delta deadline %v, want dl-Δ = %v", trial, got, want)
+		}
+	}
+}
+
+// TestSSPExactBudgetWhenSlackZero: with exactly zero slack every serial
+// strategy must hand the first stage precisely its prediction — no more,
+// no less (up to float rounding).
+func TestSSPExactBudgetWhenSlackZero(t *testing.T) {
+	strategies := []SSP{ED{}, EQS{}, EQF{}}
+	s := rng.NewStream(0x5a)
+	for trial := 0; trial < trials; trial++ {
+		ar := simtime.Time(s.Uniform(0, 1e3))
+		m := s.IntRange(1, 6)
+		pex := make([]simtime.Duration, m)
+		var total simtime.Duration
+		for i := range pex {
+			pex[i] = simtime.Duration(s.Exp(1.5))
+			total += pex[i]
+		}
+		dl := ar.Add(total)
+		for _, ssp := range strategies {
+			v := ssp.AssignSerial(ar, dl, pex)
+			want := ar.Add(pex[0])
+			if diff := math.Abs(float64(v.Sub(want))); diff > 1e-9*math.Max(1, float64(total)) {
+				t.Fatalf("trial %d: %s gave %v for zero slack, want ar+pex[0] = %v",
+					trial, ssp.Name(), v, want)
+			}
+		}
+	}
+}

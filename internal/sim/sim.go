@@ -69,8 +69,14 @@ type Config struct {
 	Servers int
 
 	// Observer, when non-nil, receives every node scheduling event (see
-	// internal/trace). Intended for small demonstration runs.
+	// internal/trace). Intended for small demonstration runs and the
+	// scenario harness.
 	Observer node.Observer
+
+	// ReleaseHook, when non-nil, observes every deadline assignment the
+	// process manager makes (see procmgr.WithReleaseHook). Used by the
+	// scenario harness's invariant checker.
+	ReleaseHook procmgr.ReleaseHook
 
 	Duration     simtime.Duration // measured portion of each replication
 	Warmup       simtime.Duration // tasks arriving before this are not counted
@@ -255,14 +261,25 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// RunOne executes a single replication with an explicit seed.
-func RunOne(cfg Config, seed uint64) (RepResult, error) {
-	cfg = cfg.normalized()
-	if err := cfg.Validate(); err != nil {
-		return RepResult{}, err
-	}
-	eng := des.New()
+// System is one fully wired replication: engine, nodes, process manager,
+// statistics collector, and (for live runs) the workload driver. RunOne
+// wraps the common path; the scenario harness builds a System directly so
+// it can schedule fault-injection events on Eng, swap strategies on Mgr,
+// or crash and degrade individual Nodes mid-run.
+type System struct {
+	Eng    *des.Engine
+	Nodes  []*node.Node
+	Mgr    *procmgr.Manager
+	Driver *workload.Driver // nil for replay systems
 
+	cfg Config
+	rec *collector
+}
+
+// build wires engine, nodes, manager and collector for a normalized,
+// validated configuration (no workload attached yet).
+func build(cfg Config) *System {
+	eng := des.New()
 	nodeOpts := []node.Option{node.WithPolicy(cfg.Policy)}
 	if cfg.Abort == AbortLocalScheduler {
 		nodeOpts = append(nodeOpts, node.WithLocalAbort())
@@ -286,38 +303,81 @@ func RunOne(cfg Config, seed uint64) (RepResult, error) {
 	if cfg.Abort == AbortProcessManager {
 		mgrOpts = append(mgrOpts, procmgr.WithPMAbort())
 	}
+	if cfg.ReleaseHook != nil {
+		mgrOpts = append(mgrOpts, procmgr.WithReleaseHook(cfg.ReleaseHook))
+	}
 	mgr := procmgr.New(eng, nodes, cfg.SSP, cfg.PSP, mgrOpts...)
+	return &System{Eng: eng, Nodes: nodes, Mgr: mgr, cfg: cfg, rec: rec}
+}
 
-	driver, err := workload.NewDriver(eng, mgr, cfg.Spec, seed)
+// NewSystem validates cfg and wires a single replication with a live
+// workload driver seeded with seed. Call Start to schedule arrivals, then
+// Finish to run to the horizon, drain, and collect the result.
+func NewSystem(cfg Config, seed uint64) (*System, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys := build(cfg)
+	driver, err := workload.NewDriver(sys.Eng, sys.Mgr, cfg.Spec, seed)
 	if err != nil {
-		return RepResult{}, err
+		return nil, err
 	}
-	horizon := simtime.Time(cfg.Warmup + cfg.Duration)
-	if err := driver.Start(horizon); err != nil {
-		return RepResult{}, err
+	sys.Driver = driver
+	return sys, nil
+}
+
+// Horizon returns the end of the measured window (warmup + duration).
+func (s *System) Horizon() simtime.Time {
+	return simtime.Time(s.cfg.Warmup + s.cfg.Duration)
+}
+
+// Start schedules the first arrival of every workload stream; arrivals
+// stop at the horizon.
+func (s *System) Start() error {
+	if s.Driver == nil {
+		return errors.New("sim: system has no workload driver")
 	}
-	// Run to the horizon, then let the queues drain so every counted task
-	// resolves to a hit or a miss.
-	eng.RunUntil(horizon)
-	measuredBusy := busyTime(nodes)
+	return s.Driver.Start(s.Horizon())
+}
+
+// Finish runs the simulation to the given horizon, measures utilization
+// and queue lengths there, drains the remaining events so every counted
+// task resolves to a hit or a miss, and returns the replication result.
+func (s *System) Finish(horizon simtime.Time) RepResult {
+	s.Eng.RunUntil(horizon)
+	measuredBusy := busyTime(s.Nodes)
 	var qlenSum float64
-	for _, n := range nodes {
+	for _, n := range s.Nodes {
 		qlenSum += n.MeanQueueLength()
 	}
-	eng.Run()
+	s.Eng.Run()
 
-	rep := rec.result()
-	rep.Events = eng.Fired()
-	if cfg.Spec.Load > 0 && rep.Locals+rep.Globals == 0 {
-		return rep, ErrNoTasks
-	}
+	rep := s.rec.result()
+	rep.Events = s.Eng.Fired()
 	// Utilization over the measured horizon (warmup included in busy time
 	// keeps the estimator simple; the horizon dwarfs the warmup).
 	if horizon > 0 {
-		capacity := float64(horizon) * float64(cfg.Spec.K) * float64(cfg.Servers)
+		capacity := float64(horizon) * float64(s.cfg.Spec.K) * float64(s.cfg.Servers)
 		rep.Utilization = float64(measuredBusy) / capacity
 	}
-	rep.MeanQueueLen = qlenSum / float64(cfg.Spec.K)
+	rep.MeanQueueLen = qlenSum / float64(s.cfg.Spec.K)
+	return rep
+}
+
+// RunOne executes a single replication with an explicit seed.
+func RunOne(cfg Config, seed uint64) (RepResult, error) {
+	sys, err := NewSystem(cfg, seed)
+	if err != nil {
+		return RepResult{}, err
+	}
+	if err := sys.Start(); err != nil {
+		return RepResult{}, err
+	}
+	rep := sys.Finish(sys.Horizon())
+	if sys.cfg.Spec.Load > 0 && rep.Locals+rep.Globals == 0 {
+		return rep, ErrNoTasks
+	}
 	return rep, nil
 }
 
@@ -456,51 +516,13 @@ func ReplayTrace(cfg Config, arrivals []workload.Arrival) (RepResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return RepResult{}, err
 	}
-	eng := des.New()
-	nodeOpts := []node.Option{node.WithPolicy(cfg.Policy)}
-	if cfg.Abort == AbortLocalScheduler {
-		nodeOpts = append(nodeOpts, node.WithLocalAbort())
-	}
-	if cfg.Preemptive {
-		nodeOpts = append(nodeOpts, node.WithPreemption())
-	}
-	if cfg.Observer != nil {
-		nodeOpts = append(nodeOpts, node.WithObserver(cfg.Observer))
-	}
-	if cfg.Servers > 1 {
-		nodeOpts = append(nodeOpts, node.WithServers(cfg.Servers))
-	}
-	nodes := make([]*node.Node, cfg.Spec.K)
-	for i := range nodes {
-		nodes[i] = node.New(i, eng, nodeOpts...)
-	}
-	rec := &collector{warmup: simtime.Time(cfg.Warmup)}
-	mgrOpts := []procmgr.Option{procmgr.WithRecorder(rec)}
-	if cfg.Abort == AbortProcessManager {
-		mgrOpts = append(mgrOpts, procmgr.WithPMAbort())
-	}
-	mgr := procmgr.New(eng, nodes, cfg.SSP, cfg.PSP, mgrOpts...)
-	if err := workload.Replay(eng, mgr, arrivals); err != nil {
+	sys := build(cfg)
+	if err := workload.Replay(sys.Eng, sys.Mgr, arrivals); err != nil {
 		return RepResult{}, err
 	}
 	var horizon simtime.Time
 	for _, a := range arrivals {
 		horizon = horizon.Max(a.At)
 	}
-	eng.RunUntil(horizon)
-	measuredBusy := busyTime(nodes)
-	var qlenSum float64
-	for _, n := range nodes {
-		qlenSum += n.MeanQueueLength()
-	}
-	eng.Run()
-
-	rep := rec.result()
-	rep.Events = eng.Fired()
-	if horizon > 0 {
-		capacity := float64(horizon) * float64(cfg.Spec.K) * float64(cfg.Servers)
-		rep.Utilization = float64(measuredBusy) / capacity
-	}
-	rep.MeanQueueLen = qlenSum / float64(cfg.Spec.K)
-	return rep, nil
+	return sys.Finish(horizon), nil
 }

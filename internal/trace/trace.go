@@ -11,8 +11,11 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/node"
@@ -132,6 +135,33 @@ func (tr *Tracer) Events() []Event {
 
 // Len returns the number of recorded events.
 func (tr *Tracer) Len() int { return len(tr.events) }
+
+// Hash returns a hex digest over the full event trace in a canonical,
+// full-precision serialization. Two runs of the same deterministic model
+// produce identical hashes; any divergence in event order, timing, task
+// identity, deadline assignment or boost flag changes the digest. The
+// scenario harness uses it for golden-trace regression tests.
+func (tr *Tracer) Hash() string {
+	h := sha256.New()
+	var buf []byte
+	for _, e := range tr.events {
+		buf = buf[:0]
+		buf = strconv.AppendInt(buf, int64(e.Kind), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(e.Node), 10)
+		buf = append(buf, '|')
+		buf = strconv.AppendFloat(buf, float64(e.At), 'g', 17, 64)
+		buf = append(buf, '|')
+		buf = append(buf, e.Task...)
+		buf = append(buf, '|')
+		buf = strconv.AppendFloat(buf, float64(e.Virtual), 'g', 17, 64)
+		buf = append(buf, '|')
+		buf = strconv.AppendBool(buf, e.Boost)
+		buf = append(buf, '\n')
+		h.Write(buf)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
 
 // Log renders the raw event log.
 func (tr *Tracer) Log() string {

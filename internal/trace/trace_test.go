@@ -241,3 +241,43 @@ func TestLogFormat(t *testing.T) {
 		t.Errorf("log missing fields:\n%s", log)
 	}
 }
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	build := func(extra bool) *Tracer {
+		eng := des.New()
+		tr := New()
+		n := node.New(0, eng, node.WithObserver(tr))
+		a := task.MustSimple("a", 0, 2)
+		a.VirtualDeadline = 10
+		b := task.MustSimple("b", 0, 1)
+		b.VirtualDeadline = 5
+		if err := n.Submit(node.NewItem(a)); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Submit(node.NewItem(b)); err != nil {
+			t.Fatal(err)
+		}
+		if extra {
+			c := task.MustSimple("c", 0, 1)
+			c.VirtualDeadline = 7
+			if err := n.Submit(node.NewItem(c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return tr
+	}
+	h1, h2 := build(false).Hash(), build(false).Hash()
+	if h1 != h2 {
+		t.Errorf("identical runs hash differently: %s vs %s", h1, h2)
+	}
+	if h3 := build(true).Hash(); h3 == h1 {
+		t.Error("different traces produced the same hash")
+	}
+	if len(h1) != 32 {
+		t.Errorf("hash length %d, want 32", len(h1))
+	}
+	if New().Hash() == h1 {
+		t.Error("empty trace hash collides with non-empty trace")
+	}
+}
