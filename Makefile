@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race scenarios bless bench
+.PHONY: check vet build test race scenarios bless bench bench-record bench-compare
 
 # check runs exactly what CI runs.
 check: vet build race scenarios
@@ -28,3 +28,13 @@ bless:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-record runs the guarded benchmark subset and appends the next
+# BENCH_<n>.json snapshot to the committed trajectory.
+bench-record:
+	$(GO) run ./cmd/sdabench -record
+
+# bench-compare runs the same subset and fails on a >25% ns/op regression
+# against the latest committed snapshot.
+bench-compare:
+	$(GO) run ./cmd/sdabench -compare -q

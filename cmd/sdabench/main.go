@@ -1,0 +1,341 @@
+// Command sdabench records and compares benchmark-trajectory snapshots.
+//
+// A snapshot (BENCH_<n>.json at the repository root) captures ns/op,
+// B/op, allocs/op and custom metrics (e.g. events/op) for the kernel and
+// simulator benchmarks, so performance changes are measured and guarded
+// instead of guessed. The trajectory is the committed sequence BENCH_1,
+// BENCH_2, ...: each perf-relevant change appends one snapshot and the
+// comparison mode fails the build when a benchmark regresses by more than
+// a threshold against the latest committed snapshot.
+//
+// Examples:
+//
+//	sdabench                          # run benchmarks, print snapshot JSON
+//	sdabench -record                  # ... and write BENCH_<n+1>.json
+//	sdabench -compare                 # ... and diff against latest BENCH_*.json
+//	sdabench -compare -report-only    # diff but never fail (CI smoke job)
+//	sdabench -input raw.txt -out s.json   # parse saved `go test -bench` output
+//
+// Equivalent make targets: `make bench-record`, `make bench-compare`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the benchmarks that guard the hot paths: the DES
+// kernel, end-to-end simulation throughput, and the strategy/parse/plan
+// micro-benchmarks. The per-figure experiment benchmarks are excluded to
+// keep the smoke run short; pass -bench '.' for everything.
+const defaultBench = "BenchmarkEngineEventChurn|BenchmarkSimulation|BenchmarkStrategyAssignment|BenchmarkEQFAssignment|BenchmarkTaskParse|BenchmarkPlan"
+
+// Measurement is one benchmark's recorded metrics, keyed the way `go test
+// -bench` prints them ("ns/op", "B/op", "allocs/op", "events/op", ...).
+type Measurement struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the persisted form of one benchmark run.
+type Snapshot struct {
+	Recorded   string                 `json:"recorded"`
+	GoVersion  string                 `json:"go_version"`
+	Bench      string                 `json:"bench"`
+	Benchtime  string                 `json:"benchtime"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sdabench", flag.ContinueOnError)
+	var (
+		bench      = fs.String("bench", defaultBench, "benchmark regex passed to `go test -bench`")
+		benchtime  = fs.String("benchtime", "100ms", "per-benchmark time passed to `go test -benchtime`")
+		dir        = fs.String("dir", ".", "directory holding BENCH_*.json snapshots (the package to benchmark)")
+		input      = fs.String("input", "", "parse raw `go test -bench` output from this file instead of running benchmarks")
+		record     = fs.Bool("record", false, "write the snapshot as BENCH_<n+1>.json in -dir")
+		outPath    = fs.String("out", "", "write the snapshot to this explicit path")
+		compare    = fs.Bool("compare", false, "compare against the latest BENCH_*.json in -dir")
+		maxRegress = fs.Float64("max-regress", 25, "fail -compare when ns/op regresses by more than this percentage")
+		reportOnly = fs.Bool("report-only", false, "with -compare: report regressions but always exit 0")
+		quiet      = fs.Bool("q", false, "suppress the snapshot JSON on stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var raw []byte
+	if *input != "" {
+		b, err := os.ReadFile(*input)
+		if err != nil {
+			return err
+		}
+		raw = b
+	} else {
+		b, err := runBenchmarks(*dir, *bench, *benchtime)
+		if err != nil {
+			return err
+		}
+		raw = b
+	}
+	snap := Snapshot{
+		Recorded:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Benchmarks: parseBench(string(raw)),
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results parsed (regex %q)", *bench)
+	}
+
+	// Compare before recording, so a new snapshot never diffs against
+	// itself.
+	var regressions []string
+	if *compare {
+		prev, prevPath, err := latestSnapshot(*dir)
+		if err != nil {
+			return err
+		}
+		if prev == nil {
+			fmt.Fprintf(out, "compare: no BENCH_*.json snapshot in %s yet; nothing to compare\n", *dir)
+		} else {
+			regressions = compareSnapshots(out, prev, &snap, prevPath, *maxRegress)
+		}
+	}
+
+	if !*quiet {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			return err
+		}
+	}
+	if *outPath != "" {
+		if err := writeSnapshot(*outPath, &snap); err != nil {
+			return err
+		}
+	}
+	if *record {
+		path, err := nextSnapshotPath(*dir)
+		if err != nil {
+			return err
+		}
+		if err := writeSnapshot(path, &snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded %s\n", path)
+	}
+
+	if len(regressions) > 0 && !*reportOnly {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressions), *maxRegress, strings.Join(regressions, ", "))
+	}
+	return nil
+}
+
+// runBenchmarks shells out to the go tool; the benchmarks live in the
+// root package of the repository.
+func runBenchmarks(dir, bench, benchtime string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	return out, nil
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkEngineEventChurn-8   1203421   318.5 ns/op   48 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// procsSuffix is a candidate GOMAXPROCS suffix on a benchmark name.
+var procsSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// parseBench extracts measurements from `go test -bench` output. Metric
+// values come in "<value> <unit>" pairs after the iteration count.
+//
+// The go tool appends "-<GOMAXPROCS>" to every name (absent when
+// GOMAXPROCS=1). That suffix is stripped so snapshots from machines with
+// different core counts compare by benchmark identity — but only the
+// suffix shared by the majority of result lines is treated as the
+// GOMAXPROCS tag, so a genuine name ending in "-<n>" (e.g. the DIV-1
+// strategy sub-benchmark) survives intact.
+func parseBench(output string) map[string]Measurement {
+	type row struct {
+		name    string
+		iters   int64
+		metrics map[string]float64
+	}
+	var rows []row
+	suffixCount := make(map[string]int)
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		metrics := make(map[string]float64, len(fields)/2)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		rows = append(rows, row{name: m[1], iters: iters, metrics: metrics})
+		if s := procsSuffix.FindString(m[1]); s != "" {
+			suffixCount[s]++
+		}
+	}
+	procs := ""
+	for s, c := range suffixCount {
+		if 2*c > len(rows) {
+			procs = s
+		}
+	}
+	res := make(map[string]Measurement, len(rows))
+	for _, r := range rows {
+		name := r.name
+		if procs != "" {
+			name = strings.TrimSuffix(name, procs)
+		}
+		res[name] = Measurement{Iterations: r.iters, Metrics: r.metrics}
+	}
+	return res
+}
+
+// snapshotPattern matches committed trajectory files.
+var snapshotPattern = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestSnapshot loads the highest-numbered BENCH_<n>.json in dir, or
+// (nil, "", nil) when the trajectory is still empty.
+func latestSnapshot(dir string) (*Snapshot, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := snapshotPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err == nil && n > bestN {
+			bestN, best = n, e.Name()
+		}
+	}
+	if bestN < 0 {
+		return nil, "", nil
+	}
+	path := filepath.Join(dir, best)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, "", fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &s, path, nil
+}
+
+// nextSnapshotPath returns the first unused BENCH_<n>.json path in dir.
+func nextSnapshotPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	maxN := 0
+	for _, e := range entries {
+		m := snapshotPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > maxN {
+			maxN = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", maxN+1)), nil
+}
+
+func writeSnapshot(path string, s *Snapshot) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// compareSnapshots prints a per-benchmark delta table and returns the
+// names whose ns/op regressed beyond maxRegress percent. Benchmarks
+// present in only one snapshot are reported but never fail the run.
+func compareSnapshots(out io.Writer, prev, cur *Snapshot, prevPath string, maxRegress float64) []string {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(out, "compare against %s (recorded %s):\n", prevPath, prev.Recorded)
+	var regressions []string
+	for _, name := range names {
+		curM := cur.Benchmarks[name]
+		prevM, ok := prev.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(out, "  %-40s new benchmark, no baseline\n", name)
+			continue
+		}
+		oldNs, newNs := prevM.Metrics["ns/op"], curM.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			continue
+		}
+		delta := (newNs/oldNs - 1) * 100
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSED"
+			regressions = append(regressions, name)
+		}
+		line := fmt.Sprintf("  %-40s %12.1f -> %12.1f ns/op  %+7.1f%%  %s",
+			name, oldNs, newNs, delta, status)
+		if oa, na := prevM.Metrics["allocs/op"], curM.Metrics["allocs/op"]; oa != na {
+			line += fmt.Sprintf("  (allocs/op %g -> %g)", oa, na)
+		}
+		fmt.Fprintln(out, line)
+	}
+	for name := range prev.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			fmt.Fprintf(out, "  %-40s dropped (present in baseline only)\n", name)
+		}
+	}
+	return regressions
+}

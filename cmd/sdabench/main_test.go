@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleOutput mirrors a GOMAXPROCS=1 run: no -<procs> suffixes, and a
+// sub-benchmark whose name genuinely ends in "-1".
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulationBaseline 	      24	  15142334 ns/op	     27227 events/op	 6612602 B/op	  126824 allocs/op
+BenchmarkEngineEventChurn   	 1203421	       318.5 ns/op	      48 B/op	       1 allocs/op
+BenchmarkStrategyAssignment/DIV-1      	96069963	         4.245 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	4.449s
+`
+
+func TestParseBench(t *testing.T) {
+	got := parseBench(sampleOutput)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	base, ok := got["BenchmarkSimulationBaseline"]
+	if !ok {
+		t.Fatal("missing BenchmarkSimulationBaseline")
+	}
+	if base.Iterations != 24 {
+		t.Errorf("iterations = %d, want 24", base.Iterations)
+	}
+	if base.Metrics["ns/op"] != 15142334 {
+		t.Errorf("ns/op = %v", base.Metrics["ns/op"])
+	}
+	if base.Metrics["events/op"] != 27227 {
+		t.Errorf("custom metric events/op = %v, want 27227", base.Metrics["events/op"])
+	}
+	if base.Metrics["allocs/op"] != 126824 {
+		t.Errorf("allocs/op = %v", base.Metrics["allocs/op"])
+	}
+	// Without a majority GOMAXPROCS suffix, names — including ones that
+	// genuinely end in "-<n>" — must survive untouched.
+	if _, ok := got["BenchmarkStrategyAssignment/DIV-1"]; !ok {
+		t.Errorf("sub-benchmark name mangled: %v", got)
+	}
+}
+
+// suffixedOutput mirrors a GOMAXPROCS=8 run: every line carries -8, which
+// must be stripped — but only that shared suffix, so DIV-1 keeps its -1.
+const suffixedOutput = `
+BenchmarkSimulationBaseline-8 	      24	  15142334 ns/op	     27227 events/op	 6612602 B/op	  126824 allocs/op
+BenchmarkEngineEventChurn-8   	 1203421	       318.5 ns/op	      48 B/op	       1 allocs/op
+BenchmarkStrategyAssignment/DIV-1-8    	96069963	         4.245 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchStripsProcsSuffix(t *testing.T) {
+	got := parseBench(suffixedOutput)
+	for _, want := range []string{
+		"BenchmarkSimulationBaseline",
+		"BenchmarkEngineEventChurn",
+		"BenchmarkStrategyAssignment/DIV-1",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing %q after suffix stripping: %v", want, got)
+		}
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := parseBench("PASS\nok repro 1.2s\nBenchmark 3 nonsense\n"); len(got) != 0 {
+		t.Errorf("parsed %d benchmarks from noise, want 0", len(got))
+	}
+}
+
+func writeTestSnapshot(t *testing.T, path string, benchmarks map[string]Measurement) {
+	t.Helper()
+	b, err := json.Marshal(Snapshot{Recorded: "test", Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotNumbering(t *testing.T) {
+	dir := t.TempDir()
+	path, err := nextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("first snapshot = %s, want BENCH_1.json", path)
+	}
+	writeTestSnapshot(t, filepath.Join(dir, "BENCH_1.json"), nil)
+	writeTestSnapshot(t, filepath.Join(dir, "BENCH_7.json"),
+		map[string]Measurement{"BenchmarkX": {Metrics: map[string]float64{"ns/op": 10}}})
+	path, err = nextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_8.json" {
+		t.Errorf("next snapshot = %s, want BENCH_8.json", path)
+	}
+	latest, latestPath, err := latestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latestPath) != "BENCH_7.json" {
+		t.Errorf("latest = %s, want BENCH_7.json", latestPath)
+	}
+	if latest.Benchmarks["BenchmarkX"].Metrics["ns/op"] != 10 {
+		t.Error("latest snapshot content not loaded")
+	}
+}
+
+func TestLatestSnapshotEmpty(t *testing.T) {
+	s, path, err := latestSnapshot(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil || path != "" {
+		t.Errorf("empty dir returned %v at %q", s, path)
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	prev := &Snapshot{Benchmarks: map[string]Measurement{
+		"BenchmarkFast":    {Metrics: map[string]float64{"ns/op": 100, "allocs/op": 1}},
+		"BenchmarkSlow":    {Metrics: map[string]float64{"ns/op": 100}},
+		"BenchmarkDropped": {Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Measurement{
+		"BenchmarkFast": {Metrics: map[string]float64{"ns/op": 90, "allocs/op": 0}},
+		"BenchmarkSlow": {Metrics: map[string]float64{"ns/op": 140}},
+		"BenchmarkNew":  {Metrics: map[string]float64{"ns/op": 7}},
+	}}
+	var buf strings.Builder
+	regressed := compareSnapshots(&buf, prev, cur, "BENCH_1.json", 25)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkSlow" {
+		t.Errorf("regressions = %v, want [BenchmarkSlow]", regressed)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "new benchmark", "dropped", "allocs/op 1 -> 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// A 40% threshold lets the slow benchmark pass.
+	if regressed := compareSnapshots(&strings.Builder{}, prev, cur, "x", 45); len(regressed) != 0 {
+		t.Errorf("regressions at 45%% threshold = %v, want none", regressed)
+	}
+}
+
+// TestRunWithInputFixture drives the full flow (parse -> compare ->
+// record) without shelling out to the go tool.
+func TestRunWithInputFixture(t *testing.T) {
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(inPath, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-input", inPath, "-dir", dir, "-record", "-q"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_1.json")); err != nil {
+		t.Fatalf("snapshot not recorded: %v", err)
+	}
+
+	// A second identical run compared against the first: no regressions.
+	buf.Reset()
+	if err := run([]string{"-input", inPath, "-dir", dir, "-compare", "-q"}, &buf); err != nil {
+		t.Fatalf("identical run reported regression: %v\n%s", err, buf.String())
+	}
+
+	// A slowed-down run must fail ... unless report-only.
+	slow := strings.ReplaceAll(sampleOutput, "318.5 ns/op", "9999.0 ns/op")
+	slowPath := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(slowPath, []byte(slow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-input", slowPath, "-dir", dir, "-compare", "-q"}, io.Discard); err == nil {
+		t.Fatal("regressed run did not fail")
+	}
+	if err := run([]string{"-input", slowPath, "-dir", dir, "-compare", "-report-only", "-q"}, io.Discard); err != nil {
+		t.Fatalf("report-only run failed: %v", err)
+	}
+}

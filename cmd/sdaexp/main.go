@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		duration = fs.Float64("duration", 0, "override simulated time per replication")
 		reps     = fs.Int("reps", 0, "override replications")
 		seed     = fs.Uint64("seed", 0, "override master seed")
+		workers  = fs.Int("workers", 0, "bound cell+replication parallelism (0 = GOMAXPROCS cells, sequential replications)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +67,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *seed > 0 {
 		opts.Seed = *seed
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
 	}
 
 	switch *id {

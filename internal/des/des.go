@@ -12,10 +12,25 @@
 // Events scheduled for the same instant fire in scheduling order (FIFO
 // tie-break via a monotonically increasing sequence number), so model logic
 // never observes nondeterministic ordering.
+//
+// # Implementation
+//
+// The calendar is a specialized inline 4-ary min-heap of small value slots
+// (time, sequence, record index) — no container/heap interface calls, no
+// per-entry pointers. Event state lives in an engine-local pool of records
+// recycled through a free list, so steady-state schedule/fire/cancel cycles
+// perform no heap allocation. Cancel does not restructure the heap: it
+// tombstones the record in O(1) and the dead slot is skipped (and its
+// record recycled) when it reaches the top. Models with abort timers cancel
+// far more often than they fire, which makes lazy deletion the cheaper
+// trade on both sides.
+//
+// Because records are recycled, an Event handle is a value carrying a
+// generation tag: any operation through a stale handle (after the event
+// fired or was cancelled and its record reused) is a safe no-op.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -26,32 +41,95 @@ import (
 // simulated instant.
 var ErrPastEvent = errors.New("des: event scheduled in the past")
 
-// Event is a scheduled callback. It is owned by the engine; user code holds
-// it only to Cancel it.
+// Event is a by-value handle to a scheduled callback. The engine owns the
+// underlying record; user code holds the handle only to Cancel the event or
+// query its state. Handles are generation-tagged: once the event has fired
+// or been cancelled and its record recycled for a new event, every method
+// on the old handle degrades to a safe no-op — a stale handle can never
+// cancel somebody else's event. The zero Event is a valid "no event"
+// handle: Cancel reports false, Pending and Cancelled report false.
 type Event struct {
-	at     simtime.Time
-	seq    uint64
-	index  int // heap index, -1 when not queued
-	fn     func()
-	halted bool
+	eng *Engine
+	idx int32
+	gen uint32
+	at  simtime.Time
 }
 
 // Time returns the instant the event is (or was) scheduled for.
-func (e *Event) Time() simtime.Time { return e.at }
+func (e Event) Time() simtime.Time { return e.at }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.halted }
+// rec resolves the handle to its live record, or nil when the handle is
+// zero or stale (the record has been recycled for a newer event).
+func (e Event) rec() *record {
+	if e.eng == nil || e.idx < 0 || int(e.idx) >= len(e.eng.pool) {
+		return nil
+	}
+	r := &e.eng.pool[e.idx]
+	if r.gen != e.gen {
+		return nil
+	}
+	return r
+}
+
+// Cancelled reports whether the event was cancelled before firing. After
+// the record is recycled for a new event the handle is stale and Cancelled
+// reports false.
+func (e Event) Cancelled() bool {
+	r := e.rec()
+	return r != nil && r.state == stateCancelled
+}
 
 // Pending reports whether the event is still in the calendar.
-func (e *Event) Pending() bool { return e.index >= 0 }
+func (e Event) Pending() bool {
+	r := e.rec()
+	return r != nil && r.state == statePending
+}
+
+// record states. A record is free (on the free list or never used),
+// pending (scheduled, will fire), or cancelled (tombstoned in the
+// calendar, recycled when its slot surfaces).
+const (
+	stateFree uint8 = iota
+	statePending
+	stateCancelled
+)
+
+// record holds the mutable state of one scheduled event. Records are
+// pooled and recycled; gen disambiguates incarnations for stale handles.
+type record struct {
+	fn    func()
+	gen   uint32
+	state uint8
+}
+
+// slot is one calendar entry: the ordering key plus the record index. Keys
+// are stored inline so heap sifts never chase record pointers.
+type slot struct {
+	at  simtime.Time
+	seq uint64
+	idx int32
+}
+
+// before is the strict (time, seq) order; seq is unique, so this is a
+// total order and FIFO tie-break at equal instants is exact.
+func (s slot) before(t slot) bool {
+	if s.at != t.at {
+		return s.at.Before(t.at)
+	}
+	return s.seq < t.seq
+}
 
 // Engine is the simulation kernel. Create one with New, schedule events,
 // then drive it with Step, RunUntil or Run.
 type Engine struct {
-	now      simtime.Time
-	calendar eventHeap
-	seq      uint64
-	fired    uint64
+	now   simtime.Time
+	seq   uint64
+	fired uint64
+	live  int // scheduled and not yet fired or cancelled
+
+	heap []slot   // inline 4-ary min-heap of calendar slots
+	pool []record // event records addressed by slot.idx
+	free []int32  // recycled record indexes
 }
 
 // New returns an engine with the clock at zero and an empty calendar.
@@ -66,58 +144,102 @@ func (e *Engine) Now() simtime.Time { return e.now }
 // cost metric for benchmarks).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently in the calendar.
-func (e *Engine) Pending() int { return len(e.calendar) }
+// Pending returns the number of events currently in the calendar
+// (scheduled and neither fired nor cancelled).
+func (e *Engine) Pending() int { return e.live }
+
+// alloc returns a record index from the free list, growing the pool only
+// when the list is empty, and bumps the record's generation so handles to
+// the previous incarnation go stale.
+func (e *Engine) alloc() int32 {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.pool = append(e.pool, record{})
+		idx = int32(len(e.pool) - 1)
+	}
+	e.pool[idx].gen++
+	return idx
+}
+
+// release recycles a record whose slot has left the calendar.
+func (e *Engine) release(idx int32) {
+	r := &e.pool[idx]
+	r.fn = nil
+	r.state = stateFree
+	e.free = append(e.free, idx)
+}
 
 // At schedules fn to run at the given instant and returns a handle that can
 // cancel it. Scheduling in the past returns ErrPastEvent.
-func (e *Engine) At(at simtime.Time, fn func()) (*Event, error) {
+func (e *Engine) At(at simtime.Time, fn func()) (Event, error) {
 	if at.Before(e.now) {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+		return Event{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	idx := e.alloc()
+	r := &e.pool[idx]
+	r.fn = fn
+	r.state = statePending
+	s := slot{at: at, seq: e.seq, idx: idx}
 	e.seq++
-	heap.Push(&e.calendar, ev)
-	return ev, nil
+	e.live++
+	e.push(s)
+	return Event{eng: e, idx: idx, gen: r.gen, at: at}, nil
 }
 
 // After schedules fn to run d time units from now.
-func (e *Engine) After(d simtime.Duration, fn func()) (*Event, error) {
+func (e *Engine) After(d simtime.Duration, fn func()) (Event, error) {
 	if d < 0 {
-		return nil, fmt.Errorf("%w: delay=%v", ErrPastEvent, d)
+		return Event{}, fmt.Errorf("%w: delay=%v", ErrPastEvent, d)
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event from the calendar. Cancelling a fired or
-// already-cancelled event is a no-op and reports false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event from the calendar. Cancelling a fired,
+// already-cancelled or zero-handle event is a no-op and reports false.
+// Cancellation is O(1): the record is tombstoned and its calendar slot is
+// discarded lazily when it reaches the top of the heap.
+func (e *Engine) Cancel(ev Event) bool {
+	r := ev.rec()
+	if r == nil || r.state != statePending {
 		return false
 	}
-	heap.Remove(&e.calendar, ev.index)
-	ev.index = -1
-	ev.halted = true
-	ev.fn = nil
+	r.state = stateCancelled
+	r.fn = nil
+	e.live--
 	return true
+}
+
+// prune discards tombstoned slots from the top of the heap, recycling
+// their records, and reports whether a live slot remains on top.
+func (e *Engine) prune() bool {
+	for len(e.heap) > 0 {
+		idx := e.heap[0].idx
+		if e.pool[idx].state != stateCancelled {
+			return true
+		}
+		e.popMin()
+		e.release(idx)
+	}
+	return false
 }
 
 // Step executes the next event, advancing the clock to its instant. It
 // reports false when the calendar is empty.
 func (e *Engine) Step() bool {
-	if len(e.calendar) == 0 {
+	if !e.prune() {
 		return false
 	}
-	ev, ok := heap.Pop(&e.calendar).(*Event)
-	if !ok {
-		// The heap only ever contains *Event; reaching here means memory
-		// corruption, which we cannot recover from.
-		panic("des: calendar contained a non-event")
-	}
-	ev.index = -1
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	s := e.heap[0]
+	e.popMin()
+	fn := e.pool[s.idx].fn
+	// Recycle before firing so the callback's own scheduling can reuse the
+	// record: a steady schedule-fire loop then touches no allocator at all.
+	e.release(s.idx)
+	e.now = s.at
+	e.live--
 	e.fired++
 	fn()
 	return true
@@ -127,7 +249,7 @@ func (e *Engine) Step() bool {
 // next event lies strictly after the horizon. The clock finishes at the
 // horizon (or at the last event if the calendar drains first).
 func (e *Engine) RunUntil(horizon simtime.Time) {
-	for len(e.calendar) > 0 && !e.calendar[0].at.After(horizon) {
+	for e.prune() && !e.heap[0].at.After(horizon) {
 		e.Step()
 	}
 	if e.now.Before(horizon) {
@@ -141,38 +263,55 @@ func (e *Engine) Run() {
 	}
 }
 
-// eventHeap is a min-heap ordered by (time, sequence number).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at.Before(h[j].at)
+// push inserts s into the 4-ary heap (sift-up with a hole, one write per
+// level).
+func (e *Engine) push(s slot) {
+	h := append(e.heap, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.before(h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	h[i] = s
+	e.heap = h
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		panic("des: pushed a non-event")
+// popMin removes the minimum slot (h[0]) from the 4-ary heap.
+func (e *Engine) popMin() {
+	h := e.heap
+	n := len(h) - 1
+	s := h[n]
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return
 	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	// Sift the displaced last slot down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(s) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = s
 }

@@ -136,15 +136,15 @@ func TestCancel(t *testing.T) {
 	if e.Cancel(ev) {
 		t.Error("double cancel should report false")
 	}
-	if e.Cancel(nil) {
-		t.Error("cancel(nil) should report false")
+	if e.Cancel(Event{}) {
+		t.Error("cancel of the zero handle should report false")
 	}
 }
 
 func TestCancelMiddleOfCalendar(t *testing.T) {
 	e := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		ev, err := e.At(simtime.Time(i), func() { got = append(got, i) })
@@ -249,7 +249,7 @@ func TestHeapStress(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	e := New()
 	var fired []float64
-	var pending []*Event
+	var pending []Event
 	for i := 0; i < 5000; i++ {
 		at := simtime.Time(r.Float64() * 1000)
 		ev, err := e.At(at, func() { fired = append(fired, float64(at)) })
@@ -268,6 +268,117 @@ func TestHeapStress(t *testing.T) {
 	}
 	if len(fired) == 0 {
 		t.Error("no events fired")
+	}
+}
+
+// TestHandleRecycleSafety: once an event's record has been recycled for a
+// newer event, every operation through the stale handle must be a safe
+// no-op — in particular a stale Cancel must never kill the new event.
+func TestHandleRecycleSafety(t *testing.T) {
+	e := New()
+	firstFired := false
+	first, err := e.At(1, func() { firstFired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	// Cancel after fire, before the record is recycled.
+	if e.Cancel(first) {
+		t.Error("cancel after fire should report false")
+	}
+
+	// The pool has exactly one record, so this schedule reuses it.
+	secondFired := false
+	second, err := e.At(2, func() { secondFired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Pending() {
+		t.Fatal("second event should be pending")
+	}
+	if first.Pending() {
+		t.Error("stale handle reports pending after recycle")
+	}
+	if first.Cancelled() {
+		t.Error("stale handle reports cancelled after recycle")
+	}
+	if e.Cancel(first) {
+		t.Error("stale cancel must be a no-op")
+	}
+	if !second.Pending() {
+		t.Fatal("stale cancel killed the recycled record's new event")
+	}
+	e.Run()
+	if !secondFired {
+		t.Error("second event did not fire after stale cancel attempt")
+	}
+}
+
+// TestDoubleCancelAcrossRecycle: double-cancel is a no-op both before and
+// after the tombstoned record is reclaimed and reused.
+func TestDoubleCancelAcrossRecycle(t *testing.T) {
+	e := New()
+	ev, err := e.At(5, func() { t.Error("cancelled event fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel(ev) {
+		t.Error("second cancel (tombstoned, not yet reclaimed) should report false")
+	}
+	e.Run() // reclaims the tombstone
+	if e.Cancel(ev) {
+		t.Error("cancel after reclaim should report false")
+	}
+	// Reuse the record; the stale handle must stay inert.
+	if _, err := e.At(9, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cancel(ev) {
+		t.Error("cancel through a stale handle cancelled a recycled event")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+// TestCancelHeavyChurnAllocFree: the documented steady-state property —
+// schedule/cancel/fire cycles recycle records instead of allocating.
+func TestCancelHeavyChurnAllocFree(t *testing.T) {
+	e := New()
+	// Warm the pool and the heap capacity.
+	warm := make([]Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		ev, err := e.After(simtime.Duration(i+1), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm = append(warm, ev)
+	}
+	for _, ev := range warm {
+		e.Cancel(ev)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		ev, err := e.After(1, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Cancel(ev)
+		ev2, err := e.After(1, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ev2
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state churn allocates %v times per cycle, want 0", allocs)
 	}
 }
 

@@ -60,7 +60,7 @@ func PexError(o Options) (*Table, error) {
 	}
 	ne := len(estimators)
 	results := make([]sim.Result, len(loads)*ne)
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		li, ei := i/ne, i%ne
 		cfg := fig15Base(o)
 		cfg.Spec.Load = loads[li]
@@ -170,7 +170,7 @@ func DivNoFanout(o Options) (*Table, error) {
 	}
 	cols := make([][]float64, len(strategies))
 	colErrs := make([][]float64, len(strategies))
-	err := par.Map(0, len(strategies), func(i int) error {
+	err := par.Map(o.Workers, len(strategies), func(i int) error {
 		cfg := baseline(o)
 		cfg.Spec.Factory = workload.UniformParallel{Min: 2, Max: 6}
 		cfg.PSP = strategies[i]
@@ -268,7 +268,7 @@ func ServiceDist(o Options) (*Table, error) {
 	}
 	nd := len(dists)
 	results := make([]sim.Result, len(loads)*nd)
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		li, di := i/nd, i%nd
 		cfg := baseline(o)
 		cfg.Spec.Load = loads[li]
@@ -348,7 +348,7 @@ func Scale(o Options) (*Table, error) {
 		{"DIV-1", func(c *sim.Config) { c.PSP = sda.MustDiv(1) }},
 	}
 	results := make([]sim.Result, len(ks)*2)
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		ki, vi := i/2, i%2
 		cfg := baseline(o)
 		cfg.Spec.K = int(ks[ki])

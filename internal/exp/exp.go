@@ -20,6 +20,14 @@ type Options struct {
 	Warmup       simtime.Duration
 	Replications int
 	Seed         uint64
+
+	// Workers bounds the parallelism of the run at both levels: the
+	// experiment's cells fan out over at most Workers goroutines (0 =
+	// GOMAXPROCS, the historical default) and each cell passes the same
+	// bound to sim.Config.Workers for its replications. Both levels draw
+	// helpers from one bounded process-wide pool (internal/par), so the
+	// two never multiply. Results are identical for every setting.
+	Workers int
 }
 
 // DefaultOptions approximates the paper's fidelity: two long runs per data
@@ -41,6 +49,7 @@ func (o Options) apply(cfg *sim.Config) {
 	cfg.Warmup = o.Warmup
 	cfg.Replications = o.Replications
 	cfg.Seed = o.Seed
+	cfg.Workers = o.Workers
 }
 
 // Table is the output of one experiment: named series sampled at common x

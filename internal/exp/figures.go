@@ -42,7 +42,7 @@ func loadSweep(o Options, loads []float64, base sim.Config, variants []variant, 
 	}
 	nv := len(variants)
 	results := make([]sim.Result, len(loads)*nv)
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		li, vi := i/nv, i%nv
 		cfg := base
 		cfg.Spec.Load = loads[li]
@@ -140,7 +140,7 @@ func Fig9(o Options) (*Table, error) {
 	}
 	nf := len(fanouts)
 	results := make([]sim.Result, len(xs)*nf)
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		xi, fi := i/nf, i%nf
 		cfg := baseline(o)
 		cfg.Spec.Factory = workload.FixedParallel{N: fanouts[fi]}
@@ -189,7 +189,7 @@ func fracLocalSweep(o Options, id, title string, challenger variant) (*Table, er
 		challenger,
 	}
 	results := make([]sim.Result, len(fracs)*2)
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		fi, vi := i/2, i%2
 		cfg := baseline(o)
 		cfg.Spec.FracLocal = fracs[fi]
@@ -277,7 +277,7 @@ func LocalAbort(o Options) (*Table, error) {
 	}
 	modes := []sim.AbortMode{sim.AbortProcessManager, sim.AbortLocalScheduler}
 	results := make([]sim.Result, len(xs)*len(modes))
-	err := par.Map(0, len(results), func(i int) error {
+	err := par.Map(o.Workers, len(results), func(i int) error {
 		xi, mi := i/len(modes), i%len(modes)
 		cfg := baseline(o)
 		cfg.Spec.Load = 0.6
@@ -333,7 +333,7 @@ func Fig12(o Options) (*Table, error) {
 	// One run per strategy (in parallel); rows are classes.
 	cols := make([][]float64, len(strategies))
 	colErrs := make([][]float64, len(strategies))
-	err := par.Map(0, len(strategies), func(i int) error {
+	err := par.Map(o.Workers, len(strategies), func(i int) error {
 		v := strategies[i]
 		cfg := baseline(o)
 		cfg.Spec.Factory = workload.UniformParallel{Min: 2, Max: 6}

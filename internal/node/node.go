@@ -81,7 +81,7 @@ type Item struct {
 	state     ItemState
 	seq       uint64
 	index     int // heap index; -1 when not queued
-	service   *des.Event
+	service   des.Event
 	owner     *Node
 	remaining simtime.Duration // unexecuted service demand
 	startedAt simtime.Time     // start of the current service stretch
@@ -369,7 +369,7 @@ func (n *Node) Crash() {
 	now := n.eng.Now()
 	for _, it := range n.servingInOrder() {
 		n.eng.Cancel(it.service)
-		it.service = nil
+		it.service = des.Event{}
 		n.busy += now.Sub(it.startedAt)
 		it.state = StateQueued
 		n.noteQueueChange()
@@ -434,7 +434,7 @@ func (n *Node) soleServing() *Item {
 // and returns it to the queue.
 func (n *Node) preempt(cur *Item) {
 	n.eng.Cancel(cur.service)
-	cur.service = nil
+	cur.service = des.Event{}
 	elapsed := n.eng.Now().Sub(cur.startedAt)
 	cur.remaining -= elapsed.Scale(n.rate)
 	if cur.remaining < 0 {
@@ -469,7 +469,7 @@ func (n *Node) Remove(it *Item) bool {
 		return true
 	case StateServing:
 		n.eng.Cancel(it.service)
-		it.service = nil
+		it.service = des.Event{}
 		it.state = StateAborted
 		n.aborted++
 		n.busy += n.eng.Now().Sub(it.startedAt)
@@ -531,7 +531,7 @@ func (n *Node) dispatch() {
 func (n *Node) complete(it *Item) {
 	now := n.eng.Now()
 	it.state = StateDone
-	it.service = nil
+	it.service = des.Event{}
 	it.Task.Finish = now
 	n.busy += now.Sub(it.startedAt)
 	it.remaining = 0

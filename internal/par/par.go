@@ -1,13 +1,23 @@
 // Package par provides a minimal bounded worker pool for embarrassingly
 // parallel jobs — in this repository, the independent simulation cells of
-// a parameter sweep. Each cell is deterministic given its seed, so
-// parallel execution changes wall-clock time only, never results.
+// a parameter sweep and the independent replications inside each cell.
+// Each job is deterministic given its seed, so parallel execution changes
+// wall-clock time only, never results.
+//
+// All Map calls in the process share one bounded pool of helper
+// goroutines, capped at GOMAXPROCS as observed at first use. The calling
+// goroutine always participates in its own Map, so nested calls (an
+// experiment fanning out cells, each cell fanning out replications) never
+// deadlock and never multiply goroutines: when the shared pool is
+// exhausted, an inner Map simply degrades to inline execution on the
+// worker that called it.
 package par
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PanicError is what Map re-panics with on the caller's goroutine when a
@@ -23,10 +33,33 @@ func (p *PanicError) Error() string {
 	return fmt.Sprintf("par: fn(%d) panicked: %v", p.Index, p.Value)
 }
 
+// helperTokens is the process-wide cap on helper goroutines across all
+// concurrent (and nested) Map calls. Sized once, at first use.
+var (
+	tokensOnce sync.Once
+	tokens     chan struct{}
+)
+
+func helperTokens() chan struct{} {
+	tokensOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 1 {
+			n = 1
+		}
+		tokens = make(chan struct{}, n)
+	})
+	return tokens
+}
+
 // Map runs fn(0..n-1) on at most workers goroutines and waits for all of
 // them. It returns the error of the lowest index that failed (results of
 // other calls are still produced by fn's own side effects). workers <= 0
 // selects GOMAXPROCS.
+//
+// The caller's goroutine is one of the workers; at most workers-1 helpers
+// are borrowed from the shared process-wide pool, so the concurrency of a
+// single Map never exceeds workers and the helper goroutines of all Map
+// calls together never exceed GOMAXPROCS.
 //
 // A panic inside fn does not crash the pool: remaining jobs still run,
 // every worker drains, and Map re-panics on the caller's goroutine with a
@@ -43,6 +76,7 @@ func Map(workers, n int, fn func(i int) error) error {
 	}
 
 	var (
+		next     int64 // atomic cursor over job indexes
 		mu       sync.Mutex
 		firstErr error
 		firstIdx = n
@@ -67,21 +101,35 @@ func Map(workers, n int, fn func(i int) error) error {
 			mu.Unlock()
 		}
 	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				runOne(i)
+	loop := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
 			}
-		}()
+			runOne(i)
+		}
 	}
-	for i := 0; i < n; i++ {
-		jobs <- i
+
+	tok := helperTokens()
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		select {
+		case tok <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-tok
+					wg.Done()
+				}()
+				loop()
+			}()
+		default:
+			// Shared pool exhausted: the remaining share of the work is
+			// absorbed by the caller's own loop below.
+		}
 	}
-	close(jobs)
+	loop()
 	wg.Wait()
 	if pan != nil {
 		panic(pan)

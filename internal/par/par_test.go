@@ -91,6 +91,44 @@ func TestMapConcurrencyBound(t *testing.T) {
 	}
 }
 
+// TestMapNestedSharesPool: an outer sweep fanning out inner Maps (the
+// cell/replication shape of the experiment drivers) must complete every
+// inner job without deadlock, even when the outer call saturates the
+// shared helper pool.
+func TestMapNestedSharesPool(t *testing.T) {
+	const outer, inner = 16, 8
+	var count int64
+	err := Map(0, outer, func(i int) error {
+		return Map(0, inner, func(j int) error {
+			atomic.AddInt64(&count, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != outer*inner {
+		t.Errorf("ran %d inner jobs, want %d", count, outer*inner)
+	}
+}
+
+// TestMapNestedPropagatesError: errors from inner Maps surface through the
+// outer call with lowest-outer-index determinism.
+func TestMapNestedPropagatesError(t *testing.T) {
+	errInner := errors.New("inner")
+	err := Map(4, 6, func(i int) error {
+		return Map(2, 4, func(j int) error {
+			if i == 3 && j == 1 {
+				return fmt.Errorf("cell %d: %w", i, errInner)
+			}
+			return nil
+		})
+	})
+	if !errors.Is(err, errInner) {
+		t.Errorf("err = %v, want wrapped inner error", err)
+	}
+}
+
 func TestMapPropagatesPanic(t *testing.T) {
 	var ran int64
 	defer func() {

@@ -151,11 +151,9 @@ func (m *Manager) SubmitLocal(t *task.Task) error {
 	t.VirtualDeadline = t.RealDeadline
 
 	it := node.NewItem(t)
-	var timer *des.Event
+	var timer des.Event
 	it.OnDone = func(_ *node.Item, at simtime.Time) {
-		if timer != nil {
-			m.eng.Cancel(timer)
-		}
+		m.eng.Cancel(timer) // no-op on the zero handle or a fired timer
 		m.rec.RecordLocal(t, t.Missed())
 	}
 	if m.pmAbort {
@@ -219,7 +217,7 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 type run struct {
 	m     *Manager
 	root  *task.Task
-	timer *des.Event
+	timer des.Event
 	live  liveSet // submitted, not yet finished
 	over  bool    // completed or aborted
 }
@@ -398,9 +396,7 @@ func (r *run) finished(c *ctrl, at simtime.Time) {
 // complete closes out a successfully finished run.
 func (r *run) complete(at simtime.Time) {
 	r.over = true
-	if r.timer != nil {
-		r.m.eng.Cancel(r.timer)
-	}
+	r.m.eng.Cancel(r.timer)
 	r.m.rec.RecordGlobal(r.root, at.After(r.root.RealDeadline))
 }
 
@@ -410,10 +406,8 @@ func (r *run) abortAll() {
 		return
 	}
 	r.over = true
-	if r.timer != nil {
-		r.m.eng.Cancel(r.timer)
-		r.timer = nil
-	}
+	r.m.eng.Cancel(r.timer)
+	r.timer = des.Event{}
 	for _, it := range r.live {
 		r.m.nodes[it.Task.Node].Remove(it)
 		it.Task.Aborted = true

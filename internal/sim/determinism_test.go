@@ -80,6 +80,37 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestReplicationsDeterministicAcrossWorkers: Run's aggregates must be
+// bit-identical whether replications execute sequentially or on every
+// available core — the seeds are derived before any replication starts and
+// results are folded in replication order.
+func TestReplicationsDeterministicAcrossWorkers(t *testing.T) {
+	for _, cfg := range sweepConfigs() {
+		cfg.Replications = 5
+		seq := cfg
+		seq.Workers = 1
+		wide := cfg
+		wide.Workers = runtime.GOMAXPROCS(0)
+
+		a, err := Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The configs differ only in the Workers knob, which must not
+		// influence any result.
+		a.Config.Workers = 0
+		b.Config.Workers = 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("results differ between Workers=1 and Workers=%d:\n%+v\n%+v",
+				runtime.GOMAXPROCS(0), a, b)
+		}
+	}
+}
+
 // traceHashFor runs one full system with a tracer attached and returns
 // the canonical trace hash.
 func traceHashFor(t *testing.T, cfg Config, seed uint64) string {

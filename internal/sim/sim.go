@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/procmgr"
 	"repro/internal/rng"
 	"repro/internal/sda"
@@ -82,6 +83,15 @@ type Config struct {
 	Warmup       simtime.Duration // tasks arriving before this are not counted
 	Replications int              // independent replications (>= 1)
 	Seed         uint64           // master seed; replication r uses a derived seed
+
+	// Workers bounds the number of replications run concurrently (default
+	// 1: sequential). Replication seeds are derived up front, so any
+	// worker count yields bit-identical aggregates; workers are drawn from
+	// the same bounded process-wide pool as cell-level parallelism (see
+	// internal/par), so sweeps can enable both without multiplying
+	// goroutines. When an Observer or ReleaseHook is attached the run is
+	// forced sequential, because those callbacks are not synchronized.
+	Workers int
 }
 
 // Default returns a ready-to-run baseline configuration: Table 1 workload,
@@ -120,6 +130,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Servers == 0 {
 		c.Servers = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -211,24 +224,44 @@ type Result struct {
 var ErrNoTasks = errors.New("sim: no tasks observed")
 
 // Run executes the configured number of replications and aggregates them.
+// Replications run on up to cfg.Workers goroutines; seeds are derived from
+// the master seed before any replication starts (preserving the sequential
+// seed sequence) and results are aggregated in replication order, so the
+// aggregates are bit-identical for every worker count.
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	sp := rng.NewSplitter(cfg.Seed)
-	res := Result{Config: cfg, MDGlobalBy: make(map[int]stats.Interval)}
+	seeds := make([]uint64, cfg.Replications)
+	for r := range seeds {
+		seeds[r] = sp.Seed()
+	}
+	workers := cfg.Workers
+	if cfg.Observer != nil || cfg.ReleaseHook != nil {
+		workers = 1 // callbacks are not synchronized across replications
+	}
+	reps := make([]RepResult, cfg.Replications)
+	err := par.Map(workers, cfg.Replications, func(r int) error {
+		rep, err := RunOne(cfg, seeds[r])
+		if err != nil {
+			return fmt.Errorf("replication %d: %w", r, err)
+		}
+		reps[r] = rep
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Config: cfg, Reps: reps}
 	var (
 		mdLocal, mdSub, mdGlob, missedWork, util []float64
 		respL, respG, respLP, respGP, qlen       []float64
 		byClass                                  = map[int][]float64{}
 	)
-	for r := 0; r < cfg.Replications; r++ {
-		rep, err := RunOne(cfg, sp.Seed())
-		if err != nil {
-			return Result{}, fmt.Errorf("replication %d: %w", r, err)
-		}
-		res.Reps = append(res.Reps, rep)
+	for _, rep := range reps {
 		res.Locals += rep.Locals
 		res.Globals += rep.Globals
 		mdLocal = append(mdLocal, rep.MDLocal)
@@ -255,6 +288,7 @@ func Run(cfg Config) (Result, error) {
 	res.RespLocalP95 = stats.MeanCI(respLP)
 	res.RespGlobalP95 = stats.MeanCI(respGP)
 	res.MeanQueueLen = stats.MeanCI(qlen)
+	res.MDGlobalBy = make(map[int]stats.Interval, len(byClass))
 	for n, vs := range byClass {
 		res.MDGlobalBy[n] = stats.MeanCI(vs)
 	}
@@ -298,7 +332,7 @@ func build(cfg Config) *System {
 		nodes[i] = node.New(i, eng, nodeOpts...)
 	}
 
-	rec := &collector{warmup: simtime.Time(cfg.Warmup)}
+	rec := newCollector(simtime.Time(cfg.Warmup))
 	mgrOpts := []procmgr.Option{procmgr.WithRecorder(rec)}
 	if cfg.Abort == AbortProcessManager {
 		mgrOpts = append(mgrOpts, procmgr.WithPMAbort())
@@ -390,7 +424,9 @@ func busyTime(nodes []*node.Node) simtime.Duration {
 }
 
 // collector implements procmgr.Recorder with warmup filtering and
-// per-class accounting.
+// per-class accounting. Construct with newCollector: histograms and the
+// per-class map are preallocated so the record path never branches on
+// lazy initialization.
 type collector struct {
 	warmup simtime.Time
 
@@ -404,6 +440,18 @@ type collector struct {
 
 	respLocal  *stats.Histogram
 	respGlobal *stats.Histogram
+}
+
+// newCollector returns a collector with all sinks preallocated. The
+// byClass map is sized for the fan-out range the workloads use (subtask
+// counts are single digits).
+func newCollector(warmup simtime.Time) *collector {
+	return &collector{
+		warmup:     warmup,
+		byClass:    make(map[int]*stats.Ratio, 8),
+		respLocal:  respHistogram(),
+		respGlobal: respHistogram(),
+	}
 }
 
 // respHistogram covers response times up to 200 mean service times with
@@ -436,9 +484,6 @@ func (c *collector) RecordLocal(t *task.Task, missed bool) {
 		c.workMissed += float64(t.Exec)
 	}
 	if t.Finished() {
-		if c.respLocal == nil {
-			c.respLocal = respHistogram()
-		}
 		c.respLocal.Add(float64(t.Finish.Sub(t.Arrival)))
 	}
 }
@@ -457,9 +502,6 @@ func (c *collector) RecordGlobal(root *task.Task, missed bool) {
 		return
 	}
 	c.global.Observe(missed)
-	if c.byClass == nil {
-		c.byClass = make(map[int]*stats.Ratio)
-	}
 	n := root.CountSimple()
 	r := c.byClass[n]
 	if r == nil {
@@ -473,9 +515,6 @@ func (c *collector) RecordGlobal(root *task.Task, missed bool) {
 		c.workMissed += work
 	}
 	if root.Finished() {
-		if c.respGlobal == nil {
-			c.respGlobal = respHistogram()
-		}
 		c.respGlobal.Add(float64(root.Finish.Sub(root.Arrival)))
 	}
 }
@@ -496,14 +535,12 @@ func (c *collector) result() RepResult {
 	if c.workTotal > 0 {
 		rep.MissedWork = c.workMissed / c.workTotal
 	}
-	if c.respLocal != nil {
-		rep.RespLocalMean = c.respLocal.Mean()
-		rep.RespLocalP95 = c.respLocal.Quantile(0.95)
-	}
-	if c.respGlobal != nil {
-		rep.RespGlobalMean = c.respGlobal.Mean()
-		rep.RespGlobalP95 = c.respGlobal.Quantile(0.95)
-	}
+	// Empty histograms report zero mean and quantiles, matching the
+	// pre-warmup / no-completions case.
+	rep.RespLocalMean = c.respLocal.Mean()
+	rep.RespLocalP95 = c.respLocal.Quantile(0.95)
+	rep.RespGlobalMean = c.respGlobal.Mean()
+	rep.RespGlobalP95 = c.respGlobal.Quantile(0.95)
 	return rep
 }
 
