@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race scenarios bless bench bench-record bench-compare
+.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs
 
 # check runs exactly what CI runs.
 check: vet build race scenarios
@@ -38,3 +38,14 @@ bench-record:
 # against the latest committed snapshot.
 bench-compare:
 	$(GO) run ./cmd/sdabench -compare -q
+
+# profile captures CPU and heap profiles plus an execution trace of the
+# guarded benchmark subset. Inspect with: go tool pprof cpu.pprof
+profile:
+	$(GO) run ./cmd/sdabench -q -cpuprofile cpu.pprof -memprofile mem.pprof -exectrace exec.trace
+	@echo "wrote cpu.pprof mem.pprof exec.trace (go tool pprof cpu.pprof)"
+
+# obs exports the full telemetry bundle (spans, Prometheus metrics, CSV
+# time series, SVG dashboard) of the baseline scenario into obs-out/.
+obs:
+	$(GO) run ./cmd/sdaobs -scenario testdata/scenarios/baseline_div.json -out obs-out

@@ -12,6 +12,7 @@ import (
 	sda "repro"
 	"repro/internal/des"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	isda "repro/internal/sda"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -95,6 +96,41 @@ func BenchmarkSimulationBaseline(b *testing.B) {
 		events += rep.Events
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// benchSimulationObs measures end-to-end simulator throughput with the
+// telemetry layer configured as given; the Off/On pair quantifies the
+// observability overhead (docs/OBSERVABILITY.md records the numbers).
+func benchSimulationObs(b *testing.B, o obs.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default()
+		cfg.Duration = 5000
+		cfg.Warmup = 0
+		cfg.Replications = 1
+		cfg.Seed = uint64(i + 1)
+		cfg.Obs = o
+		rep, err := sim.RunOne(cfg, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulationObsOff guards the disabled-telemetry path: it must
+// match BenchmarkSimulationBaseline (zero telemetry overhead when off).
+func BenchmarkSimulationObsOff(b *testing.B) {
+	benchSimulationObs(b, obs.Options{})
+}
+
+// BenchmarkSimulationObsOn measures the full telemetry layer: spans,
+// counters, per-node gauges and the 50-unit sampler.
+func BenchmarkSimulationObsOn(b *testing.B) {
+	benchSimulationObs(b, obs.Options{Enabled: true})
 }
 
 // BenchmarkSimulationHighLoad stresses the queues at load 0.9.

@@ -77,6 +77,10 @@ func run(args []string, out io.Writer) error {
 		maxRegress = fs.Float64("max-regress", 25, "fail -compare when ns/op regresses by more than this percentage")
 		reportOnly = fs.Bool("report-only", false, "with -compare: report regressions but always exit 0")
 		quiet      = fs.Bool("q", false, "suppress the snapshot JSON on stdout")
+
+		cpuprofile = fs.String("cpuprofile", "", "write the benchmark run's CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write the benchmark run's heap profile to this file")
+		exectrace  = fs.String("exectrace", "", "write the benchmark run's execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,7 +94,11 @@ func run(args []string, out io.Writer) error {
 		}
 		raw = b
 	} else {
-		b, err := runBenchmarks(*dir, *bench, *benchtime)
+		prof, err := profileArgs(*cpuprofile, *memprofile, *exectrace)
+		if err != nil {
+			return err
+		}
+		b, err := runBenchmarks(*dir, *bench, *benchtime, prof)
 		if err != nil {
 			return err
 		}
@@ -152,11 +160,37 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// profileArgs turns the profiling flags into `go test` arguments. The go
+// tool natively profiles benchmark runs (-cpuprofile and friends); paths
+// are made absolute because the child process runs with its own working
+// directory (-dir).
+func profileArgs(cpu, mem, trace string) ([]string, error) {
+	var args []string
+	for _, p := range []struct{ flag, path string }{
+		{"-cpuprofile", cpu},
+		{"-memprofile", mem},
+		{"-trace", trace},
+	} {
+		if p.path == "" {
+			continue
+		}
+		abs, err := filepath.Abs(p.path)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, p.flag, abs)
+	}
+	return args, nil
+}
+
 // runBenchmarks shells out to the go tool; the benchmarks live in the
 // root package of the repository.
-func runBenchmarks(dir, bench, benchtime string) ([]byte, error) {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+func runBenchmarks(dir, bench, benchtime string, extra []string) ([]byte, error) {
+	args := []string{"test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime}
+	args = append(args, extra...)
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	out, err := cmd.CombinedOutput()
 	if err != nil {

@@ -7,6 +7,8 @@
 //	sdaexp -exp all -quick           # smoke-run everything
 //	sdaexp -exp fig5 -format csv > fig5.csv
 //	sdaexp -exp table1
+//	sdaexp -obs obs-out -quick       # export telemetry of the baseline cell
+//	sdaexp -exp fig7 -cpuprofile cpu.pprof
 package main
 
 import (
@@ -15,9 +17,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/internal/simtime"
 )
 
@@ -39,9 +46,48 @@ func run(args []string, out io.Writer) error {
 		reps     = fs.Int("reps", 0, "override replications")
 		seed     = fs.Uint64("seed", 0, "override master seed")
 		workers  = fs.Int("workers", 0, "bound cell+replication parallelism (0 = GOMAXPROCS cells, sequential replications)")
+
+		obsDir     = fs.String("obs", "", "run the baseline cell with telemetry and export spans/metrics/timeseries/dashboard into this directory")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		exectrace  = fs.String("exectrace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *exectrace != "" {
+		f, err := os.Create(*exectrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 	if *list {
 		for _, e := range exp.All() {
@@ -51,8 +97,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-12s %s\n", "table2", "SSP/PSP combinations (Table 2)")
 		return nil
 	}
-	if *id == "" {
-		return fmt.Errorf("no experiment selected; use -exp <id> or -list")
+	if *id == "" && *obsDir == "" {
+		return fmt.Errorf("no experiment selected; use -exp <id>, -obs <dir> or -list")
 	}
 
 	opts := exp.DefaultOptions()
@@ -70,6 +116,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *workers > 0 {
 		opts.Workers = *workers
+	}
+
+	if *obsDir != "" {
+		if err := exportObserved(opts, *obsDir, out); err != nil {
+			return err
+		}
+		if *id == "" {
+			return nil
+		}
 	}
 
 	switch *id {
@@ -95,6 +150,31 @@ func run(args []string, out io.Writer) error {
 		}
 		return runOne(e, opts, *format, out)
 	}
+}
+
+// exportObserved runs one telemetry-instrumented replication of the
+// Table 1 baseline cell at the selected fidelity and writes the full
+// telemetry export into dir.
+func exportObserved(opts exp.Options, dir string, out io.Writer) error {
+	cfg := exp.BaselineConfig(opts)
+	cfg.Replications = 1
+	cfg.Obs = obs.Options{Enabled: true}
+	sys, err := sim.NewSystem(cfg, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	sys.Finish(sys.Horizon())
+	tel := sys.Telemetry()
+	paths, err := tel.ExportDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, tel.Summary())
+	fmt.Fprintf(out, "telemetry exported: %s\n", strings.Join(paths, " "))
+	return nil
 }
 
 func runOne(e exp.Experiment, opts exp.Options, format string, out io.Writer) error {

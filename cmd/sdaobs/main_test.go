@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestScenarioExport drives sdaobs over a shipped scenario and checks
+// that every export artifact is produced and well-formed.
+func TestScenarioExport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-scenario", "../../testdata/scenarios/baseline_div.json",
+		"-out", dir,
+		"-sample-every", "25",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "hash ") {
+		t.Errorf("output missing trace hash:\n%s", out.String())
+	}
+
+	spans, err := os.ReadFile(filepath.Join(dir, obs.SpansFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(spans)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec obs.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("spans.jsonl line %d invalid: %v", lines, err)
+		}
+		if rec.Type != "span" {
+			t.Fatalf("spans.jsonl line %d has type %q", lines, rec.Type)
+		}
+	}
+	if lines == 0 {
+		t.Fatalf("spans.jsonl is empty")
+	}
+
+	prom, err := os.ReadFile(filepath.Join(dir, obs.MetricsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TYPE sda_sched_enqueues_total counter", "# TYPE sda_node_queue_depth gauge", "sda_assigned_slack_bucket"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics.prom missing %q", want)
+		}
+	}
+
+	csv, err := os.ReadFile(filepath.Join(dir, obs.TimeSeriesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "time,queue_node0") {
+		t.Errorf("timeseries.csv header unexpected: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+	if strings.Count(string(csv), "\n") < 2 {
+		t.Errorf("timeseries.csv has no data rows")
+	}
+
+	svg, err := os.ReadFile(filepath.Join(dir, obs.DashboardFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(svg), "<svg ") {
+		t.Errorf("dashboard.svg does not start with an <svg> element")
+	}
+
+	// The export is deterministic: a second run yields identical bytes.
+	dir2 := t.TempDir()
+	var out2 strings.Builder
+	if err := run([]string{
+		"-scenario", "../../testdata/scenarios/baseline_div.json",
+		"-out", dir2,
+		"-sample-every", "25",
+	}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{obs.SpansFile, obs.MetricsFile, obs.TimeSeriesFile, obs.DashboardFile, obs.SummaryFile} {
+		a, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between identical runs", name)
+		}
+	}
+}
+
+// TestSyntheticExport exercises the non-scenario mode end to end.
+func TestSyntheticExport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-out", dir,
+		"-load", "0.6",
+		"-duration", "3000",
+		"-warmup", "100",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "md_local") {
+		t.Errorf("output missing replication stats:\n%s", out.String())
+	}
+	for _, name := range []string{obs.SpansFile, obs.MetricsFile, obs.TimeSeriesFile, obs.DashboardFile, obs.SummaryFile} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing export %s: %v", name, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("export %s is empty", name)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -40,6 +41,7 @@ func run(args []string, w io.Writer) error {
 		bless   = fs.Bool("bless", false, "rewrite the golden hash registry from this run")
 		list    = fs.Bool("list", false, "list scenarios and exit")
 		verbose = fs.Bool("v", false, "print per-scenario metrics")
+		obsDir  = fs.String("obs", "", "run with telemetry and export spans/metrics/timeseries/dashboard per scenario into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +83,18 @@ func run(args []string, w io.Writer) error {
 
 	failed := 0
 	for _, sc := range scs {
-		out, err := scenario.Run(sc)
+		var (
+			out *scenario.Outcome
+			tel *obs.Telemetry
+			err error
+		)
+		if *obsDir != "" {
+			// Telemetry never perturbs the run, so golden checks below
+			// still apply unchanged.
+			out, tel, err = scenario.RunObserved(sc, obs.Options{})
+		} else {
+			out, err = scenario.Run(sc)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.Name, err)
 		}
@@ -100,6 +113,13 @@ func run(args []string, w io.Writer) error {
 			failed++
 		}
 		fmt.Fprintf(w, "%s %-24s %d events, hash %s\n", status, sc.Name, out.TraceEvents, out.TraceHash)
+		if tel != nil {
+			exportDir := filepath.Join(*obsDir, sc.Name)
+			if _, err := tel.ExportDir(exportDir); err != nil {
+				return fmt.Errorf("%s: %w", sc.Name, err)
+			}
+			fmt.Fprintf(w, "     telemetry exported to %s\n", exportDir)
+		}
 		if *verbose {
 			fmt.Fprintf(w, "     md_local %.4f  md_global %.4f  md_subtask %.4f  missed_work %.4f  util %.4f  locals %d  globals %d\n",
 				out.Rep.MDLocal, out.Rep.MDGlobal, out.Rep.MDSubtask,

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sda"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -53,6 +54,7 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "master random seed")
 		recordTo  = fs.String("record-trace", "", "write the synthesized arrival trace to this file and exit")
 		replayOf  = fs.String("replay-trace", "", "drive the simulation from a recorded trace file")
+		obsDir    = fs.String("obs", "", "run one telemetry-instrumented replication and export spans/metrics/timeseries/dashboard into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,6 +161,39 @@ func run(args []string) error {
 		return err
 	}
 	printReport(cfg, res)
+
+	if *obsDir != "" {
+		// One extra instrumented replication with the master seed; the
+		// aggregate report above is unaffected (telemetry never perturbs
+		// a run, and this run is separate anyway).
+		if err := exportObserved(cfg, *obsDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportObserved runs a single telemetry-instrumented replication of cfg
+// and writes the full export into dir.
+func exportObserved(cfg sim.Config, dir string) error {
+	cfg.Replications = 1
+	cfg.Obs = obs.Options{Enabled: true}
+	sys, err := sim.NewSystem(cfg, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	sys.Finish(sys.Horizon())
+	tel := sys.Telemetry()
+	paths, err := tel.ExportDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(tel.Summary())
+	fmt.Printf("telemetry exported: %s\n", strings.Join(paths, " "))
 	return nil
 }
 

@@ -1,12 +1,15 @@
 // Command sdatrace runs a short simulation with scheduling-event tracing
 // and renders an ASCII Gantt chart of node activity plus (optionally) the
-// raw event log. It makes the effect of a deadline-assignment strategy
-// visible at the level of individual subtasks cutting in line.
+// raw event log, either human-readable (-log) or as JSONL records sharing
+// the obs span schema (-jsonl). It makes the effect of a deadline-
+// assignment strategy visible at the level of individual subtasks cutting
+// in line.
 //
 // Example:
 //
 //	sdatrace -load 0.7 -psp GF -until 30 -width 100
 //	sdatrace -psp DIV-1 -log | head -50
+//	sdatrace -psp DIV-1 -jsonl | head -50
 package main
 
 import (
@@ -39,6 +42,7 @@ func run(args []string) error {
 		until   = fs.Float64("until", 30, "traced simulated time")
 		width   = fs.Int("width", 100, "gantt width in columns")
 		showLog = fs.Bool("log", false, "print the raw event log instead of the chart")
+		jsonl   = fs.Bool("jsonl", false, "print the event log as JSON lines (shared telemetry record schema)")
 		seed    = fs.Uint64("seed", 7, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +70,9 @@ func run(args []string) error {
 		return err
 	}
 
+	if *jsonl {
+		return tr.WriteJSONL(os.Stdout)
+	}
 	if *showLog {
 		fmt.Print(tr.Log())
 		return nil

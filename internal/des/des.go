@@ -148,6 +148,12 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // (scheduled and neither fired nor cancelled).
 func (e *Engine) Pending() int { return e.live }
 
+// CalendarLen returns the number of calendar slots, including lazy-cancel
+// tombstones that have not yet surfaced. CalendarLen() - Pending() is the
+// tombstone backlog — an observability signal for abort-heavy models,
+// where cancellations far outnumber firings.
+func (e *Engine) CalendarLen() int { return len(e.heap) }
+
 // alloc returns a record index from the free list, growing the pool only
 // when the list is empty, and bumps the record's generation so handles to
 // the previous incarnation go stale.

@@ -419,3 +419,34 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestCalendarLenCountsTombstones checks the observability accessor: a
+// cancelled event stays in the calendar as a tombstone until its slot
+// surfaces, so CalendarLen exceeds Pending by the tombstone backlog.
+func TestCalendarLenCountsTombstones(t *testing.T) {
+	e := New()
+	var evs []Event
+	for i := 0; i < 8; i++ {
+		ev, err := e.At(simtime.Time(i+1), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	if e.CalendarLen() != 8 || e.Pending() != 8 {
+		t.Fatalf("calendar %d pending %d, want 8/8", e.CalendarLen(), e.Pending())
+	}
+	for _, ev := range evs[:5] {
+		e.Cancel(ev)
+	}
+	if e.CalendarLen() != 8 {
+		t.Errorf("calendar after cancel = %d, want 8 (tombstones linger)", e.CalendarLen())
+	}
+	if e.Pending() != 3 {
+		t.Errorf("pending after cancel = %d, want 3", e.Pending())
+	}
+	e.Run()
+	if e.CalendarLen() != 0 || e.Pending() != 0 {
+		t.Errorf("after drain: calendar %d pending %d, want 0/0", e.CalendarLen(), e.Pending())
+	}
+}

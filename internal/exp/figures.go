@@ -27,6 +27,13 @@ func baseline(o Options) sim.Config {
 	return cfg
 }
 
+// BaselineConfig exposes the Table 1 baseline cell at the given fidelity
+// for callers outside the figure pipeline — cmd/sdaexp's -obs mode runs
+// it with telemetry attached to export the observed baseline.
+func BaselineConfig(o Options) sim.Config {
+	return baseline(o)
+}
+
 // loadSweep runs each variant across the load axis, producing the series
 // MD_local(v) and MD_global(v) for every variant v, plus MD_subtask for
 // the first variant when withSubtask is set (Figure 5 plots it). The

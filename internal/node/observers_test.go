@@ -1,0 +1,70 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// logObserver appends "<label>.<callback>" per event, exposing fan-out
+// order across all five callbacks.
+type logObserver struct {
+	label string
+	log   *[]string
+}
+
+func (o logObserver) note(cb string) { *o.log = append(*o.log, o.label+"."+cb) }
+
+func (o logObserver) OnEnqueue(*Node, *Item, simtime.Time) { o.note("enqueue") }
+func (o logObserver) OnStart(*Node, *Item, simtime.Time)   { o.note("start") }
+func (o logObserver) OnFinish(*Node, *Item, simtime.Time)  { o.note("finish") }
+func (o logObserver) OnAbort(*Node, *Item, simtime.Time)   { o.note("abort") }
+func (o logObserver) OnPreempt(*Node, *Item, simtime.Time) { o.note("preempt") }
+
+func TestCombineObserversFanOutOrder(t *testing.T) {
+	var log []string
+	combined := CombineObservers(
+		logObserver{"a", &log},
+		nil,
+		logObserver{"b", &log},
+		logObserver{"c", &log},
+	)
+	callbacks := []struct {
+		name string
+		fire func(Observer)
+	}{
+		{"enqueue", func(o Observer) { o.OnEnqueue(nil, nil, 1) }},
+		{"start", func(o Observer) { o.OnStart(nil, nil, 2) }},
+		{"finish", func(o Observer) { o.OnFinish(nil, nil, 3) }},
+		{"abort", func(o Observer) { o.OnAbort(nil, nil, 4) }},
+		{"preempt", func(o Observer) { o.OnPreempt(nil, nil, 5) }},
+	}
+	for _, cb := range callbacks {
+		log = log[:0]
+		cb.fire(combined)
+		want := []string{"a." + cb.name, "b." + cb.name, "c." + cb.name}
+		if fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("%s fan-out = %v, want %v (argument order, nils skipped)", cb.name, log, want)
+		}
+	}
+}
+
+func TestCombineObserversDegenerateCases(t *testing.T) {
+	if got := CombineObservers(); got != nil {
+		t.Fatalf("combining nothing must yield nil, got %T", got)
+	}
+	if got := CombineObservers(nil, nil); got != nil {
+		t.Fatalf("combining only nils must yield nil, got %T", got)
+	}
+	var log []string
+	single := logObserver{"s", &log}
+	got := CombineObservers(nil, single, nil)
+	if _, wrapped := got.(multiObserver); wrapped {
+		t.Fatalf("a single non-nil observer must be returned unwrapped")
+	}
+	got.OnEnqueue(nil, nil, 0)
+	if len(log) != 1 || log[0] != "s.enqueue" {
+		t.Fatalf("unwrapped observer did not receive the event: %v", log)
+	}
+}

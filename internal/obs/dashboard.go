@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/svgplot"
+)
+
+// Dashboard renders the run's telemetry as one SVG document with two
+// stacked panels: the sampled per-node queue depths over simulated time,
+// and the distribution of assigned slack per release. It returns an
+// error when no telemetry was collected (a run shorter than one sampler
+// tick with no releases).
+func (t *Telemetry) Dashboard() (string, error) {
+	var panels []svgplot.Chart
+
+	if t.sampler != nil && t.sampler.Len() > 0 {
+		names := make([]string, 0, len(t.nodes))
+		var x []float64
+		cols := make([][]float64, 0, len(t.nodes))
+		for _, n := range t.nodes {
+			name := fmt.Sprintf("queue_node%d", n.ID())
+			times, vals := t.sampler.Series(name)
+			if vals == nil {
+				continue
+			}
+			x = times
+			names = append(names, fmt.Sprintf("node %d", n.ID()))
+			cols = append(cols, vals)
+		}
+		if len(cols) > 0 {
+			// svgplot charts are row-major: Y[sample][series].
+			rows := make([][]float64, len(x))
+			for i := range rows {
+				row := make([]float64, len(cols))
+				for s := range cols {
+					row[s] = cols[s][i]
+				}
+				rows[i] = row
+			}
+			panels = append(panels, svgplot.Chart{
+				Title:  "queue depth over simulated time",
+				XLabel: "simulated time",
+				YLabel: "waiting items",
+				Series: names,
+				X:      x,
+				Y:      rows,
+			})
+		}
+	}
+
+	if t.slackHist.Count() > 0 {
+		labels, counts := coarsen(t.slackHist, 20)
+		rows := make([][]float64, len(counts))
+		for i, c := range counts {
+			rows[i] = []float64{c}
+		}
+		panels = append(panels, svgplot.Chart{
+			Title:  "assigned slack per release",
+			XLabel: "slack (vdl - release - predicted work)",
+			YLabel: "releases",
+			Series: []string{"releases"},
+			Labels: labels,
+			Y:      rows,
+		})
+	}
+
+	if len(panels) == 0 {
+		return "", fmt.Errorf("obs: no telemetry to plot")
+	}
+	return svgplot.Compose(panels...)
+}
+
+// coarsen regroups a fine-grained instrument histogram into at most
+// groups bars so the dashboard stays readable, folding the out-of-range
+// tails into labelled edge bars when present.
+func coarsen(h *Histogram, groups int) (labels []string, counts []float64) {
+	buckets := h.h.Buckets()
+	per := (len(buckets) + groups - 1) / groups
+	if per < 1 {
+		per = 1
+	}
+	lo, w := h.h.Lo(), h.h.BucketWidth()
+	under, over := h.h.OutOfRange()
+	if under > 0 {
+		labels = append(labels, fmt.Sprintf("<%g", lo))
+		counts = append(counts, float64(under))
+	}
+	for i := 0; i < len(buckets); i += per {
+		end := i + per
+		if end > len(buckets) {
+			end = len(buckets)
+		}
+		var c int64
+		for _, b := range buckets[i:end] {
+			c += b
+		}
+		labels = append(labels, fmt.Sprintf("%g", lo+float64(i)*w))
+		counts = append(counts, float64(c))
+	}
+	hi := lo + float64(len(buckets))*w
+	if over > 0 {
+		labels = append(labels, fmt.Sprintf(">=%g", hi))
+		counts = append(counts, float64(over))
+	}
+	return labels, counts
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Export file names written by ExportDir.
+const (
+	SpansFile      = "spans.jsonl"
+	MetricsFile    = "metrics.prom"
+	TimeSeriesFile = "timeseries.csv"
+	DashboardFile  = "dashboard.svg"
+	SummaryFile    = "summary.txt"
+)
+
+// ExportDir writes the full telemetry export into dir (created if
+// missing): the span log as JSONL, the instrument catalog in Prometheus
+// text exposition format, the sampled time series as CSV, the SVG
+// dashboard, and the human-readable summary. The dashboard is skipped —
+// not an error — when the run produced nothing to plot. It returns the
+// paths written.
+func (t *Telemetry) ExportDir(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, fn func(f *os.File) error) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: export %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, path)
+		return nil
+	}
+	if err := write(SpansFile, func(f *os.File) error { return t.WriteSpans(f) }); err != nil {
+		return paths, err
+	}
+	if err := write(MetricsFile, func(f *os.File) error { return t.WritePrometheus(f) }); err != nil {
+		return paths, err
+	}
+	if err := write(TimeSeriesFile, func(f *os.File) error { return t.WriteCSV(f) }); err != nil {
+		return paths, err
+	}
+	if svg, err := t.Dashboard(); err == nil {
+		if err := write(DashboardFile, func(f *os.File) error {
+			_, werr := f.WriteString(svg)
+			return werr
+		}); err != nil {
+			return paths, err
+		}
+	}
+	if err := write(SummaryFile, func(f *os.File) error {
+		_, werr := f.WriteString(t.Summary())
+		return werr
+	}); err != nil {
+		return paths, err
+	}
+	return paths, nil
+}

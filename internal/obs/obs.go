@@ -1,0 +1,465 @@
+// Package obs is the unified simulation telemetry layer: a metrics
+// registry (counters, gauges, fixed-bucket histograms), task-lifecycle
+// spans, and a ring-buffered time-series sampler, all clocked on
+// simulated time.
+//
+// The layer exists to explain *why* a deadline-assignment strategy
+// misses: queue buildup at bottleneck nodes, slack exhaustion across
+// serial stages, preemption storms under GF. It threads through the
+// whole stack via the hooks the simulator already exposes — it is a
+// node.Observer for scheduling events, a procmgr.Recorder for outcomes,
+// and a procmgr.ReleaseHook for deadline assignments — so enabling it
+// changes no model behaviour:
+//
+//   - every timestamp is simulated time (wall clock never appears), so
+//     exports are bit-identical across runs and machines;
+//   - sampler ticks are read-only DES events, so the model's own event
+//     order — and therefore the scenario golden trace hashes — is
+//     unchanged whether telemetry is on or off;
+//   - when disabled (the sim.Config zero value) nothing is constructed
+//     and the DES hot path stays allocation-free, guarded by the
+//     sdabench benchmark suite.
+//
+// Exports: JSONL spans (WriteSpans), Prometheus text exposition
+// (WritePrometheus), CSV time series (WriteCSV) and an SVG queue-depth /
+// slack dashboard (Dashboard). cmd/sdaobs and the -obs flags on
+// sdasim/sdaexp/sdascen drive them from the command line.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Options configures the telemetry layer. The zero value is disabled;
+// DefaultOptions returns an enabled configuration with the documented
+// defaults.
+type Options struct {
+	// Enabled turns telemetry on. When false the simulator constructs
+	// nothing — zero allocations, zero overhead.
+	Enabled bool
+
+	// SampleEvery is the sampler cadence in simulated time units
+	// (default 50). The sampler stops at the run horizon.
+	SampleEvery simtime.Duration
+
+	// MaxSamples bounds the sampler ring buffers (default 4096). When a
+	// run outlives the ring, the oldest samples are overwritten.
+	MaxSamples int
+
+	// MaxSpans bounds the span store (default 65536). Further spans are
+	// dropped and counted in sda_spans_dropped_total.
+	MaxSpans int
+}
+
+// DefaultOptions returns an enabled telemetry configuration.
+func DefaultOptions() Options {
+	return Options{Enabled: true}.normalized()
+}
+
+// normalized fills zero-valued fields with the documented defaults.
+func (o Options) normalized() Options {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 50
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 4096
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 1 << 16
+	}
+	return o
+}
+
+// Telemetry is one run's telemetry state. Create with New, attach it as
+// a node observer / recorder / release hook (sim.Config.Obs does this
+// wiring), Bind it to the engine and nodes, Start the sampler, and read
+// the exports after the run. All methods run on the simulation
+// goroutine; Telemetry is not safe for concurrent use.
+type Telemetry struct {
+	opts Options
+	reg  *Registry
+	eng  *des.Engine
+
+	// Scheduling-event counters (node.Observer).
+	enqueues, starts, finishes, aborts, preempts *Counter
+
+	// Deadline-assignment counters (procmgr.ReleaseHook).
+	releases, resubmits *Counter
+
+	// Outcome counters (procmgr.Recorder).
+	doneLocal, doneGlobal, doneSubtask       *Counter
+	missedLocal, missedGlobal, missedSubtask *Counter
+
+	droppedSpans *Counter
+
+	inflight float64 // global tasks released and not yet resolved
+
+	slackHist    *Histogram // assigned slack at every release
+	latenessHist *Histogram // lateness at span close (end - judging deadline)
+
+	spans  []span
+	open   map[*task.Task]int // task -> index of its open span
+	nextID uint64
+
+	sampler *Sampler
+	nodes   []*node.Node
+}
+
+var (
+	_ node.Observer = (*Telemetry)(nil)
+)
+
+// New returns a Telemetry with its instrument catalog registered. Call
+// Bind before the run starts.
+func New(o Options) *Telemetry {
+	o = o.normalized()
+	reg := NewRegistry()
+	t := &Telemetry{
+		opts: o,
+		reg:  reg,
+
+		enqueues: reg.Counter("sda_sched_enqueues_total", "", "items that joined a node queue"),
+		starts:   reg.Counter("sda_sched_starts_total", "", "service starts (including preemption resumes)"),
+		finishes: reg.Counter("sda_sched_finishes_total", "", "service completions"),
+		aborts:   reg.Counter("sda_sched_aborts_total", "", "items discarded by either abortion mechanism"),
+		preempts: reg.Counter("sda_sched_preempts_total", "", "in-service items suspended"),
+
+		releases:  reg.Counter("sda_releases_total", "", "deadline assignments made by the process manager"),
+		resubmits: reg.Counter("sda_resubmits_total", "", "re-releases after a local-scheduler abort"),
+
+		doneLocal:     reg.Counter("sda_outcomes_total", `class="local"`, "resolved tasks by class"),
+		doneGlobal:    reg.Counter("sda_outcomes_total", `class="global"`, "resolved tasks by class"),
+		doneSubtask:   reg.Counter("sda_outcomes_total", `class="subtask"`, "resolved tasks by class"),
+		missedLocal:   reg.Counter("sda_missed_total", `class="local"`, "missed deadlines by class"),
+		missedGlobal:  reg.Counter("sda_missed_total", `class="global"`, "missed deadlines by class"),
+		missedSubtask: reg.Counter("sda_missed_total", `class="subtask"`, "missed deadlines by class"),
+
+		droppedSpans: reg.Counter("sda_spans_dropped_total", "", "spans discarded after MaxSpans"),
+
+		slackHist: reg.Histogram("sda_assigned_slack", "",
+			"assigned slack at release: vdl - release - predicted work", -20, 80, 100),
+		latenessHist: reg.Histogram("sda_span_lateness", "",
+			"span end minus judging deadline (negative = early)", -50, 50, 100),
+
+		spans: make([]span, 0, min(o.MaxSpans, 1024)),
+		open:  make(map[*task.Task]int, 256),
+	}
+	return t
+}
+
+// min is a tiny helper (the go.mod floor predates the builtin).
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Registry exposes the metrics registry (for tests and custom exports).
+func (t *Telemetry) Registry() *Registry { return t.reg }
+
+// Bind attaches the telemetry to a wired system: it registers the
+// per-node queue-depth gauges, the in-flight and calendar gauges, and
+// builds the sampler probes. Call once, after nodes exist and before
+// Start.
+func (t *Telemetry) Bind(eng *des.Engine, nodes []*node.Node) {
+	t.eng = eng
+	t.nodes = nodes
+	probes := make([]Probe, 0, len(nodes)+3)
+	for _, n := range nodes {
+		n := n
+		name := fmt.Sprintf("queue_node%d", n.ID())
+		t.reg.GaugeFunc("sda_node_queue_depth", fmt.Sprintf(`node="%d"`, n.ID()),
+			"waiting items per node (excluding in service)",
+			func() float64 { return float64(n.QueueLen()) })
+		probes = append(probes, Probe{Name: name, Read: func() float64 { return float64(n.QueueLen()) }})
+	}
+	t.reg.GaugeFunc("sda_inflight_globals", "",
+		"global tasks released and not yet finished or aborted",
+		func() float64 { return t.inflight })
+	t.reg.GaugeFunc("sda_calendar_pending", "",
+		"live events in the DES calendar",
+		func() float64 { return float64(eng.Pending()) })
+	t.reg.GaugeFunc("sda_calendar_slots", "",
+		"DES calendar slots including lazy-cancel tombstones",
+		func() float64 { return float64(eng.CalendarLen()) })
+	probes = append(probes,
+		Probe{Name: "inflight_globals", Read: func() float64 { return t.inflight }},
+		Probe{Name: "calendar_pending", Read: func() float64 { return float64(eng.Pending()) }},
+		Probe{Name: "calendar_slots", Read: func() float64 { return float64(eng.CalendarLen()) }},
+	)
+	t.sampler = newSampler(t.opts.SampleEvery, t.opts.MaxSamples, probes)
+}
+
+// Start arms the time-series sampler up to the run horizon. Bind must
+// have been called.
+func (t *Telemetry) Start(horizon simtime.Time) error {
+	if t.eng == nil || t.sampler == nil {
+		return fmt.Errorf("obs: Start before Bind")
+	}
+	return t.sampler.arm(t.eng, horizon)
+}
+
+// Ticks returns the number of sampler events the telemetry injected into
+// the engine — the simulator subtracts it from its fired-event count so
+// replication results are identical with telemetry on and off.
+func (t *Telemetry) Ticks() uint64 {
+	if t.sampler == nil {
+		return 0
+	}
+	return t.sampler.Ticks()
+}
+
+// Sampler exposes the time-series sampler (nil before Bind).
+func (t *Telemetry) Sampler() *Sampler { return t.sampler }
+
+// --- node.Observer ---------------------------------------------------------
+
+// OnEnqueue implements node.Observer.
+func (t *Telemetry) OnEnqueue(*node.Node, *node.Item, simtime.Time) { t.enqueues.Inc() }
+
+// OnStart implements node.Observer.
+func (t *Telemetry) OnStart(*node.Node, *node.Item, simtime.Time) { t.starts.Inc() }
+
+// OnFinish implements node.Observer.
+func (t *Telemetry) OnFinish(*node.Node, *node.Item, simtime.Time) { t.finishes.Inc() }
+
+// OnAbort implements node.Observer.
+func (t *Telemetry) OnAbort(*node.Node, *node.Item, simtime.Time) { t.aborts.Inc() }
+
+// OnPreempt implements node.Observer.
+func (t *Telemetry) OnPreempt(*node.Node, *node.Item, simtime.Time) { t.preempts.Inc() }
+
+// --- procmgr.ReleaseHook ----------------------------------------------------
+
+// now returns the current simulated instant (0 before Bind, which only
+// happens in unit tests driving hooks directly).
+func (t *Telemetry) now() float64 {
+	if t.eng == nil {
+		return 0
+	}
+	return float64(t.eng.Now())
+}
+
+// OnRelease observes one deadline assignment. Attach it via
+// procmgr.WithReleaseHook (sim.Config.Obs does). The first release of a
+// global root opens the root span; every release opens (or, on a
+// local-abort re-release, reopens) the stage span of the released tree
+// node and records the assigned slack.
+func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
+	t.releases.Inc()
+	now := t.now()
+	slack := float64(tk.VirtualDeadline) - now - float64(tk.PredictedCriticalPath())
+	t.slackHist.Observe(slack)
+
+	if idx, ok := t.open[tk]; ok {
+		// Re-release after a local-scheduler abort: close the failed
+		// trial as aborted and open a fresh span for the retry.
+		t.resubmits.Inc()
+		t.closeSpan(idx, now, false, true)
+		delete(t.open, tk)
+	}
+
+	var rootID uint64
+	if tk == root {
+		t.inflight++
+	} else if ri, ok := t.open[root]; ok {
+		rootID = t.spans[ri].id
+	}
+	kind := "stage"
+	nodeID := -1
+	switch {
+	case tk == root:
+		kind = "global"
+		if tk.IsSimple() {
+			nodeID = tk.Node
+		}
+	case tk.IsSimple():
+		kind = "subtask"
+		nodeID = tk.Node
+	}
+	sp := span{
+		kind:  kind,
+		task:  tk.Name,
+		node:  nodeID,
+		root:  rootID,
+		start: now,
+		open:  true,
+		vdl:   float64(tk.VirtualDeadline),
+		slack: slack,
+		boost: tk.PriorityBoost,
+	}
+	if tk == root {
+		sp.realDL = float64(root.RealDeadline)
+		sp.hasRDL = true
+	}
+	t.openSpan(tk, sp)
+}
+
+// openSpan appends a span and indexes it as open, respecting MaxSpans.
+func (t *Telemetry) openSpan(tk *task.Task, sp span) {
+	if len(t.spans) >= t.opts.MaxSpans {
+		t.droppedSpans.Inc()
+		return
+	}
+	t.nextID++
+	sp.id = t.nextID
+	t.spans = append(t.spans, sp)
+	t.open[tk] = len(t.spans) - 1
+}
+
+// closeSpan resolves span idx at instant end.
+func (t *Telemetry) closeSpan(idx int, end float64, missed, aborted bool) {
+	sp := &t.spans[idx]
+	if !sp.open {
+		return
+	}
+	sp.open = false
+	sp.end = end
+	sp.missed = missed
+	sp.abort = aborted
+	judge := sp.vdl
+	if sp.hasRDL {
+		judge = sp.realDL
+	}
+	t.latenessHist.Observe(end - judge)
+}
+
+// endOf picks the end instant for a resolving task: its finish time, or
+// the current instant when it never finished (abort paths).
+func (t *Telemetry) endOf(tk *task.Task) float64 {
+	if !tk.Finish.IsNever() {
+		return float64(tk.Finish)
+	}
+	return t.now()
+}
+
+// --- procmgr.Recorder -------------------------------------------------------
+
+// RecordLocal implements procmgr.Recorder: local tasks never pass
+// through the release hook, so their whole span is synthesized at
+// resolution from the task's own attributes.
+func (t *Telemetry) RecordLocal(tk *task.Task, missed bool) {
+	t.doneLocal.Inc()
+	if missed {
+		t.missedLocal.Inc()
+	}
+	end := t.endOf(tk)
+	slack := float64(tk.RealDeadline) - float64(tk.Arrival) - float64(tk.Exec)
+	t.latenessHist.Observe(end - float64(tk.RealDeadline))
+	sp := span{
+		kind:   "local",
+		task:   tk.Name,
+		node:   tk.Node,
+		start:  float64(tk.Arrival),
+		end:    end,
+		vdl:    float64(tk.VirtualDeadline),
+		realDL: float64(tk.RealDeadline),
+		hasRDL: true,
+		slack:  slack,
+		missed: missed,
+		abort:  tk.Aborted,
+		boost:  tk.PriorityBoost,
+	}
+	if len(t.spans) >= t.opts.MaxSpans {
+		t.droppedSpans.Inc()
+		return
+	}
+	t.nextID++
+	sp.id = t.nextID
+	t.spans = append(t.spans, sp)
+}
+
+// RecordSubtask implements procmgr.Recorder: it closes the subtask's
+// open stage span with the per-subtask verdict.
+func (t *Telemetry) RecordSubtask(tk *task.Task, missed bool) {
+	t.doneSubtask.Inc()
+	if missed {
+		t.missedSubtask.Inc()
+	}
+	if idx, ok := t.open[tk]; ok {
+		t.closeSpan(idx, t.endOf(tk), missed, tk.Aborted)
+		delete(t.open, tk)
+	}
+}
+
+// RecordGlobal implements procmgr.Recorder: it closes the root span and
+// any stage spans the abort paths left open, and retires the task from
+// the in-flight gauge.
+func (t *Telemetry) RecordGlobal(root *task.Task, missed bool) {
+	t.doneGlobal.Inc()
+	if missed {
+		t.missedGlobal.Inc()
+	}
+	t.inflight--
+	root.Walk(func(n *task.Task) {
+		idx, ok := t.open[n]
+		if !ok {
+			return
+		}
+		if n == root {
+			t.closeSpan(idx, t.endOf(n), missed, root.Aborted)
+		} else {
+			// A stage still open when the run resolves was cut short by
+			// an abort (or is an interior node whose children resolved
+			// it); judge it by its own virtual deadline.
+			end := t.endOf(n)
+			t.closeSpan(idx, end, end > t.spans[idx].vdl, root.Aborted)
+		}
+		delete(t.open, n)
+	})
+}
+
+// --- exports ----------------------------------------------------------------
+
+// WritePrometheus writes the full instrument catalog in the Prometheus
+// text exposition format.
+func (t *Telemetry) WritePrometheus(w io.Writer) error {
+	return t.reg.WritePrometheus(w)
+}
+
+// WriteCSV writes the sampler's retained time series as CSV.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	if t.sampler == nil {
+		return fmt.Errorf("obs: WriteCSV before Bind")
+	}
+	return t.sampler.WriteCSV(w)
+}
+
+// Summary renders a human-readable digest of the run's telemetry, using
+// the histogram quantile helpers for the p50/p95/p99 triples.
+func (t *Telemetry) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduling   enqueue %d  start %d  finish %d  abort %d  preempt %d\n",
+		t.enqueues.Value(), t.starts.Value(), t.finishes.Value(), t.aborts.Value(), t.preempts.Value())
+	fmt.Fprintf(&b, "releases     %d (%d resubmits), %g global task(s) in flight at end\n",
+		t.releases.Value(), t.resubmits.Value(), t.inflight)
+	fmt.Fprintf(&b, "outcomes     local %d (missed %d)  global %d (missed %d)  subtask %d (missed %d)\n",
+		t.doneLocal.Value(), t.missedLocal.Value(),
+		t.doneGlobal.Value(), t.missedGlobal.Value(),
+		t.doneSubtask.Value(), t.missedSubtask.Value())
+	fmt.Fprintf(&b, "spans        %d recorded, %d dropped, %d open at horizon\n",
+		len(t.spans), t.droppedSpans.Value(), len(t.open))
+	if t.slackHist.Count() > 0 {
+		q := t.slackHist.Quantiles(0.5, 0.95, 0.99)
+		fmt.Fprintf(&b, "slack        mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f (assigned, per release)\n",
+			t.slackHist.Mean(), q[0], q[1], q[2])
+	}
+	if t.latenessHist.Count() > 0 {
+		q := t.latenessHist.Quantiles(0.5, 0.95, 0.99)
+		fmt.Fprintf(&b, "lateness     mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f (per resolved span)\n",
+			t.latenessHist.Mean(), q[0], q[1], q[2])
+	}
+	if t.sampler != nil {
+		fmt.Fprintf(&b, "samples      %d ticks, %d retained x %d series (every %g time units)\n",
+			t.sampler.Ticks(), t.sampler.Len(), len(t.sampler.probes), float64(t.opts.SampleEvery))
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing instrument. Counters are written
+// on the simulation goroutine only; reads happen after the run, so no
+// synchronization is needed (the whole telemetry layer shares the DES
+// kernel's single-threaded discipline).
+type Counter struct {
+	name   string
+	labels string // preformatted, e.g. `node="3"`; "" for none
+	help   string
+	v      uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Name returns the instrument name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an instantaneous value. A gauge is either settable (Set) or
+// func-backed (registered via GaugeFunc), in which case Value reads the
+// live model state — the sampler and the exporters always observe the
+// current truth without the model having to push updates.
+type Gauge struct {
+	name   string
+	labels string
+	help   string
+	read   func() float64
+	v      float64
+}
+
+// Set stores v. Calling Set on a func-backed gauge is a programming
+// error and panics.
+func (g *Gauge) Set(v float64) {
+	if g.read != nil {
+		panic(fmt.Sprintf("obs: Set on func-backed gauge %s", g.name))
+	}
+	g.v = v
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g.read != nil {
+		return g.read()
+	}
+	return g.v
+}
+
+// Name returns the instrument name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket distribution instrument wrapping
+// stats.Histogram, so summaries get Quantile/Mean for free and the
+// Prometheus exposition gets cumulative buckets.
+type Histogram struct {
+	name   string
+	labels string
+	help   string
+	h      *stats.Histogram
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) { h.h.Add(x) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.h.Count() }
+
+// Mean returns the mean observation.
+func (h *Histogram) Mean() float64 { return h.h.Mean() }
+
+// Quantile returns the approximate q-quantile (see stats.Histogram).
+func (h *Histogram) Quantile(q float64) float64 { return h.h.Quantile(q) }
+
+// Quantiles evaluates several quantiles at once.
+func (h *Histogram) Quantiles(qs ...float64) []float64 { return h.h.Quantiles(qs...) }
+
+// Name returns the instrument name.
+func (h *Histogram) Name() string { return h.name }
+
+// Registry holds named instruments. Registration order is preserved and
+// exports are sorted, so two identical runs produce byte-identical
+// expositions. Instruments are identified by (name, labels); registering
+// a duplicate panics — it is a wiring error, caught at setup.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+	seen     map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]struct{})}
+}
+
+// claim reserves (name, labels), panicking on duplicates.
+func (r *Registry) claim(name, labels string) {
+	key := name + "{" + labels + "}"
+	if _, dup := r.seen[key]; dup {
+		panic(fmt.Sprintf("obs: duplicate instrument %s", key))
+	}
+	r.seen[key] = struct{}{}
+}
+
+// Counter registers a counter. labels is a preformatted Prometheus label
+// body (e.g. `node="3"`) or "".
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	r.claim(name, labels)
+	c := &Counter{name: name, labels: labels, help: help}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers a settable gauge.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	r.claim(name, labels)
+	g := &Gauge{name: name, labels: labels, help: help}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read live from fn.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) *Gauge {
+	r.claim(name, labels)
+	g := &Gauge{name: name, labels: labels, help: help, read: fn}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers a fixed-bucket histogram of n equal buckets over
+// [lo, hi). Invalid bounds panic (a wiring error, caught at setup).
+func (r *Registry) Histogram(name, labels, help string, lo, hi float64, n int) *Histogram {
+	r.claim(name, labels)
+	sh, err := stats.NewHistogram(lo, hi, n)
+	if err != nil {
+		panic(fmt.Sprintf("obs: histogram %s: %v", name, err))
+	}
+	h := &Histogram{name: name, labels: labels, help: help, h: sh}
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// family is one exposition group: every sample of one metric name.
+type family struct {
+	name, help, kind string
+	lines            []string
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE header
+// per family, samples sorted by label set. Values are formatted with %g
+// at full float64 precision, so identical runs produce identical bytes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	fams := make(map[string]*family)
+	add := func(name, help, kind, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, help: help, kind: kind}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	for _, c := range r.counters {
+		add(c.name, c.help, "counter", sample(c.name, c.labels, float64(c.v)))
+	}
+	for _, g := range r.gauges {
+		add(g.name, g.help, "gauge", sample(g.name, g.labels, g.Value()))
+	}
+	for _, h := range r.hists {
+		under, over := h.h.OutOfRange()
+		cum := under
+		for i, b := range h.h.Buckets() {
+			cum += b
+			le := h.h.Lo() + float64(i+1)*h.h.BucketWidth()
+			add(h.name, h.help, "histogram",
+				sample(h.name+"_bucket", joinLabels(h.labels, fmt.Sprintf(`le="%g"`, le)), float64(cum)))
+		}
+		add(h.name, h.help, "histogram",
+			sample(h.name+"_bucket", joinLabels(h.labels, `le="+Inf"`), float64(cum+over)))
+		add(h.name, h.help, "histogram", sample(h.name+"_sum", h.labels, h.h.Sum()))
+		add(h.name, h.help, "histogram", sample(h.name+"_count", h.labels, float64(h.h.Count())))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		// Samples stay in registration order within a family: per-node
+		// label sets register in ascending node order and histogram
+		// buckets in ascending le order, so the output is already in the
+		// natural reading order — and deterministic.
+		for _, line := range f.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sample renders one exposition line.
+func sample(name, labels string, v float64) string {
+	if labels == "" {
+		return fmt.Sprintf("%s %g", name, v)
+	}
+	return fmt.Sprintf("%s{%s} %g", name, labels, v)
+}
+
+// joinLabels concatenates two preformatted label bodies.
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}

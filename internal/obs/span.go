@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one line of the JSONL telemetry log — the schema shared by
+// task-lifecycle spans (Type "span", written by Telemetry.WriteSpans) and
+// point scheduling events (Type "event", written by trace.WriteJSONL).
+// All times are simulated instants in abstract time units; wall clock
+// never appears, so two identical runs serialize to identical bytes.
+//
+// Span records: Start is the release instant, End the finish/abort
+// instant (absent while a span is still open at the horizon). VDL is the
+// virtual deadline assigned at release, RealDL the true deadline for
+// root/local spans, Slack the assigned slack at release (VDL - Start -
+// predicted work), and Lateness = End minus the deadline the unit is
+// judged by (VDL for stage/subtask spans, RealDL for root and local
+// spans); negative lateness means an early finish.
+//
+// Event records: At is the event instant and Kind one of
+// enqueue/start/finish/abort/preempt.
+type Record struct {
+	Type string `json:"type"`           // "span" | "event"
+	Kind string `json:"kind"`           // span: local|global|stage|subtask; event: enqueue|...
+	Task string `json:"task"`           // task name (or generated label)
+	Node int    `json:"node"`           // execution node; -1 for composite stages
+	ID   uint64 `json:"id,omitempty"`   // span id, unique per run, in release order
+	Root uint64 `json:"root,omitempty"` // id of the owning global root span
+
+	Start    *float64 `json:"start,omitempty"`
+	End      *float64 `json:"end,omitempty"`
+	At       *float64 `json:"at,omitempty"` // event records only
+	VDL      *float64 `json:"vdl,omitempty"`
+	RealDL   *float64 `json:"real_dl,omitempty"`
+	Slack    *float64 `json:"slack,omitempty"`
+	Lateness *float64 `json:"lateness,omitempty"`
+
+	Missed  bool `json:"missed,omitempty"`
+	Aborted bool `json:"aborted,omitempty"`
+	Boost   bool `json:"boost,omitempty"`
+}
+
+// F wraps a float for an optional Record field.
+func F(v float64) *float64 { return &v }
+
+// WriteRecord writes one Record as a JSON line.
+func WriteRecord(w io.Writer, rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// span is the in-memory form of one lifecycle span; it converts to a
+// Record at export time.
+type span struct {
+	id     uint64
+	root   uint64
+	kind   string
+	task   string
+	node   int
+	start  float64
+	end    float64
+	open   bool
+	vdl    float64
+	realDL float64
+	hasRDL bool
+	slack  float64
+	missed bool
+	abort  bool
+	boost  bool
+}
+
+// record converts the span to its serialized form.
+func (s *span) record() Record {
+	rec := Record{
+		Type:    "span",
+		Kind:    s.kind,
+		Task:    s.task,
+		Node:    s.node,
+		ID:      s.id,
+		Root:    s.root,
+		Start:   F(s.start),
+		VDL:     F(s.vdl),
+		Slack:   F(s.slack),
+		Missed:  s.missed,
+		Aborted: s.abort,
+		Boost:   s.boost,
+	}
+	if s.hasRDL {
+		rec.RealDL = F(s.realDL)
+	}
+	if !s.open {
+		rec.End = F(s.end)
+		judge := s.vdl
+		if s.hasRDL {
+			judge = s.realDL
+		}
+		rec.Lateness = F(s.end - judge)
+	}
+	return rec
+}
+
+// WriteSpans writes every recorded span, in release order, as JSONL.
+// Spans still open at export time (tasks in flight at the horizon) are
+// written without End/Lateness.
+func (t *Telemetry) WriteSpans(w io.Writer) error {
+	for i := range t.spans {
+		if err := WriteRecord(w, t.spans[i].record()); err != nil {
+			return fmt.Errorf("obs: write span %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Spans returns the serialized span log (for tests and summaries).
+func (t *Telemetry) Spans() []Record {
+	out := make([]Record, len(t.spans))
+	for i := range t.spans {
+		out[i] = t.spans[i].record()
+	}
+	return out
+}
+
+// DroppedSpans returns how many spans were discarded because the span
+// store hit Options.MaxSpans.
+func (t *Telemetry) DroppedSpans() uint64 { return t.droppedSpans.Value() }

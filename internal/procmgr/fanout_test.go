@@ -1,0 +1,88 @@
+package procmgr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// logRecorder appends "<label>.<callback>" per record.
+type logRecorder struct {
+	label string
+	log   *[]string
+}
+
+func (r logRecorder) RecordLocal(*task.Task, bool)   { *r.log = append(*r.log, r.label+".local") }
+func (r logRecorder) RecordSubtask(*task.Task, bool) { *r.log = append(*r.log, r.label+".subtask") }
+func (r logRecorder) RecordGlobal(*task.Task, bool)  { *r.log = append(*r.log, r.label+".global") }
+
+func TestRecordersFanOutOrder(t *testing.T) {
+	var log []string
+	rec := Recorders(logRecorder{"a", &log}, nil, logRecorder{"b", &log})
+	tk := task.MustSimple("t", 0, 1)
+
+	calls := []struct {
+		name string
+		fire func()
+	}{
+		{"local", func() { rec.RecordLocal(tk, false) }},
+		{"subtask", func() { rec.RecordSubtask(tk, true) }},
+		{"global", func() { rec.RecordGlobal(tk, false) }},
+	}
+	for _, c := range calls {
+		log = log[:0]
+		c.fire()
+		want := []string{"a." + c.name, "b." + c.name}
+		if fmt.Sprint(log) != fmt.Sprint(want) {
+			t.Fatalf("%s fan-out = %v, want %v", c.name, log, want)
+		}
+	}
+}
+
+func TestRecordersDegenerateCases(t *testing.T) {
+	if _, ok := Recorders().(NopRecorder); !ok {
+		t.Fatalf("combining nothing must yield NopRecorder")
+	}
+	if _, ok := Recorders(nil, nil).(NopRecorder); !ok {
+		t.Fatalf("combining only nils must yield NopRecorder")
+	}
+	var log []string
+	single := logRecorder{"s", &log}
+	if _, wrapped := Recorders(nil, single).(multiRecorder); wrapped {
+		t.Fatalf("a single non-nil recorder must be returned unwrapped")
+	}
+}
+
+func TestReleaseHooksFanOutOrder(t *testing.T) {
+	var log []string
+	mk := func(label string) ReleaseHook {
+		return func(tk, root *task.Task, budget simtime.Time) {
+			log = append(log, fmt.Sprintf("%s(%s,%v)", label, tk.Name, budget))
+		}
+	}
+	hook := ReleaseHooks(nil, mk("a"), nil, mk("b"))
+	tk := task.MustSimple("x", 0, 1)
+	hook(tk, tk, 42)
+	want := "[a(x,42) b(x,42)]"
+	if fmt.Sprint(log) != want {
+		t.Fatalf("hook fan-out = %v, want %v", log, want)
+	}
+}
+
+func TestReleaseHooksDegenerateCases(t *testing.T) {
+	if ReleaseHooks() != nil {
+		t.Fatalf("combining nothing must yield nil")
+	}
+	if ReleaseHooks(nil, nil) != nil {
+		t.Fatalf("combining only nils must yield nil")
+	}
+	called := 0
+	h := func(*task.Task, *task.Task, simtime.Time) { called++ }
+	got := ReleaseHooks(nil, h)
+	got(nil, nil, 0)
+	if called != 1 {
+		t.Fatalf("single hook not forwarded (called=%d)", called)
+	}
+}

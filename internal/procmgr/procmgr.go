@@ -67,6 +67,55 @@ func (NopRecorder) RecordSubtask(*task.Task, bool) {}
 // RecordGlobal implements Recorder.
 func (NopRecorder) RecordGlobal(*task.Task, bool) {}
 
+// multiRecorder fans every outcome record out to several recorders in
+// order.
+type multiRecorder []Recorder
+
+var _ Recorder = multiRecorder(nil)
+
+// Recorders returns a Recorder forwarding every record to each of the
+// given recorders in argument order. Nil entries are skipped; a single
+// non-nil recorder is returned unwrapped, and combining nothing yields
+// NopRecorder. The telemetry layer uses it to observe outcomes next to
+// the statistics collector without either knowing about the other.
+func Recorders(recs ...Recorder) Recorder {
+	flat := make(multiRecorder, 0, len(recs))
+	for _, r := range recs {
+		if r != nil {
+			flat = append(flat, r)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return NopRecorder{}
+	case 1:
+		return flat[0]
+	default:
+		return flat
+	}
+}
+
+// RecordLocal implements Recorder.
+func (m multiRecorder) RecordLocal(t *task.Task, missed bool) {
+	for _, r := range m {
+		r.RecordLocal(t, missed)
+	}
+}
+
+// RecordSubtask implements Recorder.
+func (m multiRecorder) RecordSubtask(t *task.Task, missed bool) {
+	for _, r := range m {
+		r.RecordSubtask(t, missed)
+	}
+}
+
+// RecordGlobal implements Recorder.
+func (m multiRecorder) RecordGlobal(root *task.Task, missed bool) {
+	for _, r := range m {
+		r.RecordGlobal(root, missed)
+	}
+}
+
 // ReleaseHook observes every deadline assignment the manager makes: t is
 // the tree node that just became executable (Arrival, VirtualDeadline and
 // PriorityBoost freshly set), root the global task it belongs to, and
@@ -74,6 +123,30 @@ func (NopRecorder) RecordGlobal(*task.Task, bool) {}
 // harness uses it for invariant checks; hooks run synchronously on the
 // simulation goroutine and must be cheap.
 type ReleaseHook func(t, root *task.Task, budget simtime.Time)
+
+// ReleaseHooks returns a ReleaseHook invoking each of the given hooks in
+// argument order. Nil entries are skipped; a single non-nil hook is
+// returned unwrapped, and combining nothing yields nil.
+func ReleaseHooks(hooks ...ReleaseHook) ReleaseHook {
+	flat := make([]ReleaseHook, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			flat = append(flat, h)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return func(t, root *task.Task, budget simtime.Time) {
+			for _, h := range flat {
+				h(t, root, budget)
+			}
+		}
+	}
+}
 
 // Manager is the process manager. Create one with New.
 type Manager struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sda"
 	"repro/internal/sim"
@@ -37,28 +38,44 @@ func (o *Outcome) Passed() bool { return len(o.Failures) == 0 }
 // deterministic: the same scenario produces the same Outcome (including
 // TraceHash) on every call.
 func Run(sc *Scenario) (*Outcome, error) {
+	out, _, err := runWith(sc, obs.Options{})
+	return out, err
+}
+
+// RunObserved is Run with the telemetry layer enabled: it returns the
+// run's Telemetry alongside the outcome so callers can export spans,
+// metrics, time series and the dashboard. Telemetry never mutates model
+// state, so the Outcome — including TraceHash — is identical to Run's.
+func RunObserved(sc *Scenario, o obs.Options) (*Outcome, *obs.Telemetry, error) {
+	o.Enabled = true
+	return runWith(sc, o)
+}
+
+// runWith is the shared engine behind Run and RunObserved.
+func runWith(sc *Scenario, o obs.Options) (*Outcome, *obs.Telemetry, error) {
 	if err := sc.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg, err := sc.Config()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	chk := NewChecker(sc.Assert.AllowEarlyVDL)
 	tr := trace.New()
 	cfg.Observer = node.CombineObservers(tr, chk)
 	cfg.ReleaseHook = chk.OnRelease
+	cfg.Obs = o
 
 	sys, err := sim.NewSystem(cfg, sc.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	chk.Bind(sys.Nodes)
 	if err := armTimeline(sys, sc, cfg.Spec); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := sys.Start(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := sys.Finish(sys.Horizon())
 	chk.Finish()
@@ -74,7 +91,7 @@ func Run(sc *Scenario) (*Outcome, error) {
 		out.Failures = append(out.Failures, "invariant: "+v)
 	}
 	out.Failures = append(out.Failures, sc.Assert.evaluate(rep)...)
-	return out, nil
+	return out, sys.Telemetry(), nil
 }
 
 // armTimeline schedules every injected event on the simulation engine.

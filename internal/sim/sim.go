@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/procmgr"
 	"repro/internal/rng"
@@ -78,6 +79,14 @@ type Config struct {
 	// process manager makes (see procmgr.WithReleaseHook). Used by the
 	// scenario harness's invariant checker.
 	ReleaseHook procmgr.ReleaseHook
+
+	// Obs configures the unified telemetry layer (see internal/obs). The
+	// zero value is disabled: nothing is constructed and the hot path is
+	// untouched. When enabled, each replication gets its own Telemetry
+	// (read it via System.Telemetry on single-system runs); telemetry
+	// never mutates model state, so results and trace hashes are
+	// identical with it on or off.
+	Obs obs.Options
 
 	Duration     simtime.Duration // measured portion of each replication
 	Warmup       simtime.Duration // tasks arriving before this are not counted
@@ -308,12 +317,25 @@ type System struct {
 
 	cfg Config
 	rec *collector
+	tel *obs.Telemetry // nil unless cfg.Obs.Enabled
 }
+
+// Telemetry returns the system's telemetry layer, or nil when Config.Obs
+// is disabled.
+func (s *System) Telemetry() *obs.Telemetry { return s.tel }
 
 // build wires engine, nodes, manager and collector for a normalized,
 // validated configuration (no workload attached yet).
 func build(cfg Config) *System {
 	eng := des.New()
+	var tel *obs.Telemetry
+	if cfg.Obs.Enabled {
+		tel = obs.New(cfg.Obs)
+	}
+	observer := cfg.Observer
+	if tel != nil {
+		observer = node.CombineObservers(observer, tel)
+	}
 	nodeOpts := []node.Option{node.WithPolicy(cfg.Policy)}
 	if cfg.Abort == AbortLocalScheduler {
 		nodeOpts = append(nodeOpts, node.WithLocalAbort())
@@ -321,8 +343,8 @@ func build(cfg Config) *System {
 	if cfg.Preemptive {
 		nodeOpts = append(nodeOpts, node.WithPreemption())
 	}
-	if cfg.Observer != nil {
-		nodeOpts = append(nodeOpts, node.WithObserver(cfg.Observer))
+	if observer != nil {
+		nodeOpts = append(nodeOpts, node.WithObserver(observer))
 	}
 	if cfg.Servers > 1 {
 		nodeOpts = append(nodeOpts, node.WithServers(cfg.Servers))
@@ -333,15 +355,22 @@ func build(cfg Config) *System {
 	}
 
 	rec := newCollector(simtime.Time(cfg.Warmup))
-	mgrOpts := []procmgr.Option{procmgr.WithRecorder(rec)}
+	var recorder procmgr.Recorder = rec
+	hook := cfg.ReleaseHook
+	if tel != nil {
+		recorder = procmgr.Recorders(rec, tel)
+		hook = procmgr.ReleaseHooks(cfg.ReleaseHook, tel.OnRelease)
+		tel.Bind(eng, nodes)
+	}
+	mgrOpts := []procmgr.Option{procmgr.WithRecorder(recorder)}
 	if cfg.Abort == AbortProcessManager {
 		mgrOpts = append(mgrOpts, procmgr.WithPMAbort())
 	}
-	if cfg.ReleaseHook != nil {
-		mgrOpts = append(mgrOpts, procmgr.WithReleaseHook(cfg.ReleaseHook))
+	if hook != nil {
+		mgrOpts = append(mgrOpts, procmgr.WithReleaseHook(hook))
 	}
 	mgr := procmgr.New(eng, nodes, cfg.SSP, cfg.PSP, mgrOpts...)
-	return &System{Eng: eng, Nodes: nodes, Mgr: mgr, cfg: cfg, rec: rec}
+	return &System{Eng: eng, Nodes: nodes, Mgr: mgr, cfg: cfg, rec: rec, tel: tel}
 }
 
 // NewSystem validates cfg and wires a single replication with a live
@@ -379,6 +408,13 @@ func (s *System) Start() error {
 // and queue lengths there, drains the remaining events so every counted
 // task resolves to a hit or a miss, and returns the replication result.
 func (s *System) Finish(horizon simtime.Time) RepResult {
+	if s.tel != nil {
+		// Arm the time-series sampler: read-only ticks up to the horizon.
+		// The first tick is strictly after now, so arming cannot fail.
+		if err := s.tel.Start(horizon); err != nil {
+			panic(fmt.Sprintf("sim: arm telemetry sampler: %v", err))
+		}
+	}
 	s.Eng.RunUntil(horizon)
 	measuredBusy := busyTime(s.Nodes)
 	var qlenSum float64
@@ -389,6 +425,11 @@ func (s *System) Finish(horizon simtime.Time) RepResult {
 
 	rep := s.rec.result()
 	rep.Events = s.Eng.Fired()
+	if s.tel != nil {
+		// Sampler ticks are telemetry events, not model events: subtracting
+		// them keeps the replication result bit-identical with obs on/off.
+		rep.Events -= s.tel.Ticks()
+	}
 	// Utilization over the measured horizon (warmup included in busy time
 	// keeps the estimator simple; the horizon dwarfs the warmup).
 	if horizon > 0 {

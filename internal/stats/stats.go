@@ -246,6 +246,28 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
+// Sum returns the sum of all observations (including out-of-range ones).
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantiles evaluates Quantile at each q in qs in one call; the obs
+// summaries use it for the standard p50/p95/p99 triple.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// Lo returns the histogram's lower bound.
+func (h *Histogram) Lo() float64 { return h.lo }
+
+// Hi returns the histogram's upper bound.
+func (h *Histogram) Hi() float64 { return h.hi }
+
+// BucketWidth returns the width of each in-range bucket.
+func (h *Histogram) BucketWidth() float64 { return h.width }
+
 // Buckets returns a copy of the in-range bucket counts.
 func (h *Histogram) Buckets() []int64 {
 	out := make([]int64, len(h.buckets))

@@ -205,6 +205,52 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantilesP50P95P99 pins the p50/p95/p99 triple the obs
+// summaries report: with a uniform fill of [0, 100) the q-quantile of the
+// bucket-interpolated estimator must land within one bucket of 100q.
+func TestHistogramQuantilesP50P95P99(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		h.Add(float64(i % 100))
+	}
+	qs := h.Quantiles(0.5, 0.95, 0.99)
+	want := []float64{50, 95, 99}
+	for i, got := range qs {
+		if math.Abs(got-want[i]) > 1.5 {
+			t.Errorf("quantile %d = %v, want ~%v", i, got, want[i])
+		}
+	}
+	// A skewed distribution: 99 observations at 10, one at 90. The p50
+	// must sit in the low bucket and the p99+ must reach the outlier's.
+	sk, _ := NewHistogram(0, 100, 100)
+	for i := 0; i < 99; i++ {
+		sk.Add(10)
+	}
+	sk.Add(90)
+	if q := sk.Quantile(0.5); q < 10 || q > 11 {
+		t.Errorf("skewed p50 = %v, want in [10, 11]", q)
+	}
+	if q := sk.Quantile(0.995); q < 90 || q > 91 {
+		t.Errorf("skewed p99.5 = %v, want in [90, 91]", q)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 10)
+	h.Add(1)
+	h.Add(2.5)
+	h.Add(100) // overflow still contributes to the sum
+	if got := h.Sum(); math.Abs(got-103.5) > 1e-12 {
+		t.Errorf("sum = %v, want 103.5", got)
+	}
+	if h.Lo() != 0 || h.Hi() != 10 || h.BucketWidth() != 1 {
+		t.Errorf("bounds = [%v, %v) width %v, want [0, 10) width 1", h.Lo(), h.Hi(), h.BucketWidth())
+	}
+}
+
 func TestHistogramErrors(t *testing.T) {
 	if _, err := NewHistogram(0, 10, 0); err == nil {
 		t.Error("zero buckets should error")

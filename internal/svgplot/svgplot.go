@@ -41,21 +41,75 @@ const (
 
 // Render produces the SVG document.
 func Render(c Chart) (string, error) {
+	body, w, h, err := renderBody(c)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, w, h)
+	b.WriteString("\n")
+	b.WriteString(body)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// Compose stacks several charts vertically into one SVG document — the
+// obs dashboard uses it to pair the queue-depth time series with the
+// slack histogram. All panels share one document; each keeps its own
+// axes and legend.
+func Compose(charts ...Chart) (string, error) {
+	if len(charts) == 0 {
+		return "", fmt.Errorf("svgplot: nothing to compose")
+	}
+	bodies := make([]string, len(charts))
+	width, height := 0, 0
+	heights := make([]int, len(charts))
+	for i, c := range charts {
+		body, w, h, err := renderBody(c)
+		if err != nil {
+			return "", fmt.Errorf("svgplot: panel %d: %w", i, err)
+		}
+		bodies[i] = body
+		if w > width {
+			width = w
+		}
+		heights[i] = h
+		height += h
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`, width, height)
+	b.WriteString("\n")
+	y := 0
+	for i, body := range bodies {
+		fmt.Fprintf(&b, `<g transform="translate(0 %d)">`, y)
+		b.WriteString("\n")
+		b.WriteString(body)
+		b.WriteString("</g>\n")
+		y += heights[i]
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// renderBody draws the chart's content (background, axes, marks, legend)
+// without the outer <svg> element and returns it with the resolved panel
+// size, so Render and Compose can wrap it in a document each their way.
+func renderBody(c Chart) (string, int, int, error) {
 	if len(c.Y) == 0 || len(c.Series) == 0 {
-		return "", fmt.Errorf("svgplot: empty chart")
+		return "", 0, 0, fmt.Errorf("svgplot: empty chart")
 	}
 	for i, row := range c.Y {
 		if len(row) != len(c.Series) {
-			return "", fmt.Errorf("svgplot: row %d has %d cells for %d series",
+			return "", 0, 0, fmt.Errorf("svgplot: row %d has %d cells for %d series",
 				i, len(row), len(c.Series))
 		}
 	}
 	numeric := c.X != nil
 	if numeric && len(c.X) != len(c.Y) {
-		return "", fmt.Errorf("svgplot: %d x values for %d rows", len(c.X), len(c.Y))
+		return "", 0, 0, fmt.Errorf("svgplot: %d x values for %d rows", len(c.X), len(c.Y))
 	}
 	if !numeric && len(c.Labels) != len(c.Y) {
-		return "", fmt.Errorf("svgplot: %d labels for %d rows", len(c.Labels), len(c.Y))
+		return "", 0, 0, fmt.Errorf("svgplot: %d labels for %d rows", len(c.Labels), len(c.Y))
 	}
 	if c.Width <= 0 {
 		c.Width = 720
@@ -65,9 +119,6 @@ func Render(c Chart) (string, error) {
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`,
-		c.Width, c.Height)
-	b.WriteString("\n")
 	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, c.Width, c.Height)
 	b.WriteString("\n")
 	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`,
@@ -130,8 +181,7 @@ func Render(c Chart) (string, error) {
 		renderBars(&b, c, plotW, plotH, yPix)
 	}
 	renderLegend(&b, c)
-	b.WriteString("</svg>\n")
-	return b.String(), nil
+	return b.String(), c.Width, c.Height, nil
 }
 
 func renderLines(b *strings.Builder, c Chart, plotW, plotH int, yPix func(float64) float64) {

@@ -131,3 +131,59 @@ func TestDefaultsAndDegenerate(t *testing.T) {
 		t.Errorf("single point: %v", err)
 	}
 }
+
+func TestCompose(t *testing.T) {
+	line := Chart{
+		Title: "queue depth", XLabel: "t", YLabel: "items",
+		Series: []string{"node0"},
+		X:      []float64{0, 1, 2},
+		Y:      [][]float64{{0}, {2}, {1}},
+	}
+	bars := Chart{
+		Title: "slack", XLabel: "bucket", YLabel: "count",
+		Series: []string{"count"},
+		Labels: []string{"0-1", "1-2"},
+		Y:      [][]float64{{3}, {1}},
+	}
+	svg, err := Compose(line, bars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<svg"); got != 1 {
+		t.Errorf("composed document has %d <svg> elements, want 1", got)
+	}
+	if !strings.Contains(svg, "queue depth") || !strings.Contains(svg, "slack") {
+		t.Error("composed document is missing a panel title")
+	}
+	if got := strings.Count(svg, "<g transform="); got != 2 {
+		t.Errorf("composed document has %d panel groups, want 2", got)
+	}
+	if _, err := Compose(); err == nil {
+		t.Error("composing nothing should error")
+	}
+	if _, err := Compose(Chart{}); err == nil {
+		t.Error("composing an empty chart should error")
+	}
+}
+
+func TestComposeMatchesRenderPanels(t *testing.T) {
+	c := Chart{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Series: []string{"s"},
+		X:      []float64{0, 1},
+		Y:      [][]float64{{1}, {2}},
+	}
+	single, err := Render(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := Compose(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The composed variant must carry the same marks, just wrapped in a
+	// translate group.
+	if !strings.Contains(composed, `<polyline`) || !strings.Contains(single, `<polyline`) {
+		t.Error("line marks missing")
+	}
+}

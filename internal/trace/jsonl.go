@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteJSONL writes the recorded event log as JSON lines using the
+// shared telemetry record schema (obs.Record with Type "event"), so
+// trace output is machine-readable alongside span exports: one line per
+// scheduling event, in firing order, with the event instant in At and
+// the item's virtual deadline at the time of the event in VDL. The ASCII
+// Gantt and Log renderings are unaffected.
+func (tr *Tracer) WriteJSONL(w io.Writer) error {
+	for i := range tr.events {
+		e := &tr.events[i]
+		rec := obs.Record{
+			Type:  "event",
+			Kind:  e.Kind.String(),
+			Task:  e.Task,
+			Node:  e.Node,
+			At:    obs.F(float64(e.At)),
+			VDL:   obs.F(float64(e.Virtual)),
+			Boost: e.Boost,
+		}
+		if err := obs.WriteRecord(w, rec); err != nil {
+			return fmt.Errorf("trace: write event %d: %w", i, err)
+		}
+	}
+	return nil
+}

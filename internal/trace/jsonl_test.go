@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/obs"
+)
+
+func TestWriteJSONLSharesRecordSchema(t *testing.T) {
+	eng := des.New()
+	tr := New()
+	n := node.New(0, eng, node.WithObserver(tr))
+	if err := n.Submit(mkItem(t, "a", 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Submit(mkItem(t, "b", 20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	ganttBefore := tr.Gantt(0, 5, 40)
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var recs []obs.Record
+	for sc.Scan() {
+		var rec obs.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", len(recs)+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != tr.Len() {
+		t.Fatalf("wrote %d records for %d events", len(recs), tr.Len())
+	}
+	wantKinds := []string{"enqueue", "start", "enqueue", "finish", "start", "finish"}
+	for i, rec := range recs {
+		if rec.Type != "event" {
+			t.Errorf("record %d: type %q, want event", i, rec.Type)
+		}
+		if rec.Kind != wantKinds[i] {
+			t.Errorf("record %d: kind %q, want %q", i, rec.Kind, wantKinds[i])
+		}
+		if rec.At == nil {
+			t.Errorf("record %d: missing at", i)
+		}
+		if rec.VDL == nil {
+			t.Errorf("record %d: missing vdl", i)
+		}
+		if rec.Node != 0 {
+			t.Errorf("record %d: node %d, want 0", i, rec.Node)
+		}
+	}
+	if recs[3].Kind == "finish" && *recs[3].At != 2 {
+		t.Errorf("first finish at %g, want 2", *recs[3].At)
+	}
+
+	// The JSONL export must not perturb the tracer: Gantt stays
+	// byte-identical and a second export matches the first.
+	if got := tr.Gantt(0, 5, 40); got != ganttBefore {
+		t.Errorf("Gantt changed after WriteJSONL:\nbefore:\n%s\nafter:\n%s", ganttBefore, got)
+	}
+	var b2 strings.Builder
+	if err := tr.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Errorf("repeated JSONL export differs")
+	}
+}
