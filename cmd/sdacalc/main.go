@@ -6,6 +6,12 @@
 //
 //	sdacalc -deadline 10 -ssp EQF -psp DIV-1 \
 //	    "[[T11@0:5||T12@1:5||T13@2:5||T14@3:5||T15@4:5] T2@5:5]"
+//
+// With -dag the expression is a precedence DAG instead — vertices
+// followed by ';' and a list of edges — and deadlines are assigned over
+// its series-parallel decomposition:
+//
+//	sdacalc -dag -deadline 12 "a@0:2 b@1:3 c@2:1 ; a>b a>c b>c"
 package main
 
 import (
@@ -33,16 +39,13 @@ func run(args []string) error {
 		deadline = fs.Float64("deadline", 0, "end-to-end deadline of the global task")
 		sspName  = fs.String("ssp", "EQF", "serial strategy: "+strings.Join(sda.SSPNames(), " | "))
 		pspName  = fs.String("psp", "DIV-1", "parallel strategy: "+strings.Join(sda.PSPNames(), " | "))
+		dag      = fs.Bool("dag", false, "parse the expression as a precedence DAG ('vertices ; edges')")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one task expression, got %d args", fs.NArg())
-	}
-	root, err := task.Parse(fs.Arg(0))
-	if err != nil {
-		return err
 	}
 	ssp, err := sda.ParseSSP(*sspName)
 	if err != nil {
@@ -57,6 +60,20 @@ func run(args []string) error {
 	if !dl.After(ar) {
 		return fmt.Errorf("deadline %v must be after arrival %v", dl, ar)
 	}
+	if *dag {
+		d, err := task.ParseDag(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if err := sda.PlanDag(d, ar, dl, ssp, psp); err != nil {
+			return err
+		}
+		return printDag(d, ssp, psp, ar, dl)
+	}
+	root, err := task.Parse(fs.Arg(0))
+	if err != nil {
+		return err
+	}
 	if err := sda.Plan(root, ar, dl, ssp, psp); err != nil {
 		return err
 	}
@@ -68,6 +85,39 @@ func run(args []string) error {
 	fmt.Printf("%-24s %-9s %8s %10s %10s %6s\n",
 		"subtask", "kind", "node", "release", "virtual dl", "boost")
 	printTree(root, 0)
+	return nil
+}
+
+// printDag renders the planned DAG as a per-vertex table in topological
+// order, with predecessor lists in place of the tree indentation.
+func printDag(d *task.Dag, ssp sda.SSP, psp sda.PSP, ar, dl simtime.Time) error {
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dag       %s\n", d)
+	fmt.Printf("strategy  %s-%s   arrival %v   deadline %v\n", ssp.Name(), psp.Name(), ar, dl)
+	fmt.Printf("critical path %v   total work %v   vertices %d   edges %d   depth %d   width %d\n\n",
+		d.CriticalPath(), d.TotalWork(), d.Len(), d.EdgeCount(), d.Depth(), d.Width())
+	fmt.Printf("%-16s %8s %10s %10s %6s  %s\n",
+		"vertex", "node", "release", "virtual dl", "boost", "preds")
+	for _, n := range topo {
+		t := n.Task
+		boost := ""
+		if t.PriorityBoost {
+			boost = "GF"
+		}
+		preds := make([]string, 0, len(n.Preds()))
+		for _, p := range n.Preds() {
+			preds = append(preds, p.Task.Name)
+		}
+		pred := "-"
+		if len(preds) > 0 {
+			pred = strings.Join(preds, ",")
+		}
+		fmt.Printf("%-16s %8d %10v %10v %6s  %s\n",
+			t.Name, t.Node, t.Arrival, t.VirtualDeadline, boost, pred)
+	}
 	return nil
 }
 

@@ -40,8 +40,10 @@ func run(args []string) error {
 		slackMax  = fs.Float64("slack-max", 5.0, "maximum task slack")
 		gSlackMin = fs.Float64("global-slack-min", 0, "global-task slack minimum (0 = use local range)")
 		gSlackMax = fs.Float64("global-slack-max", 0, "global-task slack maximum (0 = use local range)")
-		factory   = fs.String("factory", "parallel", "global task shape: parallel | uniform | serial")
-		stages    = fs.Int("stages", 5, "serial stages for -factory serial")
+		factory   = fs.String("factory", "parallel", "global task shape: parallel | uniform | serial | layered | forkjoin")
+		stages    = fs.Int("stages", 5, "stages for -factory serial/forkjoin, layers for -factory layered")
+		edgeProb  = fs.Float64("edge-prob", 0.3, "extra-edge probability for -factory layered")
+		crossProb = fs.Float64("cross-prob", 0.3, "stage-skip edge probability for -factory forkjoin")
 		sspName   = fs.String("ssp", "UD", "serial strategy: "+strings.Join(sda.SSPNames(), " | "))
 		pspName   = fs.String("psp", "UD", "parallel strategy: "+strings.Join(sda.PSPNames(), " | "))
 		abort     = fs.String("abort", "none", "abortion: none | pm | local")
@@ -81,6 +83,12 @@ func run(args []string) error {
 		cfg.Spec.Factory = workload.UniformParallel{Min: 2, Max: *n}
 	case "serial":
 		cfg.Spec.Factory = workload.SerialParallel{Stages: *stages, Fanout: *n}
+	case "layered":
+		cfg.Spec.Factory = nil
+		cfg.Spec.DagFactory = workload.LayeredDag{Layers: *stages, MinWidth: 1, MaxWidth: *n, EdgeProb: *edgeProb}
+	case "forkjoin":
+		cfg.Spec.Factory = nil
+		cfg.Spec.DagFactory = workload.ForkJoinDag{Stages: *stages, Fanout: *n, CrossProb: *crossProb}
 	default:
 		return fmt.Errorf("unknown factory %q", *factory)
 	}
@@ -218,7 +226,7 @@ func printReport(cfg sim.Config, res sim.Result) {
 	fmt.Println(exp.Table1())
 	fmt.Printf("strategy        %s\n", cfg.Name())
 	fmt.Printf("workload        %s  load=%g  frac_local=%g  k=%d\n",
-		cfg.Spec.Factory.Name(), cfg.Spec.Load, cfg.Spec.FracLocal, cfg.Spec.K)
+		cfg.Spec.FactoryName(), cfg.Spec.Load, cfg.Spec.FracLocal, cfg.Spec.K)
 	fmt.Printf("abort           %s    queue %s\n", cfg.Abort, cfg.Policy.Name())
 	fmt.Printf("replications    %d x %v time units (warmup %v)\n",
 		cfg.Replications, cfg.Duration, cfg.Warmup)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // smallConfig is a short baseline cell used by the end-to-end tests.
@@ -158,6 +159,37 @@ func TestSpanLogShape(t *testing.T) {
 	}
 	if !strings.Contains(tel.Summary(), "slack") {
 		t.Fatalf("summary missing slack line:\n%s", tel.Summary())
+	}
+}
+
+func TestDagRootSpansCarryShape(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Spec.Factory = nil
+	cfg.Spec.DagFactory = workload.LayeredDag{Layers: 3, MinWidth: 1, MaxWidth: 3, EdgeProb: 0.4}
+	cfg.Obs = obs.Options{Enabled: true}
+	_, tel := runObserved(t, cfg, 5)
+
+	globals := 0
+	for _, rec := range tel.Spans() {
+		if rec.Kind == "global" {
+			globals++
+			// A layered DAG's longest chain threads every layer, so the
+			// depth is exactly the layer count; the width is a layer size.
+			if rec.Depth != 3 {
+				t.Fatalf("global span %d: depth %d, want 3", rec.ID, rec.Depth)
+			}
+			if rec.Width < 1 || rec.Width > 3 {
+				t.Fatalf("global span %d: width %d outside [1, 3]", rec.ID, rec.Width)
+			}
+			continue
+		}
+		if rec.Depth != 0 || rec.Width != 0 {
+			t.Fatalf("%s span %d carries DAG shape (%d, %d); only roots should",
+				rec.Kind, rec.ID, rec.Depth, rec.Width)
+		}
+	}
+	if globals == 0 {
+		t.Fatalf("no global spans recorded for a DAG workload")
 	}
 }
 

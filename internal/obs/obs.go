@@ -108,6 +108,11 @@ type Telemetry struct {
 	open   map[*task.Task]int // task -> index of its open span
 	nextID uint64
 
+	// dagShape holds the {depth, width} of an announced precedence-DAG
+	// global task, keyed by its accounting root, until the root span is
+	// opened by the root's OnRelease. Entries are cleared at RecordGlobal.
+	dagShape map[*task.Task][2]int
+
 	sampler *Sampler
 	nodes   []*node.Node
 }
@@ -148,8 +153,9 @@ func New(o Options) *Telemetry {
 		latenessHist: reg.Histogram("sda_span_lateness", "",
 			"span end minus judging deadline (negative = early)", -50, 50, 100),
 
-		spans: make([]span, 0, min(o.MaxSpans, 1024)),
-		open:  make(map[*task.Task]int, 256),
+		spans:    make([]span, 0, min(o.MaxSpans, 1024)),
+		open:     make(map[*task.Task]int, 256),
+		dagShape: make(map[*task.Task][2]int, 16),
 	}
 	return t
 }
@@ -299,6 +305,9 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 	if tk == root {
 		sp.realDL = float64(root.RealDeadline)
 		sp.hasRDL = true
+		if shape, ok := t.dagShape[root]; ok {
+			sp.depth, sp.width = shape[0], shape[1]
+		}
 	}
 	t.openSpan(tk, sp)
 }
@@ -342,6 +351,14 @@ func (t *Telemetry) endOf(tk *task.Task) float64 {
 }
 
 // --- procmgr.Recorder -------------------------------------------------------
+
+// RecordDagSubmit implements procmgr.DagRecorder: it stashes the DAG's
+// shape so the root span opened by the subsequent OnRelease carries the
+// graph's depth and width. Like the Recorder methods it is wired
+// automatically when the Telemetry is registered as a manager recorder.
+func (t *Telemetry) RecordDagSubmit(d *task.Dag, root *task.Task) {
+	t.dagShape[root] = [2]int{d.Depth(), d.Width()}
+}
 
 // RecordLocal implements procmgr.Recorder: local tasks never pass
 // through the release hook, so their whole span is synthesized at
@@ -399,6 +416,7 @@ func (t *Telemetry) RecordGlobal(root *task.Task, missed bool) {
 		t.missedGlobal.Inc()
 	}
 	t.inflight--
+	delete(t.dagShape, root)
 	root.Walk(func(n *task.Task) {
 		idx, ok := t.open[n]
 		if !ok {

@@ -41,6 +41,12 @@ type Record struct {
 	Missed  bool `json:"missed,omitempty"`
 	Aborted bool `json:"aborted,omitempty"`
 	Boost   bool `json:"boost,omitempty"`
+
+	// DAG shape, set on the root span of a precedence-DAG global task:
+	// Depth is the longest chain length and Width the largest antichain
+	// per level. Tree globals leave both zero.
+	Depth int `json:"depth,omitempty"`
+	Width int `json:"width,omitempty"`
 }
 
 // F wraps a float for an optional Record field.
@@ -75,6 +81,8 @@ type span struct {
 	missed bool
 	abort  bool
 	boost  bool
+	depth  int // DAG root spans only
+	width  int // DAG root spans only
 }
 
 // record converts the span to its serialized form.
@@ -92,6 +100,8 @@ func (s *span) record() Record {
 		Missed:  s.missed,
 		Aborted: s.abort,
 		Boost:   s.boost,
+		Depth:   s.depth,
+		Width:   s.width,
 	}
 	if s.hasRDL {
 		rec.RealDL = F(s.realDL)

@@ -1,0 +1,432 @@
+package procmgr
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/sda"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// Online execution of precedence-DAG global tasks.
+//
+// SubmitDag is SubmitGlobal for DAGs: the manager decomposes the DAG into
+// its series-parallel structure (task.Decompose) once at submission and
+// then runs the same online protocol as the tree path over that structure —
+// a serial stage's deadline is recomputed by the SSP at the instant the
+// stage actually becomes executable, a parallel composition is fanned out
+// by the PSP once on release. Inside an irreducible cluster a sibling
+// group (members sharing one in-cluster predecessor/successor set) is
+// released when its last predecessor finishes; because group mates share
+// their predecessors, the whole group becomes ready atomically in a single
+// completion callback. Deadline abortion cascades: aborting the run
+// withdraws every live subtask and marks the not-yet-released successors
+// aborted without recording them — exactly the tree semantics, where
+// unreleased serial stages of an aborted task never reach the recorder.
+
+// DagRecorder is an optional extension of Recorder. A recorder that also
+// implements it is told about every DAG submission before the first
+// release fires, with the DAG and its accounting root (the task pointer
+// later passed to RecordGlobal and release hooks). The telemetry layer
+// uses it to attach shape attributes (depth, width) to the global span.
+type DagRecorder interface {
+	RecordDagSubmit(d *task.Dag, root *task.Task)
+}
+
+// RecordDagSubmit forwards the submission to every member recorder that
+// understands DAGs.
+func (m multiRecorder) RecordDagSubmit(d *task.Dag, root *task.Task) {
+	for _, r := range m {
+		if dr, ok := r.(DagRecorder); ok {
+			dr.RecordDagSubmit(d, root)
+		}
+	}
+}
+
+// SubmitDag submits a global task expressed as a precedence DAG. The
+// accounting root's RealDeadline must be set (d.Root().RealDeadline); the
+// manager decomposes the DAG online and releases each vertex as soon as
+// all its predecessors have finished.
+func (m *Manager) SubmitDag(d *task.Dag) error {
+	if d == nil {
+		return fmt.Errorf("procmgr: nil DAG task")
+	}
+	st, err := d.Decompose() // validates the DAG
+	if err != nil {
+		return err
+	}
+	root := d.Root()
+	if root.RealDeadline.IsNever() {
+		return fmt.Errorf("%w: %q", ErrNoDeadline, d.Name)
+	}
+	for _, n := range d.Nodes() {
+		if n.Task.Node < 0 || n.Task.Node >= len(m.nodes) {
+			return fmt.Errorf("%w: %q at node %d", ErrBadNode, n.Task.Name, n.Task.Node)
+		}
+	}
+
+	if dr, ok := m.rec.(DagRecorder); ok {
+		dr.RecordDagSubmit(d, root)
+	}
+	r := &dagRun{m: m, dag: d, root: root}
+	if m.pmAbort {
+		ev, err := m.eng.At(root.RealDeadline, r.abortAll)
+		if err != nil {
+			// Born dead: deadline already passed.
+			r.abortAll()
+			return nil
+		}
+		r.timer = ev
+	}
+	now := m.eng.Now()
+	root.Arrival = now
+	root.VirtualDeadline = root.RealDeadline
+	if m.onRel != nil {
+		m.onRel(root, root, root.RealDeadline)
+	}
+	r.releaseStruct(&dagCtrl{run: r, s: st}, now, root.RealDeadline, root.RealDeadline, false)
+	return nil
+}
+
+// dagRun tracks one in-flight DAG task. It mirrors run.
+type dagRun struct {
+	m     *Manager
+	dag   *task.Dag
+	root  *task.Task
+	timer des.Event
+	live  liveSet
+	over  bool
+}
+
+// dagCtrl is the control block for one node of the decomposition tree, or
+// — when member is set — for a single vertex inside a cluster.
+type dagCtrl struct {
+	run       *dagRun
+	s         *task.Structure
+	parent    *dagCtrl
+	stageIdx  int // index of this child within a serial parent
+	remaining int // parallel: unfinished children; serial: current stage index
+
+	// Runtime attributes of the released structure (the decomposition has
+	// no task.Task to carry them, unlike the tree path).
+	ar    simtime.Time
+	vdl   simtime.Time
+	boost bool
+
+	// Cluster state (s.Kind == StructCluster).
+	down       map[*task.DagNode]simtime.Duration
+	groups     [][]*task.DagNode
+	groupOf    map[*task.DagNode]int
+	pending    []int // per group: unfinished in-cluster predecessors
+	unfinished int   // members not yet finished
+
+	// member is set on the per-vertex leaf ctrl inside a cluster; its
+	// parent is then the cluster ctrl.
+	member *task.DagNode
+}
+
+// releaseStruct makes the structure rooted at c executable at instant now
+// with the given deadline budget and GF boost flag. parentBudget is the
+// budget the assignment was decomposed from, passed to the release hook.
+func (r *dagRun) releaseStruct(c *dagCtrl, now simtime.Time, budget simtime.Time, parentBudget simtime.Time, boost bool) {
+	if r.over {
+		return
+	}
+	c.ar, c.vdl, c.boost = now, budget, boost
+	switch c.s.Kind {
+	case task.StructLeaf:
+		t := c.s.Node.Task
+		t.Arrival = now
+		t.VirtualDeadline = budget
+		t.PriorityBoost = boost
+		if r.m.onRel != nil {
+			r.m.onRel(t, r.root, parentBudget)
+		}
+		r.submitDagLeaf(c, t)
+	case task.StructSerial:
+		c.remaining = 0
+		r.releaseDagStage(c, now)
+	case task.StructParallel:
+		c.remaining = len(c.s.Children)
+		a := r.m.psp.AssignParallel(now, budget, len(c.s.Children))
+		for i, child := range c.s.Children {
+			cc := &dagCtrl{run: r, s: child, parent: c, stageIdx: i}
+			r.releaseStruct(cc, now, a.Virtual, budget, boost || a.Boost)
+		}
+	case task.StructCluster:
+		r.releaseCluster(c, now)
+	}
+}
+
+// releaseDagStage releases the next serial stage of c at instant now,
+// recomputing the stage deadline with the SSP's view of the remaining
+// stages — the same online recomputation the tree path performs.
+func (r *dagRun) releaseDagStage(c *dagCtrl, now simtime.Time) {
+	i := c.remaining
+	pexs := make([]simtime.Duration, 0, len(c.s.Children)-i)
+	for _, rest := range c.s.Children[i:] {
+		pexs = append(pexs, rest.PredictedCriticalPath())
+	}
+	dl := r.m.ssp.AssignSerial(now, c.vdl, pexs)
+	cc := &dagCtrl{run: r, s: c.s.Children[i], parent: c, stageIdx: i}
+	r.releaseStruct(cc, now, dl, c.vdl, c.boost)
+}
+
+// releaseCluster initialises an irreducible cluster's bookkeeping and
+// releases its source groups (those with no in-cluster predecessor).
+func (r *dagRun) releaseCluster(c *dagCtrl, now simtime.Time) {
+	st := c.s
+	c.down = st.MemberDown()
+	c.groups = st.ClusterGroups()
+	c.groupOf = make(map[*task.DagNode]int, len(st.Members))
+	for gi, g := range c.groups {
+		for _, mb := range g {
+			c.groupOf[mb] = gi
+		}
+	}
+	c.pending = make([]int, len(c.groups))
+	for gi, g := range c.groups {
+		// All group members share one predecessor set; count its in-cluster
+		// part off the first member.
+		for _, p := range g[0].Preds() {
+			if _, in := c.down[p]; in {
+				c.pending[gi]++
+			}
+		}
+	}
+	c.unfinished = len(st.Members)
+	for gi := range c.groups {
+		if c.pending[gi] == 0 {
+			r.releaseGroup(c, gi, now)
+		}
+	}
+}
+
+// releaseGroup makes the gi-th sibling group of cluster c executable at
+// instant now: the SSP budgets the group against the cluster deadline with
+// the heaviest remaining chain as downstream stages, and the PSP fans the
+// group budget out among the members when there is more than one.
+func (r *dagRun) releaseGroup(c *dagCtrl, gi int, now simtime.Time) {
+	if r.over {
+		return
+	}
+	g := c.groups[gi]
+	pexs := sda.ClusterStagePexs(g, c.down)
+	dl := r.m.ssp.AssignSerial(now, c.vdl, pexs)
+	if len(g) > 1 {
+		a := r.m.psp.AssignParallel(now, dl, len(g))
+		for _, mb := range g {
+			r.releaseMember(c, mb, now, a.Virtual, dl, c.boost || a.Boost)
+		}
+		return
+	}
+	r.releaseMember(c, g[0], now, dl, c.vdl, c.boost)
+}
+
+// releaseMember submits one cluster vertex with a freshly assigned virtual
+// deadline.
+func (r *dagRun) releaseMember(c *dagCtrl, mb *task.DagNode, now, vdl, parentBudget simtime.Time, boost bool) {
+	t := mb.Task
+	t.Arrival = now
+	t.VirtualDeadline = vdl
+	t.PriorityBoost = boost
+	if r.m.onRel != nil {
+		r.m.onRel(t, r.root, parentBudget)
+	}
+	r.submitDagLeaf(&dagCtrl{run: r, parent: c, member: mb}, t)
+}
+
+// submitDagLeaf sends a vertex subtask to its node.
+func (r *dagRun) submitDagLeaf(c *dagCtrl, t *task.Task) {
+	it := node.NewItem(t)
+	it.OnDone = func(done *node.Item, at simtime.Time) {
+		r.live.remove(done)
+		r.m.rec.RecordSubtask(t, at.After(r.root.RealDeadline))
+		r.leafFinished(c, t, at)
+	}
+	it.OnLocalAbort = func(ab *node.Item, at simtime.Time) {
+		r.live.remove(ab)
+		r.resubmit(c, t, ab, at)
+	}
+	r.live.add(it)
+	if err := r.m.nodes[t.Node].Submit(it); err != nil {
+		// Validated up front; a failure here is a bug in the manager.
+		panic(fmt.Sprintf("procmgr: submit DAG leaf %q: %v", t.Name, err))
+	}
+}
+
+// leafFinished propagates completion of a vertex upward.
+func (r *dagRun) leafFinished(c *dagCtrl, t *task.Task, at simtime.Time) {
+	if r.over {
+		return
+	}
+	t.Finish = at
+	if c.member != nil {
+		r.memberFinished(c.parent, c.member, at)
+		return
+	}
+	r.finishedStruct(c, at)
+}
+
+// memberFinished records completion of a cluster vertex: successor groups
+// whose last in-cluster predecessor just finished are released, and the
+// cluster itself completes when its final member does.
+func (r *dagRun) memberFinished(cl *dagCtrl, mb *task.DagNode, at simtime.Time) {
+	cl.unfinished--
+	// A finished vertex is one predecessor of every distinct group its
+	// successors belong to; decrement each such group exactly once (a group
+	// may hold several successors of mb).
+	var seen []int
+	for _, s := range mb.Succs() {
+		if _, in := cl.down[s]; !in {
+			continue
+		}
+		gi := cl.groupOf[s]
+		dup := false
+		for _, x := range seen {
+			if x == gi {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, gi)
+		cl.pending[gi]--
+		if cl.pending[gi] == 0 {
+			r.releaseGroup(cl, gi, at)
+		}
+	}
+	if cl.unfinished == 0 {
+		r.finishedStruct(cl, at)
+	}
+}
+
+// finishedStruct propagates completion of the structure rooted at c
+// upward, releasing the next serial stage where one exists.
+func (r *dagRun) finishedStruct(c *dagCtrl, at simtime.Time) {
+	if r.over {
+		return
+	}
+	p := c.parent
+	if p == nil {
+		r.complete(at)
+		return
+	}
+	switch p.s.Kind {
+	case task.StructSerial:
+		next := c.stageIdx + 1
+		if next < len(p.s.Children) {
+			p.remaining = next
+			r.releaseDagStage(p, at)
+			return
+		}
+		r.finishedStruct(p, at)
+	case task.StructParallel:
+		p.remaining--
+		if p.remaining == 0 {
+			r.finishedStruct(p, at)
+		}
+	}
+}
+
+// resubmit handles a local-scheduler abort of a vertex: recompute the
+// virtual deadline from the remaining budget and try again, or abandon the
+// whole DAG when the subtask has become hopeless.
+func (r *dagRun) resubmit(c *dagCtrl, t *task.Task, it *node.Item, now simtime.Time) {
+	if r.over {
+		return
+	}
+	vdl, boost := r.reassign(c, now)
+	if vdl.Before(now) {
+		// The former trial consumed all the slack; give up on the DAG.
+		r.abortAll()
+		return
+	}
+	t.VirtualDeadline = vdl
+	t.PriorityBoost = boost
+	if r.m.onRel != nil {
+		budget := r.root.RealDeadline
+		if c.parent != nil {
+			budget = c.parent.vdl
+		}
+		r.m.onRel(t, r.root, budget)
+	}
+	r.live.add(it)
+	if err := r.m.nodes[t.Node].Submit(it); err != nil {
+		panic(fmt.Sprintf("procmgr: resubmit DAG leaf %q: %v", t.Name, err))
+	}
+}
+
+// reassign recomputes the virtual deadline a vertex would receive if its
+// enclosing structure decomposed its budget at instant now.
+func (r *dagRun) reassign(c *dagCtrl, now simtime.Time) (simtime.Time, bool) {
+	if c.member != nil {
+		cl := c.parent
+		g := cl.groups[cl.groupOf[c.member]]
+		pexs := sda.ClusterStagePexs(g, cl.down)
+		dl := r.m.ssp.AssignSerial(now, cl.vdl, pexs)
+		if len(g) > 1 {
+			a := r.m.psp.AssignParallel(now, dl, len(g))
+			return a.Virtual, cl.boost || a.Boost
+		}
+		return dl, cl.boost
+	}
+	p := c.parent
+	if p == nil {
+		// A single-vertex DAG: its budget is the real deadline.
+		return r.root.RealDeadline, c.boost
+	}
+	switch p.s.Kind {
+	case task.StructParallel:
+		a := r.m.psp.AssignParallel(now, p.vdl, len(p.s.Children))
+		return a.Virtual, p.boost || a.Boost
+	case task.StructSerial:
+		i := c.stageIdx
+		pexs := make([]simtime.Duration, 0, len(p.s.Children)-i)
+		for _, rest := range p.s.Children[i:] {
+			pexs = append(pexs, rest.PredictedCriticalPath())
+		}
+		return r.m.ssp.AssignSerial(now, p.vdl, pexs), p.boost
+	default:
+		return p.vdl, p.boost
+	}
+}
+
+// complete closes out a successfully finished DAG run.
+func (r *dagRun) complete(at simtime.Time) {
+	r.over = true
+	r.root.Finish = at
+	r.m.eng.Cancel(r.timer)
+	r.m.rec.RecordGlobal(r.root, at.After(r.root.RealDeadline))
+}
+
+// abortAll withdraws every outstanding vertex and abandons the run. The
+// abort cascades to not-yet-released successors: they are marked aborted
+// but never recorded, mirroring the tree path where unreleased serial
+// stages of an aborted task do not reach the recorder.
+func (r *dagRun) abortAll() {
+	if r.over {
+		return
+	}
+	r.over = true
+	r.m.eng.Cancel(r.timer)
+	r.timer = des.Event{}
+	for _, it := range r.live {
+		r.m.nodes[it.Task.Node].Remove(it)
+		it.Task.Aborted = true
+		r.m.rec.RecordSubtask(it.Task, true)
+	}
+	r.live = nil
+	for _, n := range r.dag.Nodes() {
+		// Never released: no virtual deadline was ever assigned.
+		if t := n.Task; !t.Finished() && t.VirtualDeadline.IsNever() {
+			t.Aborted = true
+		}
+	}
+	r.root.Aborted = true
+	r.m.rec.RecordGlobal(r.root, true)
+}

@@ -147,6 +147,16 @@ func armTimeline(sys *sim.System, sc *Scenario, spec workload.Spec) error {
 							panic(fmt.Sprintf("scenario: burst local: %v", err))
 						}
 					case "global":
+						if spec.DagFactory != nil {
+							g, err := spec.NewGlobalDag(stream, now)
+							if err != nil {
+								panic(fmt.Sprintf("scenario: burst global DAG: %v", err))
+							}
+							if err := sys.Mgr.SubmitDag(g); err != nil {
+								panic(fmt.Sprintf("scenario: burst global DAG submit: %v", err))
+							}
+							continue
+						}
 						root, err := spec.NewGlobal(stream, now)
 						if err != nil {
 							panic(fmt.Sprintf("scenario: burst global: %v", err))

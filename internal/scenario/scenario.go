@@ -48,14 +48,14 @@ const (
 
 // Event is one injected fault or perturbation on the scenario timeline.
 type Event struct {
-	At     float64 `json:"at"`               // simulated instant (time units)
-	Action string  `json:"action"`           // one of the Action constants
-	Node   int     `json:"node,omitempty"`   // crash/restart/set_rate/burst target; -1 on burst = random node per task
-	Rate   float64 `json:"rate,omitempty"`   // set_rate: new service rate (> 0)
-	Count  int     `json:"count,omitempty"`  // burst: number of tasks
-	Kind   string  `json:"kind,omitempty"`   // burst: "local" or "global"
-	SSP    string  `json:"ssp,omitempty"`    // swap: new serial strategy ("" keeps current)
-	PSP    string  `json:"psp,omitempty"`    // swap: new parallel strategy ("" keeps current)
+	At     float64 `json:"at"`              // simulated instant (time units)
+	Action string  `json:"action"`          // one of the Action constants
+	Node   int     `json:"node,omitempty"`  // crash/restart/set_rate/burst target; -1 on burst = random node per task
+	Rate   float64 `json:"rate,omitempty"`  // set_rate: new service rate (> 0)
+	Count  int     `json:"count,omitempty"` // burst: number of tasks
+	Kind   string  `json:"kind,omitempty"`  // burst: "local" or "global"
+	SSP    string  `json:"ssp,omitempty"`   // swap: new serial strategy ("" keeps current)
+	PSP    string  `json:"psp,omitempty"`   // swap: new parallel strategy ("" keeps current)
 }
 
 // Workload selects the stochastic workload of a scenario; zero-valued
@@ -72,9 +72,14 @@ type Workload struct {
 	MeanLocalExec   float64 `json:"mean_local_exec,omitempty"`   // default 1.0
 	MeanSubtaskExec float64 `json:"mean_subtask_exec,omitempty"` // default 1.0
 
-	Factory string `json:"factory,omitempty"` // parallel | uniform | serial (default parallel)
-	N       int    `json:"n,omitempty"`       // fanout (default 4)
-	Stages  int    `json:"stages,omitempty"`  // serial factory stages (default 5)
+	// Factory: parallel | uniform | serial (tree globals), or
+	// layered | forkjoin (precedence-DAG globals). Default parallel.
+	Factory string `json:"factory,omitempty"`
+	N       int    `json:"n,omitempty"`      // fanout / max layer width (default 4)
+	Stages  int    `json:"stages,omitempty"` // serial/forkjoin stages, layered layers (default 5)
+
+	EdgeProb  float64 `json:"edge_prob,omitempty"`  // layered: extra-edge probability
+	CrossProb float64 `json:"cross_prob,omitempty"` // forkjoin: stage-skip edge probability
 }
 
 // Assertions bound the scenario outcome. Nil pointers disable a bound.
@@ -89,10 +94,10 @@ type Assertions struct {
 	UtilizationMin *float64 `json:"utilization_min,omitempty"`
 	UtilizationMax *float64 `json:"utilization_max,omitempty"`
 
-	MinEvents *uint64 `json:"min_events,omitempty"` // DES events fired
-	MaxEvents *uint64 `json:"max_events,omitempty"`
-	MinLocals *int64  `json:"min_locals,omitempty"` // counted local tasks
-	MinGlobals *int64 `json:"min_globals,omitempty"`
+	MinEvents  *uint64 `json:"min_events,omitempty"` // DES events fired
+	MaxEvents  *uint64 `json:"max_events,omitempty"`
+	MinLocals  *int64  `json:"min_locals,omitempty"` // counted local tasks
+	MinGlobals *int64  `json:"min_globals,omitempty"`
 
 	// AllowEarlyVDL disables the "virtual deadline not before release
 	// with non-negative slack" invariant, needed for GF-delta (which
@@ -157,21 +162,26 @@ func (s Scenario) withDefaults() Scenario {
 	return s
 }
 
-// factory resolves the Workload's factory selection. FracLocal == 1 needs
-// no factory at all.
-func (w Workload) factory() (workload.Factory, error) {
+// factories resolves the Workload's factory selection into a tree or a
+// DAG factory (at most one non-nil). FracLocal == 1 needs no factory at
+// all.
+func (w Workload) factories() (workload.Factory, workload.DagFactory, error) {
 	if w.FracLocal >= 1 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	switch w.Factory {
 	case "parallel":
-		return workload.FixedParallel{N: w.N}, nil
+		return workload.FixedParallel{N: w.N}, nil, nil
 	case "uniform":
-		return workload.UniformParallel{Min: 2, Max: w.N}, nil
+		return workload.UniformParallel{Min: 2, Max: w.N}, nil, nil
 	case "serial":
-		return workload.SerialParallel{Stages: w.Stages, Fanout: w.N}, nil
+		return workload.SerialParallel{Stages: w.Stages, Fanout: w.N}, nil, nil
+	case "layered":
+		return nil, workload.LayeredDag{Layers: w.Stages, MinWidth: 1, MaxWidth: w.N, EdgeProb: w.EdgeProb}, nil
+	case "forkjoin":
+		return nil, workload.ForkJoinDag{Stages: w.Stages, Fanout: w.N, CrossProb: w.CrossProb}, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown factory %q", ErrBadScenario, w.Factory)
+		return nil, nil, fmt.Errorf("%w: unknown factory %q", ErrBadScenario, w.Factory)
 	}
 }
 
@@ -179,7 +189,7 @@ func (w Workload) factory() (workload.Factory, error) {
 // (Observer and ReleaseHook are attached by Run).
 func (s *Scenario) Config() (sim.Config, error) {
 	sc := s.withDefaults()
-	factory, err := sc.Workload.factory()
+	factory, dagFactory, err := sc.Workload.factories()
 	if err != nil {
 		return sim.Config{}, err
 	}
@@ -218,6 +228,7 @@ func (s *Scenario) Config() (sim.Config, error) {
 			GlobalSlackMin:  sc.Workload.GlobalSlackMin,
 			GlobalSlackMax:  sc.Workload.GlobalSlackMax,
 			Factory:         factory,
+			DagFactory:      dagFactory,
 		},
 		SSP:          ssp,
 		PSP:          psp,
@@ -280,7 +291,7 @@ func (s *Scenario) Validate() error {
 					return fmt.Errorf("%w: %s: node %d out of range [-1, %d)", ErrBadScenario, where, ev.Node, k)
 				}
 			case "global":
-				if cfg.Spec.Factory == nil {
+				if cfg.Spec.Factory == nil && cfg.Spec.DagFactory == nil {
 					return fmt.Errorf("%w: %s: global burst needs a factory (frac_local < 1)", ErrBadScenario, where)
 				}
 			default:

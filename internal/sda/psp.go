@@ -2,6 +2,7 @@ package sda
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/simtime"
 )
@@ -44,10 +45,24 @@ type Div struct {
 	X float64
 }
 
-// NewDiv returns the DIV-x strategy for a positive x.
+// Bounds on the DIV-x divisor accepted by NewDiv. Outside this range the
+// scale factor 1/(n*x) overflows or underflows: DIV-1e-308 with n = 2
+// makes allowance.Scale(1/(n*x)) produce +Inf and hence a non-finite
+// virtual deadline, which every downstream consumer (EDF comparisons,
+// the scenario invariant checker, trace hashing) treats as corrupt. Any
+// x below MinDivX already clamps to the plain deadline and any x above
+// MaxDivX to the arrival instant for every realistic fan-out, so the
+// bounds cost no expressiveness.
+const (
+	MinDivX = 1e-9
+	MaxDivX = 1e9
+)
+
+// NewDiv returns the DIV-x strategy for a finite x in [MinDivX, MaxDivX].
 func NewDiv(x float64) (Div, error) {
-	if x <= 0 {
-		return Div{}, fmt.Errorf("%w: DIV-x needs x > 0, got %v", ErrBadParameter, x)
+	if math.IsNaN(x) || x < MinDivX || x > MaxDivX {
+		return Div{}, fmt.Errorf("%w: DIV-x needs %g <= x <= %g, got %v",
+			ErrBadParameter, MinDivX, MaxDivX, x)
 	}
 	return Div{X: x}, nil
 }
@@ -72,10 +87,18 @@ func (d Div) AssignParallel(ar simtime.Time, deadline simtime.Time, n int) Assig
 		// deadline rather than moving it later.
 		return Assignment{Virtual: deadline}
 	}
-	v := ar.Add(allowance.Scale(1 / (float64(n) * d.X)))
+	scale := 1 / (float64(n) * d.X)
+	if math.IsInf(scale, 0) || math.IsNaN(scale) {
+		// Defense in depth for Div literals that bypass NewDiv's bounds: a
+		// degenerate divisor must still yield a finite deadline. An
+		// infinite scale means x ~ 0, i.e. no division at all.
+		return Assignment{Virtual: deadline}
+	}
+	v := ar.Add(allowance.Scale(scale))
 	// With n*x < 1 the raw formula lands *after* the real deadline, which
 	// would deprioritise the subtasks below even UD; clamp to the deadline.
-	return Assignment{Virtual: v.Min(deadline)}
+	// The lower clamp covers scale underflow to 0 the same way UD would.
+	return Assignment{Virtual: v.Min(deadline).Max(ar)}
 }
 
 // Name implements PSP.

@@ -2,6 +2,7 @@ package sda
 
 import (
 	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -79,6 +80,37 @@ func TestDivValidation(t *testing.T) {
 	}
 	if _, err := NewDiv(0.5); err != nil {
 		t.Errorf("NewDiv(0.5) err = %v", err)
+	}
+	// Regression: a subnormal divisor used to pass the x > 0 check and
+	// then overflow 1/(n*x) to +Inf inside AssignParallel, producing a
+	// non-finite virtual deadline.
+	huge := math.Nextafter(MaxDivX, math.Inf(1))
+	for _, x := range []float64{1e-308, 5e-324, huge, math.Inf(1), math.Inf(-1), math.NaN()} {
+		if _, err := NewDiv(x); !errors.Is(err, ErrBadParameter) {
+			t.Errorf("NewDiv(%g) err = %v, want ErrBadParameter", x, err)
+		}
+	}
+	for _, x := range []float64{MinDivX, 1, MaxDivX} {
+		if _, err := NewDiv(x); err != nil {
+			t.Errorf("NewDiv(%g) err = %v", x, err)
+		}
+	}
+}
+
+// TestDivFiniteUnderExtremeX is the failing-before regression for the
+// DIV-x overflow: even a Div literal that bypasses NewDiv's bounds must
+// yield a finite virtual deadline inside [ar, deadline].
+func TestDivFiniteUnderExtremeX(t *testing.T) {
+	for _, x := range []float64{1e-308, 5e-324, 1e308, math.SmallestNonzeroFloat64} {
+		for _, n := range []int{1, 2, 16} {
+			got := Div{X: x}.AssignParallel(10, 110, n).Virtual
+			if math.IsInf(float64(got), 0) || math.IsNaN(float64(got)) {
+				t.Fatalf("Div{X: %g}.AssignParallel(n=%d) = %v, want finite", x, n, got)
+			}
+			if got.Before(10) || got.After(110) {
+				t.Errorf("Div{X: %g}.AssignParallel(n=%d) = %v outside [10, 110]", x, n, got)
+			}
+		}
 	}
 }
 
@@ -174,9 +206,37 @@ func TestParsePSP(t *testing.T) {
 }
 
 func TestParsePSPErrors(t *testing.T) {
-	for _, in := range []string{"", "bogus", "DIV-", "DIV-x", "DIV-0", "DIV--1"} {
+	for _, in := range []string{
+		"", "bogus", "DIV-", "DIV-x", "DIV-0", "DIV--1",
+		// Regression: extreme-but-parseable divisors must be rejected, not
+		// carried into overflowing arithmetic.
+		"DIV-1e-308", "DIV-1e309", "DIV-Inf", "DIV-NaN", "DIV-5e-324",
+	} {
 		if _, err := ParsePSP(in); err == nil {
 			t.Errorf("ParsePSP(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// TestParsePSPRoundTripExtremes: every accepted DIV parameter must
+// round-trip through Name/ParsePSP, including the boundary values.
+func TestParsePSPRoundTrip(t *testing.T) {
+	for _, in := range []string{"DIV-1e-09", "DIV-2.5", "DIV-1", "DIV-1e+09", "DIV-0.001"} {
+		p, err := ParsePSP(in)
+		if err != nil {
+			t.Errorf("ParsePSP(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != in {
+			t.Errorf("ParsePSP(%q).Name() = %q, want round trip", in, p.Name())
+		}
+		back, err := ParsePSP(p.Name())
+		if err != nil {
+			t.Errorf("ParsePSP(%q) (from Name): %v", p.Name(), err)
+			continue
+		}
+		if back.Name() != p.Name() {
+			t.Errorf("round trip unstable: %q -> %q", p.Name(), back.Name())
 		}
 	}
 }

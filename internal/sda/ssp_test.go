@@ -107,6 +107,73 @@ func TestEmptyRemaining(t *testing.T) {
 	}
 }
 
+// TestSSPEdgeCases drives every serial strategy through the degenerate
+// corners — negative slack, all-zero predictions, a single remaining
+// stage — and pins the exact assignment each strategy must produce.
+func TestSSPEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		ssp  SSP
+		ar   simtime.Time
+		dl   simtime.Time
+		pexs []simtime.Duration
+		want simtime.Time
+	}{
+		// Negative slack: dl=4 with 6 units predicted (slack -2).
+		{"UD/negative-slack", SerialUD{}, 0, 4, durs(2, 4), 4},
+		{"ED/negative-slack", ED{}, 0, 4, durs(2, 4), 0},           // 4 - 4
+		{"EQS/negative-slack", EQS{}, 0, 4, durs(2, 4), 1},         // 0+2-1
+		{"EQF/negative-slack", EQF{}, 0, 4, durs(2, 4), 2 - 2.0/3}, // share -2*2/6
+		{"ED/hopeless", ED{}, 10, 4, durs(1, 1, 1), 2},             // 4 - 2
+		// All-zero predictions: the stage still gets its slack share; EQF
+		// degrades to EQS's equal split.
+		{"UD/zero-pex", SerialUD{}, 5, 11, durs(0, 0, 0), 11},
+		{"ED/zero-pex", ED{}, 5, 11, durs(0, 0, 0), 11},
+		{"EQS/zero-pex", EQS{}, 5, 11, durs(0, 0, 0), 7},        // 5 + 6/3
+		{"EQF/zero-pex", EQF{}, 5, 11, durs(0, 0, 0), 7},        // falls back to EQS
+		{"EQF/zero-pex-negative", EQF{}, 5, 2, durs(0, 0), 3.5}, // 5 + (-3)/2
+		// Single remaining stage: ED/EQS/EQF hand over the whole budget.
+		{"UD/single-stage", SerialUD{}, 2, 9, durs(3), 9},
+		{"ED/single-stage", ED{}, 2, 9, durs(3), 9},
+		{"EQS/single-stage", EQS{}, 2, 9, durs(3), 9}, // 2+3+(9-2-3)
+		{"EQF/single-stage", EQF{}, 2, 9, durs(3), 9}, // share = full slack
+		{"EQS/single-stage-negative", EQS{}, 2, 4, durs(3), 4},
+		{"EQF/single-stage-zero-pex", EQF{}, 2, 9, durs(0), 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.ssp.AssignSerial(tc.ar, tc.dl, tc.pexs)
+			if math.Abs(float64(got.Sub(tc.want))) > 1e-12 {
+				t.Errorf("AssignSerial(%v, %v, %v) = %v, want %v",
+					tc.ar, tc.dl, tc.pexs, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSSPLastStageGetsFullBudget asserts the budget invariant behind the
+// online decomposition: whenever exactly one stage remains, ED, EQS and
+// EQF must assign precisely the end-to-end deadline — regardless of the
+// release instant, the prediction, or the sign of the slack. UD shares
+// the property trivially.
+func TestSSPLastStageGetsFullBudget(t *testing.T) {
+	f := func(arRaw, pexRaw uint16, dlRaw int16) bool {
+		ar := simtime.Time(float64(arRaw) / 16)
+		pex := simtime.Duration(float64(pexRaw) / 64)
+		dl := ar.Add(simtime.Duration(float64(dlRaw) / 8)) // may precede ar
+		for _, s := range []SSP{SerialUD{}, ED{}, EQS{}, EQF{}} {
+			if got := s.AssignSerial(ar, dl, []simtime.Duration{pex}); got != dl {
+				t.Logf("%s: AssignSerial(%v, %v, [%v]) = %v, want %v", s.Name(), ar, dl, pex, got, dl)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: for non-negative slack, every SSP strategy yields a deadline
 // within [ar + pex_0, dl], and the assignments of consecutive stages
 // conserve the budget (EQF/EQS never assign more total time than exists).

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// dagCfg swaps the baseline's tree factory for a random layered DAG.
+func dagCfg() Config {
+	cfg := quickCfg()
+	cfg.Spec.Factory = nil
+	cfg.Spec.DagFactory = workload.LayeredDag{Layers: 3, MinWidth: 1, MaxWidth: 3, EdgeProb: 0.4}
+	return cfg
+}
+
+func TestDagWorkloadRuns(t *testing.T) {
+	res, err := Run(dagCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Locals == 0 || res.Globals == 0 {
+		t.Fatalf("locals %d globals %d, want both > 0", res.Locals, res.Globals)
+	}
+	// The load equations hold for DAG factories too: ExpectedWork feeds
+	// GlobalRate, so the configured load should be realised.
+	if math.Abs(res.Utilization.Mean-0.5) > 0.05 {
+		t.Errorf("utilization %v, want ~0.5 (the configured load)", res.Utilization)
+	}
+	for _, iv := range []struct {
+		name string
+		v    float64
+	}{
+		{"MDLocal", res.MDLocal.Mean},
+		{"MDSubtask", res.MDSubtask.Mean},
+		{"MDGlobal", res.MDGlobal.Mean},
+		{"MissedWork", res.MissedWork.Mean},
+	} {
+		if iv.v < 0 || iv.v > 1 {
+			t.Errorf("%s = %v outside [0,1]", iv.name, iv.v)
+		}
+	}
+}
+
+func TestDagWorkloadDeterministic(t *testing.T) {
+	run := func() []RepResult {
+		res, err := Run(dagCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Reps
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical DAG configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDagForkJoinWithAborts(t *testing.T) {
+	cfg := dagCfg()
+	// Cross-stage skip edges break series-parallel structure, so this
+	// exercises the decomposition's cluster rule under load, with the
+	// process-manager abort cascading to unreleased successors.
+	cfg.Spec.DagFactory = workload.ForkJoinDag{Stages: 5, Fanout: 3, CrossProb: 0.3}
+	cfg.Abort = AbortProcessManager
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Globals == 0 {
+		t.Fatalf("no global DAG tasks generated")
+	}
+	if res.MDGlobal.Mean < 0 || res.MDGlobal.Mean > 1 {
+		t.Errorf("MDGlobal %v outside [0,1]", res.MDGlobal.Mean)
+	}
+	if res.MDSubtask.Mean < 0 || res.MDSubtask.Mean > 1 {
+		t.Errorf("MDSubtask %v outside [0,1]", res.MDSubtask.Mean)
+	}
+}

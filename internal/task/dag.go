@@ -1,0 +1,430 @@
+package task
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// This file generalizes the serial-parallel task trees of rules GT1-GT3 to
+// arbitrary precedence DAGs: vertices are simple subtasks, edges are
+// precedence constraints ("v may start only after every predecessor of v
+// has finished"). Every serial-parallel tree embeds into a DAG (see
+// FromTree), and the decomposition in structure.go recovers the tree
+// structure where it exists, so DAG-aware deadline assignment reduces
+// exactly to the paper's Figure 13 recursion on trees while also covering
+// shapes the tree grammar cannot express — fork-joins with cross-stage
+// edges, layered dataflow graphs, diamonds.
+
+// Errors reported by the DAG builders and Validate.
+var (
+	ErrEmptyDag    = errors.New("task: DAG has no nodes")
+	ErrCycle       = errors.New("task: precedence graph has a cycle")
+	ErrForeignNode = errors.New("task: node belongs to a different DAG")
+	ErrSelfEdge    = errors.New("task: self edge")
+	ErrDupEdge     = errors.New("task: duplicate edge")
+	ErrDupName     = errors.New("task: duplicate node name")
+)
+
+// DagNode is one vertex of a precedence DAG: a simple subtask together
+// with its precedence neighbourhood. The embedded Task carries the timing
+// attributes (Exec, Pex, Arrival, VirtualDeadline, ...) exactly as tree
+// leaves do, so nodes flow through the local schedulers, recorders and
+// telemetry unchanged.
+type DagNode struct {
+	Task *Task
+
+	dag   *Dag
+	id    int
+	preds []*DagNode
+	succs []*DagNode
+}
+
+// ID returns the node's index in Dag.Nodes (insertion order).
+func (n *DagNode) ID() int { return n.id }
+
+// Preds returns the node's direct predecessors. The slice is owned by the
+// DAG; callers must not mutate it.
+func (n *DagNode) Preds() []*DagNode { return n.preds }
+
+// Succs returns the node's direct successors. The slice is owned by the
+// DAG; callers must not mutate it.
+func (n *DagNode) Succs() []*DagNode { return n.succs }
+
+// Dag is a precedence DAG over simple subtasks. Build one with NewDag,
+// AddTask and AddEdge (or ParseDag / FromTree) and check it with Validate.
+type Dag struct {
+	Name string
+
+	nodes []*DagNode
+	edges int
+
+	root *Task // lazily built accounting root, see Root
+}
+
+// NewDag returns an empty DAG.
+func NewDag(name string) *Dag { return &Dag{Name: name} }
+
+// AddTask appends a simple subtask as a new DAG vertex. Node names need
+// not be unique in general, but ParseDag/String round trips require them
+// to be; AddTask rejects only nil and non-simple tasks.
+func (d *Dag) AddTask(t *Task) (*DagNode, error) {
+	if t == nil {
+		return nil, ErrNilChild
+	}
+	if !t.IsSimple() {
+		return nil, fmt.Errorf("%w: %q", ErrNotSimple, t.Name)
+	}
+	n := &DagNode{Task: t, dag: d, id: len(d.nodes)}
+	d.nodes = append(d.nodes, n)
+	d.root = nil
+	return n, nil
+}
+
+// MustAddTask is AddTask panicking on error; for tests and examples.
+func (d *Dag) MustAddTask(t *Task) *DagNode {
+	n, err := d.AddTask(t)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// AddEdge records the precedence constraint "from before to". Cycles are
+// detected by Validate, not here (edge insertion stays O(degree)).
+func (d *Dag) AddEdge(from, to *DagNode) error {
+	if from == nil || to == nil {
+		return ErrNilChild
+	}
+	if from.dag != d || to.dag != d {
+		return ErrForeignNode
+	}
+	if from == to {
+		return fmt.Errorf("%w: %q", ErrSelfEdge, from.Task.Name)
+	}
+	for _, s := range from.succs {
+		if s == to {
+			return fmt.Errorf("%w: %q -> %q", ErrDupEdge, from.Task.Name, to.Task.Name)
+		}
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+	d.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge panicking on error; for tests and examples.
+func (d *Dag) MustAddEdge(from, to *DagNode) {
+	if err := d.AddEdge(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of vertices.
+func (d *Dag) Len() int { return len(d.nodes) }
+
+// EdgeCount returns the number of precedence edges.
+func (d *Dag) EdgeCount() int { return d.edges }
+
+// Nodes returns the vertices in insertion order. The slice is owned by
+// the DAG; callers must not mutate it.
+func (d *Dag) Nodes() []*DagNode { return d.nodes }
+
+// Sources returns the vertices with no predecessors, in id order.
+func (d *Dag) Sources() []*DagNode {
+	var out []*DagNode
+	for _, n := range d.nodes {
+		if len(n.preds) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns the vertices with no successors, in id order.
+func (d *Dag) Sinks() []*DagNode {
+	var out []*DagNode
+	for _, n := range d.nodes {
+		if len(n.succs) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the vertices in a deterministic topological order
+// (Kahn's algorithm, smallest id first among the ready set), or ErrCycle.
+func (d *Dag) TopoOrder() ([]*DagNode, error) {
+	indeg := make([]int, len(d.nodes))
+	for _, n := range d.nodes {
+		indeg[n.id] = len(n.preds)
+	}
+	// The ready set is kept sorted by id; graphs here are small (tens of
+	// nodes), so the O(n log n) insertions are immaterial.
+	var ready []int
+	for _, n := range d.nodes {
+		if indeg[n.id] == 0 {
+			ready = append(ready, n.id)
+		}
+	}
+	sort.Ints(ready)
+	out := make([]*DagNode, 0, len(d.nodes))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		n := d.nodes[id]
+		out = append(out, n)
+		for _, s := range n.succs {
+			indeg[s.id]--
+			if indeg[s.id] == 0 {
+				i := sort.SearchInts(ready, s.id)
+				ready = append(ready, 0)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = s.id
+			}
+		}
+	}
+	if len(out) != len(d.nodes) {
+		return nil, ErrCycle
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants of the whole DAG: at least
+// one vertex, every vertex a valid simple subtask, and acyclicity.
+func (d *Dag) Validate() error {
+	if len(d.nodes) == 0 {
+		return ErrEmptyDag
+	}
+	for _, n := range d.nodes {
+		if n.Task == nil {
+			return fmt.Errorf("task: DAG node %d: %w", n.id, ErrNilChild)
+		}
+		if err := n.Task.Validate(); err != nil {
+			return err
+		}
+		if !n.Task.IsSimple() {
+			return fmt.Errorf("%w: DAG node %q", ErrNotSimple, n.Task.Name)
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// longestPath runs the longest-path DP over a topological order with the
+// given per-node weight, returning the per-node "down" values (weight of
+// the heaviest path starting at each node, inclusive) and the maximum.
+func (d *Dag) longestPath(topo []*DagNode, weight func(*Task) simtime.Duration) ([]simtime.Duration, simtime.Duration) {
+	down := make([]simtime.Duration, len(d.nodes))
+	var longest simtime.Duration
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		var best simtime.Duration
+		for _, s := range n.succs {
+			best = best.Max(down[s.id])
+		}
+		down[n.id] = weight(n.Task) + best
+		longest = longest.Max(down[n.id])
+	}
+	return down, longest
+}
+
+// CriticalPath returns the execution time of the longest path through the
+// DAG — the generalization of the tree CriticalPath (sum over series, max
+// over parallel branches).
+func (d *Dag) CriticalPath() simtime.Duration {
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	_, cp := d.longestPath(topo, func(t *Task) simtime.Duration { return t.Exec })
+	return cp
+}
+
+// PredictedCriticalPath is CriticalPath over Pex instead of Exec.
+func (d *Dag) PredictedCriticalPath() simtime.Duration {
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	_, pcp := d.longestPath(topo, func(t *Task) simtime.Duration { return t.Pex })
+	return pcp
+}
+
+// TotalWork returns the sum of execution times over all vertices.
+func (d *Dag) TotalWork() simtime.Duration {
+	var sum simtime.Duration
+	for _, n := range d.nodes {
+		sum += n.Task.Exec
+	}
+	return sum
+}
+
+// levels assigns each vertex its longest hop distance from any source.
+func (d *Dag) levels() ([]int, int) {
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return nil, 0
+	}
+	lvl := make([]int, len(d.nodes))
+	max := 0
+	for _, n := range topo {
+		for _, p := range n.preds {
+			if lvl[p.id]+1 > lvl[n.id] {
+				lvl[n.id] = lvl[p.id] + 1
+			}
+		}
+		if lvl[n.id] > max {
+			max = lvl[n.id]
+		}
+	}
+	return lvl, max
+}
+
+// Depth returns the number of vertices on the longest precedence chain; a
+// single vertex has depth 1, matching the tree Depth convention for
+// leaves. Returns 0 for a cyclic or empty graph.
+func (d *Dag) Depth() int {
+	if len(d.nodes) == 0 {
+		return 0
+	}
+	lvl, max := d.levels()
+	if lvl == nil {
+		return 0
+	}
+	return max + 1
+}
+
+// Width returns the size of the largest level (vertices at the same
+// longest hop distance from the sources) — a cheap, deterministic proxy
+// for the maximum parallelism the DAG can express.
+func (d *Dag) Width() int {
+	lvl, max := d.levels()
+	if lvl == nil {
+		return 0
+	}
+	counts := make([]int, max+1)
+	for _, l := range lvl {
+		counts[l]++
+	}
+	w := 0
+	for _, c := range counts {
+		if c > w {
+			w = c
+		}
+	}
+	return w
+}
+
+// Clone returns a deep copy with every vertex task reset to its pristine
+// (unreleased) state, preserving structure, execution times and node
+// placement.
+func (d *Dag) Clone() *Dag {
+	c := NewDag(d.Name)
+	for _, n := range d.nodes {
+		c.MustAddTask(n.Task.Clone())
+	}
+	for _, n := range d.nodes {
+		for _, s := range n.succs {
+			c.MustAddEdge(c.nodes[n.id], c.nodes[s.id])
+		}
+	}
+	return c
+}
+
+// Root returns the DAG's accounting root: a synthetic parallel composite
+// over every vertex task. The process manager and recorders use it where
+// the tree machinery expects a global root — CountSimple, TotalWork,
+// Arrival/Finish/RealDeadline and Walk behave exactly as for trees. Its
+// CriticalPath (max over children) is only a lower bound on the DAG's
+// true critical path; use Dag.CriticalPath where the path length matters.
+// The root is built once and memoized, so recorders can key state by its
+// pointer identity across the run.
+func (d *Dag) Root() *Task {
+	if d.root != nil {
+		return d.root
+	}
+	children := make([]*Task, len(d.nodes))
+	for i, n := range d.nodes {
+		children[i] = n.Task
+	}
+	d.root = &Task{
+		Name:            d.Name,
+		Kind:            KindParallel,
+		Children:        children,
+		Finish:          simtime.Never,
+		RealDeadline:    simtime.Never,
+		VirtualDeadline: simtime.Never,
+	}
+	return d.root
+}
+
+// FromTree converts a serial-parallel task tree into its precedence DAG:
+// one vertex per leaf (the leaf tasks are deep-copied, runtime attributes
+// reset), and for every serial composition an edge from each exit of a
+// stage to each entry of the next. The conversion is many-to-one — nested
+// serial (or parallel) composites flatten into the same DAG — so the
+// decomposition recovers the canonical flattened form of the tree.
+func FromTree(t *Task) (*Dag, error) {
+	if t == nil {
+		return nil, ErrNilChild
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	d := NewDag(t.Name)
+	if _, _, err := fromTree(d, t); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// fromTree adds the subtree to d and returns its entry and exit vertex
+// sets (the vertices with no predecessor / successor within the subtree).
+func fromTree(d *Dag, t *Task) (entries, exits []*DagNode, err error) {
+	switch t.Kind {
+	case KindSimple:
+		n, err := d.AddTask(t.Clone())
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*DagNode{n}, []*DagNode{n}, nil
+	case KindSerial:
+		var prevExits []*DagNode
+		for i, c := range t.Children {
+			en, ex, err := fromTree(d, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				entries = en
+			} else {
+				for _, from := range prevExits {
+					for _, to := range en {
+						if err := d.AddEdge(from, to); err != nil {
+							return nil, nil, err
+						}
+					}
+				}
+			}
+			prevExits = ex
+		}
+		return entries, prevExits, nil
+	case KindParallel:
+		for _, c := range t.Children {
+			en, ex, err := fromTree(d, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			entries = append(entries, en...)
+			exits = append(exits, ex...)
+		}
+		return entries, exits, nil
+	default:
+		return nil, nil, fmt.Errorf("task %q: invalid kind %v", t.Name, t.Kind)
+	}
+}

@@ -51,3 +51,57 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseDag checks that the DAG-spec parser never panics and that any
+// accepted DAG validates, decomposes, and round-trips through its
+// canonical string form.
+func FuzzParseDag(f *testing.F) {
+	for _, seed := range []string{
+		"a",
+		"a b c",
+		"a b c ; a>b b>c",
+		"a@0:1 b@1:2 c@2:4 d@0:1 ; a>b a>c b>d c>d",
+		"s a b j t ; s>a s>b a>j b>j a>t j>t",
+		"a@2:1.5/2 b ; a>b",
+		"a b ; a>b b>a",
+		"a a",
+		"a b ;",
+		"a b ; a>",
+		"; a>b",
+		"a b ; a>x",
+		"  a   b ;  a>b  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ParseDag(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("parsed DAG fails validation: %v (input %q)", err, input)
+		}
+		st, err := d.Decompose()
+		if err != nil {
+			t.Fatalf("valid DAG fails to decompose: %v (input %q)", err, input)
+		}
+		if got, want := st.PredictedCriticalPath(), d.PredictedCriticalPath(); got != want {
+			t.Fatalf("decomposition changes the critical path: %v vs %v (input %q)",
+				got, want, input)
+		}
+		printed := d.String()
+		back, err := ParseDag(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v (printed %q from %q)",
+				err, printed, input)
+		}
+		if back.Len() != d.Len() || back.EdgeCount() != d.EdgeCount() {
+			t.Fatalf("shape changed across round trip: %d/%d vs %d/%d (input %q)",
+				back.Len(), back.EdgeCount(), d.Len(), d.EdgeCount(), input)
+		}
+		if back.String() != printed {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)",
+				printed, back.String(), input)
+		}
+	})
+}

@@ -1,0 +1,376 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// Series-parallel decomposition of a precedence DAG.
+//
+// The paper's SDA recursion (Figure 13) is defined over serial-parallel
+// trees. To run it over DAGs without changing its behaviour on the
+// structures the paper covers, Decompose recovers the serial-parallel
+// shape of a DAG wherever it exists: a DAG produced by FromTree
+// decomposes back into (the canonical flattened form of) the original
+// tree, so DAG-aware deadline assignment applies the exact Figure 13
+// recursion there. Only the irreducible residue — weakly connected
+// subgraphs with no complete-bipartite serial cut, e.g. an N-shaped
+// a→c, b→c, b→d — becomes a Cluster, handled by the generalized
+// per-path scheme in internal/sda.
+//
+// The decomposition is canonical by construction: a Serial never has a
+// Serial child and a Parallel never has a Parallel child, matching the
+// flattening that tree→DAG conversion performs. Because that conversion
+// is many-to-one ([A B C] and [[A B] C] map to the same chain), SDA over
+// the decomposition agrees with tree SDA exactly on canonical trees.
+
+// StructKind discriminates the nodes of a decomposition tree.
+type StructKind int
+
+// Decomposition node kinds.
+const (
+	StructLeaf     StructKind = iota + 1 // a single DAG vertex
+	StructSerial                         // stages run one after another
+	StructParallel                       // branches are independent
+	StructCluster                        // irreducible non-series-parallel subgraph
+)
+
+// String returns the kind name.
+func (k StructKind) String() string {
+	switch k {
+	case StructLeaf:
+		return "leaf"
+	case StructSerial:
+		return "serial"
+	case StructParallel:
+		return "parallel"
+	case StructCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("StructKind(%d)", int(k))
+	}
+}
+
+// Structure is one node of a DAG's series-parallel decomposition tree.
+// Exactly one of Node (leaf), Children (serial/parallel) and Members
+// (cluster) is populated, according to Kind.
+type Structure struct {
+	Kind     StructKind
+	Node     *DagNode     // leaf: the vertex
+	Children []*Structure // serial: stages in order; parallel: branches by min vertex id
+	Members  []*DagNode   // cluster: vertices in topological order
+}
+
+// Decompose computes the DAG's series-parallel decomposition. The result
+// is deterministic: serial stages appear in precedence order, parallel
+// branches in order of their smallest vertex id, cluster members in the
+// DAG's canonical topological order.
+func (d *Dag) Decompose() (*Structure, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return d.decompose(topo), nil
+}
+
+// decompose recursively decomposes the induced subgraph whose vertices
+// are topo (a topological order of that subgraph).
+func (d *Dag) decompose(topo []*DagNode) *Structure {
+	if len(topo) == 1 {
+		return &Structure{Kind: StructLeaf, Node: topo[0]}
+	}
+	member := make([]bool, len(d.nodes))
+	for _, n := range topo {
+		member[n.id] = true
+	}
+
+	// Parallel split: weakly connected components of the induced subgraph
+	// are mutually independent, exactly like the branches of a parallel
+	// composition.
+	if parts := d.components(topo, member); len(parts) > 1 {
+		children := make([]*Structure, len(parts))
+		for i, part := range parts {
+			// A connected component can never itself split in parallel, so
+			// no flattening is needed here.
+			children[i] = d.decompose(part)
+		}
+		return &Structure{Kind: StructParallel, Children: children}
+	}
+
+	// Serial split: scan every prefix of the topological order. A cut P|Q
+	// is a serial boundary iff its crossing edges are exactly the complete
+	// bipartite graph sinks(P) x sources(Q) — the edge set tree->DAG
+	// conversion generates for consecutive serial stages. Every valid
+	// serial split of the subgraph shows up as such a prefix (each vertex
+	// of P precedes each vertex of Q in every topological order), so one
+	// scan finds all stage boundaries and yields the fully flattened
+	// serial chain.
+	cuts := d.serialCuts(topo, member)
+	if len(cuts) > 0 {
+		bounds := make([]int, 0, len(cuts)+2)
+		bounds = append(bounds, 0)
+		bounds = append(bounds, cuts...)
+		bounds = append(bounds, len(topo))
+		children := make([]*Structure, 0, len(bounds)-1)
+		for i := 0; i+1 < len(bounds); i++ {
+			cs := d.decompose(topo[bounds[i]:bounds[i+1]])
+			if cs.Kind == StructSerial {
+				// Defensive flattening; stages between consecutive cuts are
+				// serial-irreducible, so this should not trigger.
+				children = append(children, cs.Children...)
+			} else {
+				children = append(children, cs)
+			}
+		}
+		return &Structure{Kind: StructSerial, Children: children}
+	}
+
+	members := make([]*DagNode, len(topo))
+	copy(members, topo)
+	return &Structure{Kind: StructCluster, Members: members}
+}
+
+// components splits the induced subgraph into weakly connected
+// components, each returned in topological order, components ordered by
+// their smallest vertex id.
+func (d *Dag) components(topo []*DagNode, member []bool) [][]*DagNode {
+	comp := make(map[*DagNode]int, len(topo))
+	n := 0
+	for _, start := range topo {
+		if _, seen := comp[start]; seen {
+			continue
+		}
+		queue := []*DagNode{start}
+		comp[start] = n
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, lists := range [2][]*DagNode{v.preds, v.succs} {
+				for _, nb := range lists {
+					if !member[nb.id] {
+						continue
+					}
+					if _, seen := comp[nb]; !seen {
+						comp[nb] = n
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+		n++
+	}
+	parts := make([][]*DagNode, n)
+	minID := make([]int, n)
+	for i := range minID {
+		minID[i] = int(^uint(0) >> 1)
+	}
+	for _, v := range topo {
+		c := comp[v]
+		parts[c] = append(parts[c], v)
+		if v.id < minID[c] {
+			minID[c] = v.id
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return minID[order[i]] < minID[order[j]] })
+	out := make([][]*DagNode, n)
+	for i, c := range order {
+		out[i] = parts[c]
+	}
+	return out
+}
+
+// serialCuts returns every prefix length p of topo such that the cut
+// topo[:p] | topo[p:] is a valid serial boundary of the induced
+// subgraph, in increasing order.
+func (d *Dag) serialCuts(topo []*DagNode, member []bool) []int {
+	m := len(topo)
+	inP := make([]bool, len(d.nodes))
+	isSinkP := make([]bool, len(d.nodes))
+	isSourceQ := make([]bool, len(d.nodes))
+	var cuts []int
+	for p := 1; p < m; p++ {
+		inP[topo[p-1].id] = true
+		sinksP, sourcesQ := 0, 0
+		for i, v := range topo {
+			if i < p {
+				sink := true
+				for _, s := range v.succs {
+					if member[s.id] && inP[s.id] {
+						sink = false
+						break
+					}
+				}
+				isSinkP[v.id] = sink
+				if sink {
+					sinksP++
+				}
+			} else {
+				src := true
+				for _, q := range v.preds {
+					if member[q.id] && !inP[q.id] {
+						src = false
+						break
+					}
+				}
+				isSourceQ[v.id] = src
+				if src {
+					sourcesQ++
+				}
+			}
+		}
+		crossing := 0
+		valid := true
+	scan:
+		for _, v := range topo[:p] {
+			for _, s := range v.succs {
+				if !member[s.id] || inP[s.id] {
+					continue
+				}
+				crossing++
+				if !isSinkP[v.id] || !isSourceQ[s.id] {
+					valid = false
+					break scan
+				}
+			}
+		}
+		// Distinct edges within sinks(P) x sources(Q) matching the product
+		// count means the crossing set is the full bipartite graph.
+		if valid && crossing == sinksP*sourcesQ {
+			cuts = append(cuts, p)
+		}
+	}
+	return cuts
+}
+
+// CriticalPath returns the longest execution-time path through the
+// structure: Exec for leaves, sum over serial stages, max over parallel
+// branches, longest member path for clusters.
+func (s *Structure) CriticalPath() simtime.Duration {
+	return s.path(func(t *Task) simtime.Duration { return t.Exec })
+}
+
+// PredictedCriticalPath is CriticalPath over Pex instead of Exec; SSP
+// strategies use it to budget time for downstream stages.
+func (s *Structure) PredictedCriticalPath() simtime.Duration {
+	return s.path(func(t *Task) simtime.Duration { return t.Pex })
+}
+
+func (s *Structure) path(weight func(*Task) simtime.Duration) simtime.Duration {
+	switch s.Kind {
+	case StructLeaf:
+		return weight(s.Node.Task)
+	case StructSerial:
+		var sum simtime.Duration
+		for _, c := range s.Children {
+			sum += c.path(weight)
+		}
+		return sum
+	case StructParallel:
+		var longest simtime.Duration
+		for _, c := range s.Children {
+			longest = longest.Max(c.path(weight))
+		}
+		return longest
+	case StructCluster:
+		_, longest := longestMemberPath(s.Members, weight)
+		return longest
+	default:
+		return 0
+	}
+}
+
+// longestMemberPath runs the longest-path DP over the member-induced
+// subgraph (members in topological order), returning the per-member
+// "down" weights (heaviest path starting at each member, inclusive,
+// keyed by vertex) and the overall maximum.
+func longestMemberPath(members []*DagNode, weight func(*Task) simtime.Duration) (map[*DagNode]simtime.Duration, simtime.Duration) {
+	in := make(map[*DagNode]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	down := make(map[*DagNode]simtime.Duration, len(members))
+	var longest simtime.Duration
+	for i := len(members) - 1; i >= 0; i-- {
+		v := members[i]
+		var best simtime.Duration
+		for _, s := range v.succs {
+			if in[s] {
+				best = best.Max(down[s])
+			}
+		}
+		down[v] = weight(v.Task) + best
+		longest = longest.Max(down[v])
+	}
+	return down, longest
+}
+
+// MemberDown returns the cluster's per-member heaviest remaining Pex
+// path (the member's own Pex plus the heaviest Pex path through its
+// in-cluster successors). Deadline assignment uses it to budget the
+// stages that follow a vertex inside an irreducible cluster. Panics
+// unless s is a cluster.
+func (s *Structure) MemberDown() map[*DagNode]simtime.Duration {
+	if s.Kind != StructCluster {
+		panic("task: MemberDown on non-cluster structure")
+	}
+	down, _ := longestMemberPath(s.Members, func(t *Task) simtime.Duration { return t.Pex })
+	return down
+}
+
+// ClusterGroups partitions a cluster's members into its sibling groups:
+// members with identical in-cluster predecessor and successor sets.
+// Such a group is a join-free antichain — its members become executable
+// at the same instant (they await the same predecessors) and hand off
+// to the same successors, so deadline assignment treats them like the
+// branches of a parallel composition. Groups are ordered by the
+// topological position of their first member, members within a group by
+// topological order. Panics unless s is a cluster.
+func (s *Structure) ClusterGroups() [][]*DagNode {
+	if s.Kind != StructCluster {
+		panic("task: ClusterGroups on non-cluster structure")
+	}
+	in := make(map[*DagNode]bool, len(s.Members))
+	for _, v := range s.Members {
+		in[v] = true
+	}
+	sig := func(v *DagNode) string {
+		var ids []int
+		for _, p := range v.preds {
+			if in[p] {
+				ids = append(ids, p.id)
+			}
+		}
+		sort.Ints(ids)
+		key := fmt.Sprint(ids, "|")
+		ids = ids[:0]
+		for _, c := range v.succs {
+			if in[c] {
+				ids = append(ids, c.id)
+			}
+		}
+		sort.Ints(ids)
+		return key + fmt.Sprint(ids)
+	}
+	index := make(map[string]int)
+	var groups [][]*DagNode
+	for _, v := range s.Members {
+		k := sig(v)
+		i, ok := index[k]
+		if !ok {
+			i = len(groups)
+			index[k] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], v)
+	}
+	return groups
+}

@@ -361,10 +361,10 @@ func (t *Task) format(b *strings.Builder) {
 		b.WriteByte('@')
 		b.WriteString(fmt.Sprintf("%d", t.Node))
 		b.WriteByte(':')
-		b.WriteString(trimFloat(float64(t.Exec)))
+		fmt.Fprintf(b, "%g", float64(t.Exec))
 		if t.Pex != t.Exec {
 			b.WriteByte('/')
-			b.WriteString(trimFloat(float64(t.Pex)))
+			fmt.Fprintf(b, "%g", float64(t.Pex))
 		}
 	case KindSerial:
 		b.WriteByte('[')
@@ -385,9 +385,4 @@ func (t *Task) format(b *strings.Builder) {
 		}
 		b.WriteByte(']')
 	}
-}
-
-func trimFloat(f float64) string {
-	s := fmt.Sprintf("%g", f)
-	return s
 }

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// DagFactory produces global tasks shaped as precedence DAGs rather than
+// serial-parallel trees: vertex execution times, node placement and the
+// edge set. Like Factory, implementations must place the vertices of any
+// antichain that can run concurrently at distinct nodes (the vertices of
+// one layer, or of one parallel stage).
+type DagFactory interface {
+	// NewDag draws one global DAG for a system of k nodes, drawing every
+	// vertex's execution time from draw.
+	NewDag(stream *rng.Stream, k int, draw ExecSampler) (*task.Dag, error)
+	// ExpectedWork returns the expected total execution time per global
+	// task given the mean vertex execution time.
+	ExpectedWork(meanExec float64) float64
+	// Validate checks that the factory is realisable on k nodes.
+	Validate(k int) error
+	// Name identifies the factory in reports.
+	Name() string
+}
+
+// Compile-time interface checks.
+var (
+	_ DagFactory = LayeredDag{}
+	_ DagFactory = ForkJoinDag{}
+)
+
+// LayeredDag builds random layered DAGs: Layers layers whose widths are
+// uniform on [MinWidth, MaxWidth], every vertex of layer i wired to at
+// least one vertex of layer i-1, and each remaining (prev, next) pair
+// connected independently with probability EdgeProb. Edges only ever point
+// from one layer to the next, so the graph is acyclic by construction.
+// Vertices of one layer execute in parallel and are placed at distinct
+// nodes.
+type LayeredDag struct {
+	Layers             int     // number of layers (>= 1)
+	MinWidth, MaxWidth int     // vertices per layer, uniform range
+	EdgeProb           float64 // extra-edge probability in [0, 1]
+}
+
+// NewDag implements DagFactory.
+func (f LayeredDag) NewDag(stream *rng.Stream, k int, draw ExecSampler) (*task.Dag, error) {
+	if err := f.Validate(k); err != nil {
+		return nil, err
+	}
+	d := task.NewDag("")
+	var prev []*task.DagNode
+	id := 0
+	for l := 0; l < f.Layers; l++ {
+		width := stream.IntRange(f.MinWidth, f.MaxWidth)
+		nodes := stream.Choose(k, width)
+		layer := make([]*task.DagNode, width)
+		for i := range layer {
+			leaf, err := task.NewSimple(fmt.Sprintf("v%d", id), nodes[i], draw(stream))
+			if err != nil {
+				return nil, err
+			}
+			id++
+			n, err := d.AddTask(leaf)
+			if err != nil {
+				return nil, err
+			}
+			layer[i] = n
+		}
+		for _, n := range layer {
+			if prev == nil {
+				continue
+			}
+			// Guarantee connectivity: one mandatory predecessor, then the
+			// rest by independent coin flips.
+			must := stream.IntN(len(prev))
+			for pi, p := range prev {
+				if pi == must || stream.Float64() < f.EdgeProb {
+					if err := d.AddEdge(p, n); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		prev = layer
+	}
+	return d, nil
+}
+
+// ExpectedWork implements DagFactory.
+func (f LayeredDag) ExpectedWork(meanExec float64) float64 {
+	return float64(f.Layers) * float64(f.MinWidth+f.MaxWidth) / 2 * meanExec
+}
+
+// Validate implements DagFactory.
+func (f LayeredDag) Validate(k int) error {
+	if f.Layers < 1 {
+		return fmt.Errorf("%w: LayeredDag needs >= 1 layer, got %d", ErrBadSpec, f.Layers)
+	}
+	if f.MinWidth < 1 || f.MaxWidth < f.MinWidth {
+		return fmt.Errorf("%w: LayeredDag width range [%d, %d]", ErrBadSpec, f.MinWidth, f.MaxWidth)
+	}
+	if f.MaxWidth > k {
+		return fmt.Errorf("%w: layer width %d needs %d distinct nodes but k = %d",
+			ErrBadSpec, f.MaxWidth, f.MaxWidth, k)
+	}
+	if f.EdgeProb < 0 || f.EdgeProb > 1 {
+		return fmt.Errorf("%w: LayeredDag edge probability %v", ErrBadSpec, f.EdgeProb)
+	}
+	return nil
+}
+
+// Name implements DagFactory.
+func (f LayeredDag) Name() string {
+	return fmt.Sprintf("layered%d-w%d-%d-p%g", f.Layers, f.MinWidth, f.MaxWidth, f.EdgeProb)
+}
+
+// ForkJoinDag builds the Figure 14 fork-join pipeline as a DAG — Stages
+// alternating single/parallel stages with complete bipartite wiring
+// between consecutive stages — and then adds skip edges: each vertex pair
+// two stages apart is connected with probability CrossProb. Skip edges
+// break the series-parallel structure, so the decomposition's cluster
+// rule (not just the tree reduction) is exercised under load.
+type ForkJoinDag struct {
+	Stages    int     // number of stages (>= 1); odd 0-based stages fan out
+	Fanout    int     // vertices per parallel stage
+	CrossProb float64 // probability of each stage-skipping edge, in [0, 1]
+}
+
+// parallelStage mirrors SerialParallel's alternation.
+func (f ForkJoinDag) parallelStage(i int) bool { return i%2 == 1 }
+
+// NewDag implements DagFactory.
+func (f ForkJoinDag) NewDag(stream *rng.Stream, k int, draw ExecSampler) (*task.Dag, error) {
+	if err := f.Validate(k); err != nil {
+		return nil, err
+	}
+	d := task.NewDag("")
+	stages := make([][]*task.DagNode, f.Stages)
+	id := 0
+	for i := range stages {
+		width := 1
+		if f.parallelStage(i) {
+			width = f.Fanout
+		}
+		nodes := stream.Choose(k, width)
+		stage := make([]*task.DagNode, width)
+		for j := range stage {
+			leaf, err := task.NewSimple(fmt.Sprintf("v%d", id), nodes[j], draw(stream))
+			if err != nil {
+				return nil, err
+			}
+			id++
+			n, err := d.AddTask(leaf)
+			if err != nil {
+				return nil, err
+			}
+			stage[j] = n
+		}
+		if i > 0 {
+			for _, p := range stages[i-1] {
+				for _, n := range stage {
+					if err := d.AddEdge(p, n); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		stages[i] = stage
+	}
+	for i := 0; i+2 < f.Stages; i++ {
+		for _, p := range stages[i] {
+			for _, n := range stages[i+2] {
+				if stream.Float64() < f.CrossProb {
+					if err := d.AddEdge(p, n); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// ExpectedWork implements DagFactory.
+func (f ForkJoinDag) ExpectedWork(meanExec float64) float64 {
+	return SerialParallel{Stages: f.Stages, Fanout: f.Fanout}.ExpectedWork(meanExec)
+}
+
+// Validate implements DagFactory.
+func (f ForkJoinDag) Validate(k int) error {
+	if f.Stages < 1 {
+		return fmt.Errorf("%w: ForkJoinDag needs >= 1 stage, got %d", ErrBadSpec, f.Stages)
+	}
+	if f.Stages > 1 && f.Fanout < 1 {
+		return fmt.Errorf("%w: ForkJoinDag fanout %d", ErrBadSpec, f.Fanout)
+	}
+	if f.Stages > 1 && f.Fanout > k {
+		return fmt.Errorf("%w: fanout %d needs %d distinct nodes but k = %d",
+			ErrBadSpec, f.Fanout, f.Fanout, k)
+	}
+	if f.CrossProb < 0 || f.CrossProb > 1 {
+		return fmt.Errorf("%w: ForkJoinDag cross probability %v", ErrBadSpec, f.CrossProb)
+	}
+	return nil
+}
+
+// Name implements DagFactory.
+func (f ForkJoinDag) Name() string {
+	return fmt.Sprintf("forkjoin%d-fan%d-x%g", f.Stages, f.Fanout, f.CrossProb)
+}

@@ -102,13 +102,23 @@ func (d *Driver) scheduleGlobal(meanInter float64) error {
 		return nil
 	}
 	_, err := d.eng.At(at, func() {
-		root, err := d.spec.NewGlobal(s, d.eng.Now())
-		if err != nil {
-			panic(fmt.Sprintf("workload: build global: %v", err))
-		}
 		d.globals++
-		if err := d.mgr.SubmitGlobal(root); err != nil {
-			panic(fmt.Sprintf("workload: submit global: %v", err))
+		if d.spec.DagFactory != nil {
+			g, err := d.spec.NewGlobalDag(s, d.eng.Now())
+			if err != nil {
+				panic(fmt.Sprintf("workload: build global DAG: %v", err))
+			}
+			if err := d.mgr.SubmitDag(g); err != nil {
+				panic(fmt.Sprintf("workload: submit global DAG: %v", err))
+			}
+		} else {
+			root, err := d.spec.NewGlobal(s, d.eng.Now())
+			if err != nil {
+				panic(fmt.Sprintf("workload: build global: %v", err))
+			}
+			if err := d.mgr.SubmitGlobal(root); err != nil {
+				panic(fmt.Sprintf("workload: submit global: %v", err))
+			}
 		}
 		if err := d.scheduleGlobal(meanInter); err != nil {
 			panic(fmt.Sprintf("workload: schedule global: %v", err))

@@ -172,7 +172,9 @@ func (f SerialParallel) Validate(k int) error {
 	if f.Stages > 1 && f.Fanout < 1 {
 		return fmt.Errorf("%w: SerialParallel fanout %d", ErrBadSpec, f.Fanout)
 	}
-	if f.Fanout > k {
+	// Stage 0 is serial, so a single-stage pipeline never instantiates a
+	// parallel group; only multi-stage shapes constrain the node count.
+	if f.Stages > 1 && f.Fanout > k {
 		return fmt.Errorf("%w: fanout %d needs %d distinct nodes but k = %d",
 			ErrBadSpec, f.Fanout, f.Fanout, k)
 	}

@@ -52,7 +52,9 @@ func (f NetworkPipeline) New(stream *rng.Stream, k int, draw ExecSampler) (*task
 			stages = append(stages, hop)
 		}
 		if f.parallelStage(i) {
-			g, err := parallelGroupWithin(stream, f.Fanout, ck, draw)
+			// Parallel compute groups draw from the compute nodes only (the
+			// first ck node IDs); hops own the trailing network nodes.
+			g, err := parallelGroup(stream, f.Fanout, ck, draw)
 			if err != nil {
 				return nil, err
 			}
@@ -69,11 +71,6 @@ func (f NetworkPipeline) New(stream *rng.Stream, k int, draw ExecSampler) (*task
 		return stages[0], nil
 	}
 	return task.NewSerial("", stages...)
-}
-
-// parallelGroupWithin is parallelGroup restricted to the first k node IDs.
-func parallelGroupWithin(stream *rng.Stream, n, k int, draw ExecSampler) (*task.Task, error) {
-	return parallelGroup(stream, n, k, draw)
 }
 
 // ExpectedWork implements Factory.
@@ -102,7 +99,9 @@ func (f NetworkPipeline) Validate(k int) error {
 	if f.Stages > 1 && f.Fanout < 1 {
 		return fmt.Errorf("%w: NetworkPipeline fanout %d", ErrBadSpec, f.Fanout)
 	}
-	if f.Fanout > ck {
+	// A single-stage pipeline has no parallel stage (stage 0 is serial), so
+	// the fanout never materialises and must not constrain the node count.
+	if f.Stages > 1 && f.Fanout > ck {
 		return fmt.Errorf("%w: fanout %d needs %d distinct compute nodes but only %d remain",
 			ErrBadSpec, f.Fanout, f.Fanout, ck)
 	}

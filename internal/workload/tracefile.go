@@ -105,6 +105,11 @@ func Synthesize(spec Spec, seed uint64, horizon simtime.Time) ([]Arrival, error)
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.DagFactory != nil {
+		// Arrival carries a *task.Task; DAG globals have no tree form.
+		return nil, fmt.Errorf("%w: DAG workloads (%s) cannot be serialised to a trace",
+			ErrBadTrace, spec.DagFactory.Name())
+	}
 	sp := rng.NewSplitter(seed)
 	globalStream := sp.Stream()
 	localStreams := make([]*rng.Stream, spec.K)

@@ -41,8 +41,12 @@ type Spec struct {
 	// Section 8 scales it by the number of serial stages ([6.25, 25]).
 	GlobalSlackMin, GlobalSlackMax float64
 
-	Factory   Factory   // shape of global tasks (nil allowed iff FracLocal == 1)
-	Estimator Estimator // pex model for subtasks (nil = Exact)
+	Factory Factory // tree shape of global tasks (nil allowed iff FracLocal == 1)
+	// DagFactory generates precedence-DAG global tasks instead of trees.
+	// Exactly one of Factory and DagFactory may be set when global tasks
+	// are requested.
+	DagFactory DagFactory
+	Estimator  Estimator // pex model for subtasks (nil = Exact)
 
 	// Service-time distribution families (nil = Exponential, the paper's
 	// model). Both are parameterised by the mean exec fields above, so
@@ -94,7 +98,11 @@ func (s *Spec) Validate() error {
 	case s.GlobalSlackMax < s.GlobalSlackMin:
 		return fmt.Errorf("%w: global slack range [%v, %v]", ErrBadSpec, s.GlobalSlackMin, s.GlobalSlackMax)
 	}
-	if s.FracLocal < 1 && s.Factory == nil {
+	if s.Factory != nil && s.DagFactory != nil {
+		return fmt.Errorf("%w: both a tree factory (%s) and a DAG factory (%s) set",
+			ErrBadSpec, s.Factory.Name(), s.DagFactory.Name())
+	}
+	if s.FracLocal < 1 && s.Factory == nil && s.DagFactory == nil {
 		return fmt.Errorf("%w: global tasks requested (frac_local=%v) but no factory", ErrBadSpec, s.FracLocal)
 	}
 	if s.Factory != nil {
@@ -102,7 +110,25 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	if s.DagFactory != nil {
+		if err := s.DagFactory.Validate(s.K); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// FactoryName returns the name of whichever global factory is configured,
+// or "none" when the spec generates only local tasks.
+func (s *Spec) FactoryName() string {
+	switch {
+	case s.Factory != nil:
+		return s.Factory.Name()
+	case s.DagFactory != nil:
+		return s.DagFactory.Name()
+	default:
+		return "none"
+	}
 }
 
 // LocalRate returns λ_local, the per-node local arrival rate implied by
@@ -114,10 +140,18 @@ func (s *Spec) LocalRate() float64 {
 // GlobalRate returns λ_global, the system-wide global arrival rate implied
 // by the load equations and the factory's expected work per global task.
 func (s *Spec) GlobalRate() float64 {
-	if s.Factory == nil || s.FracLocal >= 1 {
+	if s.FracLocal >= 1 {
 		return 0
 	}
-	work := s.Factory.ExpectedWork(s.MeanSubtaskExec)
+	var work float64
+	switch {
+	case s.Factory != nil:
+		work = s.Factory.ExpectedWork(s.MeanSubtaskExec)
+	case s.DagFactory != nil:
+		work = s.DagFactory.ExpectedWork(s.MeanSubtaskExec)
+	default:
+		return 0
+	}
 	if work <= 0 {
 		return 0
 	}
@@ -188,6 +222,35 @@ func (s *Spec) NewGlobal(stream *rng.Stream, ar simtime.Time) (*task.Task, error
 	slack := simtime.Duration(stream.Uniform(lo, hi))
 	root.RealDeadline = ar.Add(root.CriticalPath() + slack)
 	return root, nil
+}
+
+// NewGlobalDag draws one global DAG task: the DAG factory builds the graph
+// (execution times, node placement, edges), the estimator stamps pex on
+// every vertex, and the deadline follows Eq. 2 over the DAG's critical
+// path,
+//
+//	dl(T) = ar(T) + criticalPath(ex) + slack,
+//
+// stamped on the DAG's accounting root.
+func (s *Spec) NewGlobalDag(stream *rng.Stream, ar simtime.Time) (*task.Dag, error) {
+	if s.DagFactory == nil {
+		return nil, fmt.Errorf("%w: no global DAG factory", ErrBadSpec)
+	}
+	d, err := s.DagFactory.NewDag(stream, s.K, s.subtaskSampler())
+	if err != nil {
+		return nil, err
+	}
+	est := s.Estimator
+	if est == nil {
+		est = Exact{}
+	}
+	for _, n := range d.Nodes() {
+		n.Task.Pex = est.Pex(n.Task.Exec, simtime.Duration(s.MeanSubtaskExec), stream)
+	}
+	lo, hi := s.globalSlackRange()
+	slack := simtime.Duration(stream.Uniform(lo, hi))
+	d.Root().RealDeadline = ar.Add(d.CriticalPath() + slack)
+	return d, nil
 }
 
 // Estimator models the predicted execution time pex() of a subtask.
