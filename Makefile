@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs
+.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs blame
 
 # check runs exactly what CI runs.
 check: vet build race scenarios
@@ -49,3 +49,10 @@ profile:
 # time series, SVG dashboard) of the baseline scenario into obs-out/.
 obs:
 	$(GO) run ./cmd/sdaobs -scenario testdata/scenarios/baseline_div.json -out obs-out
+
+# blame exports the dag-forkjoin scenario's spans and prints the
+# miss-cause attribution report (cause taxonomy and decomposition in
+# docs/OBSERVABILITY.md).
+blame:
+	$(GO) run ./cmd/sdaobs -scenario testdata/scenarios/dag_forkjoin.json -out blame-out
+	$(GO) run ./cmd/sdablame blame-out/spans.jsonl

@@ -13,6 +13,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	isda "repro/internal/sda"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -132,6 +133,51 @@ func BenchmarkSimulationObsOff(b *testing.B) {
 func BenchmarkSimulationObsOn(b *testing.B) {
 	benchSimulationObs(b, obs.Options{Enabled: true})
 }
+
+// benchSimulationBlame measures telemetry-instrumented throughput with or
+// without the live observability hub attached at the shipped -serve
+// defaults (publish cadence serve.DefaultEvery, no HTTP listener). Each
+// publish renders a full snapshot — Prometheus exposition, span tail,
+// and a miss-cause attribution pass over the tail window. The Off/On
+// pair bounds the attribution overhead within the documented <2x obs
+// budget.
+func benchSimulationBlame(b *testing.B, withHub bool) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default()
+		cfg.Duration = 5000
+		cfg.Warmup = 0
+		cfg.Replications = 1
+		cfg.Seed = uint64(i + 1)
+		cfg.Obs = obs.Options{Enabled: true}
+		if withHub {
+			hub := serve.NewHub(0)
+			cfg.OnSystem = func(sys *sim.System) {
+				hub.Attach(sys.Telemetry(), serve.RunInfo{
+					Label:   "bench",
+					Horizon: float64(sys.Horizon()),
+				}, serve.DefaultEvery)
+			}
+		}
+		rep, err := sim.RunOne(cfg, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulationBlameOff is the attribution baseline: telemetry on,
+// no hub. It should match BenchmarkSimulationObsOn.
+func BenchmarkSimulationBlameOff(b *testing.B) { benchSimulationBlame(b, false) }
+
+// BenchmarkSimulationBlameOn attaches the live hub at the default
+// publish cadence — a windowed attribution analysis every
+// serve.DefaultEvery sampler ticks.
+func BenchmarkSimulationBlameOn(b *testing.B) { benchSimulationBlame(b, true) }
 
 // BenchmarkSimulationHighLoad stresses the queues at load 0.9.
 func BenchmarkSimulationHighLoad(b *testing.B) {

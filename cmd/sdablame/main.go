@@ -1,0 +1,84 @@
+// Command sdablame attributes missed deadlines offline: it reads a span
+// JSONL log (written by the -obs exports of sdasim/sdaexp/sdascen or by
+// cmd/sdaobs), reconstructs each missed global task's realized critical
+// path, decomposes its lateness into wait / execution-overrun /
+// slack-deficit components, classifies a primary cause, and renders a
+// markdown (default) or JSON report.
+//
+// The analysis is deterministic: the same JSONL always produces
+// byte-identical reports. Both the current schema and the original
+// unversioned (v1) span format are accepted.
+//
+// Usage:
+//
+//	sdablame obs-out/spans.jsonl            # markdown report to stdout
+//	sdablame -json obs-out/spans.jsonl      # full report as JSON
+//	sdablame -o blame.md obs-out/spans.jsonl
+//	sdasim -obs d ... && sdablame d/spans.jsonl
+//	cat spans.jsonl | sdablame -            # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdablame:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sdablame", flag.ContinueOnError)
+	var (
+		asJSON = fs.Bool("json", false, "emit the full report as JSON instead of markdown")
+		outTo  = fs.String("o", "", "write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sdablame [-json] [-o file] <spans.jsonl | ->")
+	}
+
+	var in io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	recs, err := obs.ReadRecords(in)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no records in input")
+	}
+
+	rpt := attrib.Analyze(recs)
+	var body []byte
+	if *asJSON {
+		body, err = rpt.JSON()
+		if err != nil {
+			return err
+		}
+	} else {
+		body = []byte(rpt.Markdown())
+	}
+
+	if *outTo != "" {
+		return os.WriteFile(*outTo, body, 0o644)
+	}
+	_, err = stdout.Write(body)
+	return err
+}

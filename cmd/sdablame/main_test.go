@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+)
+
+// fixture writes a small span log with one straggler miss and one hit.
+func fixture(t *testing.T) string {
+	t.Helper()
+	f := func(v float64) *float64 { return &v }
+	recs := []obs.Record{
+		{Type: "span", Kind: "global", Task: "G1", Node: -1, ID: 1,
+			Start: f(0), End: f(20), RealDL: f(12), Missed: true},
+		{Type: "span", Kind: "subtask", Task: "G1.s1", Node: 1, ID: 2, Root: 1,
+			Start: f(0), End: f(20), Exec: f(4), Pex: f(4)},
+		{Type: "span", Kind: "subtask", Task: "G1.s2", Node: 2, ID: 3, Root: 1,
+			Start: f(0), End: f(6), Exec: f(4), Pex: f(4)},
+		{Type: "span", Kind: "global", Task: "G2", Node: -1, ID: 4,
+			Start: f(0), End: f(8), RealDL: f(12)},
+	}
+	var b strings.Builder
+	for _, r := range recs {
+		if err := obs.WriteRecord(&b, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return out.String()
+}
+
+func TestMarkdownReportIsDeterministic(t *testing.T) {
+	path := fixture(t)
+	r1 := render(t, path)
+	r2 := render(t, path)
+	if r1 != r2 {
+		t.Fatalf("two renders of the same JSONL differ")
+	}
+	for _, want := range []string{
+		"# Miss-cause attribution",
+		"sibling-straggler",
+		"## Cause mix",
+		"G1.s1 @ node 1",
+	} {
+		if !strings.Contains(r1, want) {
+			t.Errorf("report missing %q:\n%s", want, r1)
+		}
+	}
+}
+
+func TestJSONReportDecodesWithExactDecomposition(t *testing.T) {
+	out := render(t, "-json", fixture(t))
+	var rpt attrib.Report
+	if err := json.Unmarshal([]byte(out), &rpt); err != nil {
+		t.Fatalf("not a report: %v", err)
+	}
+	if rpt.MissedGlobals != 1 || rpt.Globals != 2 {
+		t.Fatalf("counts: %+v", rpt)
+	}
+	m := rpt.Misses[0]
+	if m.Cause == "" {
+		t.Fatalf("miss without a primary cause: %+v", m)
+	}
+	if got := m.Wait + m.Overrun + m.SlackDeficit; got != m.Lateness {
+		t.Fatalf("decomposition %g != lateness %g", got, m.Lateness)
+	}
+}
+
+func TestOutputFileAndV1Input(t *testing.T) {
+	// A v1 (unversioned) line must be accepted via the tolerant decoder.
+	v1 := `{"type":"span","kind":"global","task":"G","node":2,"id":1,"start":0,"end":9,"vdl":5,"real_dl":5,"slack":2,"lateness":4,"missed":true}` + "\n"
+	in := filepath.Join(t.TempDir(), "v1.jsonl")
+	if err := os.WriteFile(in, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(t.TempDir(), "blame.md")
+	if got := render(t, "-o", outPath, in); got != "" {
+		t.Fatalf("-o still wrote to stdout: %q", got)
+	}
+	body, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "schema 1") {
+		t.Fatalf("v1 report missing schema note:\n%s", body)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run([]string{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("no-arg run accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

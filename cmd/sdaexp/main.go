@@ -21,9 +21,11 @@ import (
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/sim"
 	"repro/internal/simtime"
 )
@@ -48,6 +50,9 @@ func run(args []string, out io.Writer) error {
 		workers  = fs.Int("workers", 0, "bound cell+replication parallelism (0 = GOMAXPROCS cells, sequential replications)")
 
 		obsDir     = fs.String("obs", "", "run the baseline cell with telemetry and export spans/metrics/timeseries/dashboard into this directory")
+		serveAddr  = fs.String("serve", "", "serve live telemetry of the instrumented baseline run on this address (e.g. :8080)")
+		serveEvry  = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
+		serveHold  = fs.Duration("serve-hold", 0, "keep the observability server up this long after the instrumented run")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 		exectrace  = fs.String("exectrace", "", "write a runtime execution trace to this file")
@@ -97,8 +102,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-12s %s\n", "table2", "SSP/PSP combinations (Table 2)")
 		return nil
 	}
-	if *id == "" && *obsDir == "" {
-		return fmt.Errorf("no experiment selected; use -exp <id>, -obs <dir> or -list")
+	if *id == "" && *obsDir == "" && *serveAddr == "" {
+		return fmt.Errorf("no experiment selected; use -exp <id>, -obs <dir>, -serve <addr> or -list")
 	}
 
 	opts := exp.DefaultOptions()
@@ -118,8 +123,19 @@ func run(args []string, out io.Writer) error {
 		opts.Workers = *workers
 	}
 
-	if *obsDir != "" {
-		if err := exportObserved(opts, *obsDir, out); err != nil {
+	var srv *serve.Server
+	if *serveAddr != "" {
+		s, err := serve.Start(*serveAddr, serve.NewHub(0))
+		if err != nil {
+			return err
+		}
+		srv = s
+		defer srv.Close()
+		fmt.Fprintf(out, "live telemetry on http://%s (endpoints: /metrics /progress /spans /blame)\n", srv.Addr())
+	}
+
+	if *obsDir != "" || srv != nil {
+		if err := exportObserved(opts, *obsDir, out, srv, *serveEvry, *serveHold); err != nil {
 			return err
 		}
 		if *id == "" {
@@ -153,9 +169,10 @@ func run(args []string, out io.Writer) error {
 }
 
 // exportObserved runs one telemetry-instrumented replication of the
-// Table 1 baseline cell at the selected fidelity and writes the full
-// telemetry export into dir.
-func exportObserved(opts exp.Options, dir string, out io.Writer) error {
+// Table 1 baseline cell at the selected fidelity, optionally serving it
+// live via srv, and writes the full telemetry export into dir (skipped
+// when dir is empty, for -serve-only invocations).
+func exportObserved(opts exp.Options, dir string, out io.Writer, srv *serve.Server, every int, hold time.Duration) error {
 	cfg := exp.BaselineConfig(opts)
 	cfg.Replications = 1
 	cfg.Obs = obs.Options{Enabled: true}
@@ -163,17 +180,30 @@ func exportObserved(opts exp.Options, dir string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	info := serve.RunInfo{Label: cfg.Name(), Replication: 1, Replications: 1, Horizon: float64(sys.Horizon())}
+	if srv != nil {
+		srv.Hub().Attach(sys.Telemetry(), info, every)
+	}
 	if err := sys.Start(); err != nil {
 		return err
 	}
 	sys.Finish(sys.Horizon())
 	tel := sys.Telemetry()
-	paths, err := tel.ExportDir(dir)
-	if err != nil {
-		return err
+	if srv != nil {
+		srv.Hub().Publish(tel, info, info.Horizon, true)
 	}
 	fmt.Fprint(out, tel.Summary())
-	fmt.Fprintf(out, "telemetry exported: %s\n", strings.Join(paths, " "))
+	if dir != "" {
+		paths, err := tel.ExportDir(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "telemetry exported: %s\n", strings.Join(paths, " "))
+	}
+	if srv != nil && hold > 0 {
+		fmt.Fprintf(out, "holding observability server for %v\n", hold)
+		time.Sleep(hold)
+	}
 	return nil
 }
 

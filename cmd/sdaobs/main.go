@@ -1,8 +1,9 @@
 // Command sdaobs runs one telemetry-instrumented simulation and exports
 // the unified telemetry bundle: task-lifecycle spans as JSONL, the
 // instrument catalog in Prometheus text exposition format, the sampled
-// time series as CSV, an SVG queue-depth/slack dashboard, and a
-// human-readable summary. Telemetry is clocked on simulated time and
+// time series as CSV, an SVG queue-depth/slack dashboard, a
+// human-readable summary, and the miss-cause attribution report
+// (blame.md / blame.json). Telemetry is clocked on simulated time and
 // never perturbs the run, so the export is bit-identical on every
 // invocation with the same inputs.
 //
@@ -17,9 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/obs/attrib"
 	"repro/internal/scenario"
 	"repro/internal/sda"
 	"repro/internal/sim"
@@ -110,6 +113,22 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The attribution report rides along with the bundle (the obs package
+	// cannot depend on attrib, so the cmd writes it).
+	rpt := attrib.Analyze(tel.Spans())
+	mdPath := filepath.Join(*outDir, "blame.md")
+	if err := os.WriteFile(mdPath, []byte(rpt.Markdown()), 0o644); err != nil {
+		return err
+	}
+	jsonBody, err := rpt.JSON()
+	if err != nil {
+		return err
+	}
+	jsonPath := filepath.Join(*outDir, "blame.json")
+	if err := os.WriteFile(jsonPath, jsonBody, 0o644); err != nil {
+		return err
+	}
+	paths = append(paths, mdPath, jsonPath)
 	fmt.Fprintln(w)
 	fmt.Fprint(w, tel.Summary())
 	fmt.Fprintf(w, "exported: %s\n", strings.Join(paths, " "))

@@ -34,6 +34,7 @@ func run(args []string, out io.Writer) error {
 		duration = fs.Float64("duration", 0, "override simulated time per replication")
 		reps     = fs.Int("reps", 0, "override replications")
 		seed     = fs.Uint64("seed", 0, "override master seed")
+		blame    = fs.Bool("blame", false, "append a miss-cause attribution section (UD vs DIV-1 baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +58,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprint(out, report.Markdown(res, opts))
+	if *blame {
+		cells, err := report.BlameCheck(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, report.BlameMarkdown(cells))
+	}
 	if !res.Passed() && !*quick {
 		os.Exit(2)
 	}

@@ -22,9 +22,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -42,6 +45,10 @@ func run(args []string, w io.Writer) error {
 		list    = fs.Bool("list", false, "list scenarios and exit")
 		verbose = fs.Bool("v", false, "print per-scenario metrics")
 		obsDir  = fs.String("obs", "", "run with telemetry and export spans/metrics/timeseries/dashboard per scenario into this directory")
+
+		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080); implies telemetry")
+		serveEvry = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
+		serveHold = fs.Duration("serve-hold", 0, "keep the observability server up this long after the suite")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,17 +88,55 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	// Live observability: one server spans the whole suite; each scenario
+	// attaches the hub to its own telemetry sampler. Snapshots publish
+	// inside existing read-only sampler ticks, so golden hashes are
+	// unaffected by -serve.
+	var (
+		srv      *serve.Server
+		lastTel  *obs.Telemetry
+		lastInfo serve.RunInfo
+	)
+	if *serveAddr != "" {
+		s, err := serve.Start(*serveAddr, serve.NewHub(0))
+		if err != nil {
+			return err
+		}
+		srv = s
+		defer srv.Close()
+		fmt.Fprintf(w, "live telemetry on http://%s (endpoints: /metrics /progress /spans /blame)\n", srv.Addr())
+		defer func() {
+			if lastTel != nil {
+				srv.Hub().Publish(lastTel, lastInfo, lastInfo.Horizon, true)
+			}
+			if *serveHold > 0 {
+				fmt.Fprintf(w, "holding observability server for %v\n", *serveHold)
+				time.Sleep(*serveHold)
+			}
+		}()
+	}
+
 	failed := 0
-	for _, sc := range scs {
+	for i, sc := range scs {
 		var (
 			out *scenario.Outcome
 			tel *obs.Telemetry
 			err error
 		)
-		if *obsDir != "" {
+		if *obsDir != "" || srv != nil {
 			// Telemetry never perturbs the run, so golden checks below
 			// still apply unchanged.
-			out, tel, err = scenario.RunObserved(sc, obs.Options{})
+			var onSystem func(*sim.System)
+			if srv != nil {
+				info := serve.RunInfo{Label: sc.Name, Replication: i + 1, Replications: len(scs)}
+				onSystem = func(sys *sim.System) {
+					info.Horizon = float64(sys.Horizon())
+					lastTel = sys.Telemetry()
+					lastInfo = info
+					srv.Hub().Attach(lastTel, info, *serveEvry)
+				}
+			}
+			out, tel, err = scenario.RunObservedWith(sc, obs.Options{}, onSystem)
 		} else {
 			out, err = scenario.Run(sc)
 		}
@@ -113,7 +158,7 @@ func run(args []string, w io.Writer) error {
 			failed++
 		}
 		fmt.Fprintf(w, "%s %-24s %d events, hash %s\n", status, sc.Name, out.TraceEvents, out.TraceHash)
-		if tel != nil {
+		if tel != nil && *obsDir != "" {
 			exportDir := filepath.Join(*obsDir, sc.Name)
 			if _, err := tel.ExportDir(exportDir); err != nil {
 				return fmt.Errorf("%s: %w", sc.Name, err)

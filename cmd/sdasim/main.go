@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/serve"
 	"repro/internal/sda"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -57,6 +59,9 @@ func run(args []string) error {
 		recordTo  = fs.String("record-trace", "", "write the synthesized arrival trace to this file and exit")
 		replayOf  = fs.String("replay-trace", "", "drive the simulation from a recorded trace file")
 		obsDir    = fs.String("obs", "", "run one telemetry-instrumented replication and export spans/metrics/timeseries/dashboard into this directory")
+		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080); implies telemetry")
+		serveEvry = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
+		serveHold = fs.Duration("serve-hold", 0, "keep the observability server up this long after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,6 +127,49 @@ func run(args []string) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	cfg.Policy = pol
+
+	// Live observability: attach a snapshot hub to every replication's
+	// telemetry sampler. Publishing happens inside existing read-only
+	// sampler ticks, so results are bit-identical with and without -serve.
+	var (
+		lastTel  *obs.Telemetry
+		lastInfo serve.RunInfo
+		srv      *serve.Server
+	)
+	if *serveAddr != "" {
+		if !cfg.Obs.Enabled {
+			cfg.Obs = obs.Options{Enabled: true}
+		}
+		hub := serve.NewHub(0)
+		s, err := serve.Start(*serveAddr, hub)
+		if err != nil {
+			return err
+		}
+		srv = s
+		defer srv.Close()
+		fmt.Printf("live telemetry on http://%s (endpoints: /metrics /progress /spans /blame)\n", srv.Addr())
+		repNo := 0
+		cfg.OnSystem = func(sys *sim.System) {
+			repNo++
+			lastTel = sys.Telemetry()
+			lastInfo = serve.RunInfo{
+				Label:        cfg.Name(),
+				Replication:  repNo,
+				Replications: cfg.Replications,
+				Horizon:      float64(sys.Horizon()),
+			}
+			hub.Attach(lastTel, lastInfo, *serveEvry)
+		}
+		defer func() {
+			if lastTel != nil {
+				srv.Hub().Publish(lastTel, lastInfo, lastInfo.Horizon, true)
+			}
+			if *serveHold > 0 {
+				fmt.Printf("holding observability server for %v\n", *serveHold)
+				time.Sleep(*serveHold)
+			}
+		}()
+	}
 
 	if *recordTo != "" {
 		arrivals, err := workload.Synthesize(cfg.Spec, cfg.Seed, simtime.Time(cfg.Warmup+cfg.Duration))

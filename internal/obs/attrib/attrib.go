@@ -1,0 +1,489 @@
+// Package attrib is the miss-cause attribution engine: it consumes the
+// obs.Record span stream of one run, reconstructs each global task's
+// realized timeline, recovers the realized critical path through its
+// subtask spans, and decomposes every missed deadline into three
+// components that sum exactly to the observed lateness:
+//
+//	lateness = Wait + ExecOverrun + SlackDeficit
+//
+// where, over the spans of the realized critical path,
+//
+//	Wait         = Σ (span duration − served work)   queueing/blocking time
+//	ExecOverrun  = Σ (served work − predicted work)  pex underestimation
+//	SlackDeficit = Σ predicted work − (real deadline − release)
+//	                                                 budget tighter than the
+//	                                                 predicted path itself
+//
+// The identity is algebraic, not statistical: the chain of critical-path
+// spans is contiguous from the root's release to its end (the process
+// manager releases each successor exactly at its predecessor's finish
+// instant), so the sum telescopes. Intervals the chain cannot explain
+// (dropped spans, abort holes) are accounted as Gap and folded into Wait,
+// keeping the identity exact.
+//
+// Each miss is then classified with a primary cause:
+//
+//   - abort-cascade: the root was withdrawn (process-manager timer or a
+//     local-scheduler abort chain) rather than finishing late;
+//   - stage-budget-tight: the budget components dominate — the realized
+//     path's predicted work already exceeded the end-to-end budget
+//     (SlackDeficit) or the prediction was beaten by reality (ExecOverrun);
+//   - sibling-straggler: waiting dominates and the bottleneck span
+//     waited disproportionately (> 2×) longer than every parallel
+//     sibling released at the same instant — one branch straggled;
+//   - local-interference: waiting dominates and is symmetric across the
+//     released siblings (or there are none) — the queues themselves were
+//     congested, typically by local tasks.
+//
+// Analysis is deterministic: the same records produce byte-identical
+// reports (all iteration is in span order, all ties broken by span id).
+package attrib
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Cause is the primary classification of one miss.
+type Cause string
+
+// The cause taxonomy.
+const (
+	CauseLocalInterference Cause = "local-interference"
+	CauseSiblingStraggler  Cause = "sibling-straggler"
+	CauseStageBudget       Cause = "stage-budget-tight"
+	CauseAbortCascade      Cause = "abort-cascade"
+)
+
+// Causes lists the taxonomy in presentation order.
+func Causes() []Cause {
+	return []Cause{CauseLocalInterference, CauseSiblingStraggler, CauseStageBudget, CauseAbortCascade}
+}
+
+// PathSpan is one span on a reconstructed realized critical path.
+type PathSpan struct {
+	ID    uint64  `json:"id"`
+	Task  string  `json:"task"`
+	Node  int     `json:"node"`
+	Stage int     `json:"stage"` // position along the path, 0 = first released
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+
+	Wait   float64 `json:"wait"`   // (end − start) − served
+	Served float64 `json:"served"` // realized work (0 when censored)
+	Pex    float64 `json:"pex"`    // predicted work at release
+
+	Aborted  bool `json:"aborted,omitempty"`
+	Censored bool `json:"censored,omitempty"` // served unknown; counted as wait
+}
+
+// TaskBlame is the full attribution of one missed global task.
+type TaskBlame struct {
+	Root    uint64 `json:"root"` // root span id
+	Task    string `json:"task"`
+	Aborted bool   `json:"aborted,omitempty"`
+
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"` // finish or abort instant
+	RealDL   float64 `json:"real_dl"`
+	Lateness float64 `json:"lateness"` // end − real_dl (≤ 0 possible for early withdrawals)
+
+	// The decomposition; Wait + Overrun + SlackDeficit == Lateness.
+	Wait         float64 `json:"wait"`
+	Overrun      float64 `json:"exec_overrun"`
+	SlackDeficit float64 `json:"slack_deficit"`
+	Gap          float64 `json:"gap,omitempty"` // unexplained path holes, folded into Wait
+
+	Cause Cause `json:"cause"`
+
+	BottleneckTask  string `json:"bottleneck_task,omitempty"`
+	BottleneckNode  int    `json:"bottleneck_node"`
+	BottleneckStage int    `json:"bottleneck_stage"`
+
+	Path []PathSpan `json:"path,omitempty"`
+}
+
+// CauseCount is one row of the cause mix.
+type CauseCount struct {
+	Cause Cause `json:"cause"`
+	Count int   `json:"count"`
+}
+
+// NodeCount counts misses whose bottleneck sat on one node.
+type NodeCount struct {
+	Node  int `json:"node"` // -1 = no bottleneck span (empty path)
+	Count int `json:"count"`
+}
+
+// StageCount counts misses whose bottleneck sat at one path position.
+type StageCount struct {
+	Stage int `json:"stage"` // -1 = no bottleneck span
+	Count int `json:"count"`
+}
+
+// Report is the attribution of one span stream.
+type Report struct {
+	Schema int `json:"schema"` // highest input schema version seen
+
+	Spans  int `json:"spans"`
+	Events int `json:"events,omitempty"` // type:"event" records (tolerated, ignored)
+
+	Globals        int `json:"globals"` // resolved global spans
+	MissedGlobals  int `json:"missed_globals"`
+	AbortedGlobals int `json:"aborted_globals"`
+	OpenGlobals    int `json:"open_globals"` // still open at the horizon (censored)
+	Locals         int `json:"locals"`
+	MissedLocals   int `json:"missed_locals"`
+
+	Causes []CauseCount `json:"causes"`
+	Nodes  []NodeCount  `json:"bottleneck_nodes,omitempty"`
+	Stages []StageCount `json:"bottleneck_stages,omitempty"`
+
+	// Component means over all missed globals.
+	MeanLateness float64 `json:"mean_lateness"`
+	MeanWait     float64 `json:"mean_wait"`
+	MeanOverrun  float64 `json:"mean_exec_overrun"`
+	MeanDeficit  float64 `json:"mean_slack_deficit"`
+
+	Misses []TaskBlame `json:"misses"`
+}
+
+// fv unwraps an optional field, defaulting to 0.
+func fv(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// pexOf recovers the predicted work of a span: the explicit Pex field
+// (schema ≥ 2), else derived from the release identity
+// slack = vdl − start − pex that every writer has used since PR 3.
+func pexOf(r *obs.Record) float64 {
+	if r.Pex != nil {
+		return *r.Pex
+	}
+	if r.VDL != nil && r.Start != nil && r.Slack != nil {
+		return *r.VDL - *r.Start - *r.Slack
+	}
+	return 0
+}
+
+// servedOf returns the work actually served inside a span and whether
+// that value is censored. Aborted and still-open spans are censored: the
+// partial service is unknown, so it reports 0 and the whole span duration
+// counts as wait (documented conservative choice). v1 records lack Exec;
+// finished v1 spans fall back to the predicted work (zero overrun).
+func servedOf(r *obs.Record) (served float64, censored bool) {
+	if r.Aborted || r.End == nil {
+		return 0, true
+	}
+	if r.Exec != nil {
+		return *r.Exec, false
+	}
+	return pexOf(r), false
+}
+
+// Analyze attributes every miss in the span stream. Records may contain
+// type:"event" lines (the shared trace schema); they are counted and
+// skipped. The input order must be the writer's span order (release
+// order), which every obs exporter preserves.
+func Analyze(records []obs.Record) *Report {
+	rpt := &Report{Schema: obs.SchemaV1}
+
+	// Index subtask spans under their root id, in input (release) order.
+	leavesOf := make(map[uint64][]*obs.Record)
+	var globals []*obs.Record
+	for i := range records {
+		r := &records[i]
+		if r.Schema > rpt.Schema {
+			rpt.Schema = r.Schema
+		}
+		if r.Type != "span" {
+			rpt.Events++
+			continue
+		}
+		rpt.Spans++
+		switch r.Kind {
+		case "local":
+			rpt.Locals++
+			if r.Missed {
+				rpt.MissedLocals++
+			}
+		case "global":
+			if r.End == nil {
+				rpt.OpenGlobals++
+				continue
+			}
+			globals = append(globals, r)
+		case "subtask":
+			if r.Root != 0 {
+				leavesOf[r.Root] = append(leavesOf[r.Root], r)
+			}
+		}
+		// "stage" spans are composite wrappers; the realized path threads
+		// the subtask spans directly.
+	}
+
+	causeCount := map[Cause]int{}
+	nodeCount := map[int]int{}
+	stageCount := map[int]int{}
+	for _, g := range globals {
+		rpt.Globals++
+		if g.Aborted {
+			rpt.AbortedGlobals++
+		}
+		if !g.Missed {
+			continue
+		}
+		rpt.MissedGlobals++
+		bl := attribute(g, leavesOf[g.ID])
+		rpt.Misses = append(rpt.Misses, bl)
+		causeCount[bl.Cause]++
+		nodeCount[bl.BottleneckNode]++
+		stageCount[bl.BottleneckStage]++
+		rpt.MeanLateness += bl.Lateness
+		rpt.MeanWait += bl.Wait
+		rpt.MeanOverrun += bl.Overrun
+		rpt.MeanDeficit += bl.SlackDeficit
+	}
+	if n := len(rpt.Misses); n > 0 {
+		rpt.MeanLateness /= float64(n)
+		rpt.MeanWait /= float64(n)
+		rpt.MeanOverrun /= float64(n)
+		rpt.MeanDeficit /= float64(n)
+	}
+
+	for _, c := range Causes() {
+		if causeCount[c] > 0 {
+			rpt.Causes = append(rpt.Causes, CauseCount{Cause: c, Count: causeCount[c]})
+		}
+	}
+	sort.SliceStable(rpt.Causes, func(i, j int) bool { return rpt.Causes[i].Count > rpt.Causes[j].Count })
+	for _, n := range sortedKeys(nodeCount) {
+		rpt.Nodes = append(rpt.Nodes, NodeCount{Node: n, Count: nodeCount[n]})
+	}
+	for _, s := range sortedKeys(stageCount) {
+		rpt.Stages = append(rpt.Stages, StageCount{Stage: s, Count: stageCount[s]})
+	}
+	return rpt
+}
+
+func sortedKeys(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// attribute decomposes and classifies one missed global span.
+func attribute(g *obs.Record, leaves []*obs.Record) TaskBlame {
+	name := g.Task
+	if name == "" {
+		// DAG roots are accounting-only tasks without a name.
+		name = fmt.Sprintf("root#%d", g.ID)
+	}
+	bl := TaskBlame{
+		Root:            g.ID,
+		Task:            name,
+		Aborted:         g.Aborted,
+		Start:           fv(g.Start),
+		End:             fv(g.End),
+		RealDL:          fv(g.RealDL),
+		BottleneckNode:  -1,
+		BottleneckStage: -1,
+	}
+	bl.Lateness = bl.End - bl.RealDL
+	budget := bl.RealDL - bl.Start
+
+	// A simple global task executes on a node itself; its own span is the
+	// whole path.
+	if len(leaves) == 0 && g.Node >= 0 {
+		leaves = []*obs.Record{g}
+	}
+
+	bl.Path = realizedPath(bl.Start, bl.End, leaves, &bl.Gap)
+
+	var served, pathPex float64
+	for i := range bl.Path {
+		ps := &bl.Path[i]
+		bl.Wait += ps.Wait
+		served += ps.Served
+		pathPex += ps.Pex
+	}
+	bl.Wait += bl.Gap
+	bl.Overrun = served - pathPex
+	bl.SlackDeficit = pathPex - budget
+
+	bl.Cause = classify(&bl, leaves)
+	if b := bottleneck(&bl); b != nil {
+		bl.BottleneckTask = b.Task
+		bl.BottleneckNode = b.Node
+		bl.BottleneckStage = b.Stage
+	}
+	return bl
+}
+
+// realizedPath reconstructs the realized critical path by walking
+// backward from the root's end: at each step it consumes the closed leaf
+// span that finished exactly at the current instant (the process manager
+// releases each successor at its predecessor's finish instant, so the
+// chain is contiguous). When no span ends at the current instant — a
+// dropped span, or an abort hole — the walk jumps to the latest earlier
+// finisher and accounts the hole in *gap, keeping the telescoped sum
+// exact. Ties break on the larger start (the shorter hop keeps more of
+// the chain), then the smaller span id.
+func realizedPath(rootStart, rootEnd float64, leaves []*obs.Record, gap *float64) []PathSpan {
+	used := make([]bool, len(leaves))
+	var rev []PathSpan
+	cur := rootEnd
+	for cur > rootStart {
+		best := -1
+		for i, lf := range leaves {
+			if used[i] || lf.End == nil || lf.Start == nil {
+				continue
+			}
+			end := *lf.End
+			if end > cur || end <= rootStart {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			b := leaves[best]
+			switch {
+			case end != *b.End:
+				if end > *b.End {
+					best = i
+				}
+			case *lf.Start != *b.Start:
+				if *lf.Start > *b.Start {
+					best = i
+				}
+			case lf.ID < b.ID:
+				best = i
+			}
+		}
+		if best < 0 {
+			*gap += cur - rootStart
+			break
+		}
+		lf := leaves[best]
+		used[best] = true
+		*gap += cur - *lf.End
+		served, censored := servedOf(lf)
+		rev = append(rev, PathSpan{
+			ID:       lf.ID,
+			Task:     lf.Task,
+			Node:     lf.Node,
+			Start:    *lf.Start,
+			End:      *lf.End,
+			Wait:     (*lf.End - *lf.Start) - served,
+			Served:   served,
+			Pex:      pexOf(lf),
+			Aborted:  lf.Aborted,
+			Censored: censored,
+		})
+		cur = *lf.Start
+	}
+	// Reverse into release order and stamp path positions.
+	path := make([]PathSpan, len(rev))
+	for i := range rev {
+		path[len(rev)-1-i] = rev[i]
+	}
+	for i := range path {
+		path[i].Stage = i
+	}
+	return path
+}
+
+// classify picks the primary cause of one attributed miss.
+func classify(bl *TaskBlame, leaves []*obs.Record) Cause {
+	if bl.Aborted {
+		return CauseAbortCascade
+	}
+	budgetish := bl.Overrun
+	if bl.SlackDeficit > budgetish {
+		budgetish = bl.SlackDeficit
+	}
+	if budgetish >= bl.Wait {
+		return CauseStageBudget
+	}
+	// Wait-dominant: compare the bottleneck span's wait against its
+	// parallel siblings (spans released at the same instant under the
+	// same root). Strongly asymmetric waiting (> 2× every sibling) is a
+	// straggler branch; symmetric waiting is queue congestion.
+	b := maxWaitSpan(bl.Path)
+	if b == nil {
+		return CauseLocalInterference
+	}
+	haveSibling := false
+	maxSib := 0.0
+	for _, lf := range leaves {
+		if lf.ID == b.ID || lf.Start == nil || lf.End == nil || *lf.Start != b.Start {
+			continue
+		}
+		haveSibling = true
+		served, _ := servedOf(lf)
+		if w := (*lf.End - *lf.Start) - served; w > maxSib {
+			maxSib = w
+		}
+	}
+	if haveSibling && b.Wait > 2*maxSib {
+		return CauseSiblingStraggler
+	}
+	return CauseLocalInterference
+}
+
+// maxWaitSpan returns the path span with the largest wait (first on ties).
+func maxWaitSpan(path []PathSpan) *PathSpan {
+	var b *PathSpan
+	for i := range path {
+		if b == nil || path[i].Wait > b.Wait {
+			b = &path[i]
+		}
+	}
+	return b
+}
+
+// bottleneck selects the path span that carries the dominant component:
+// the biggest overrun for budget-dominated misses, the last aborted span
+// for cascades, the longest wait otherwise. Ties keep the earlier stage.
+func bottleneck(bl *TaskBlame) *PathSpan {
+	if len(bl.Path) == 0 {
+		return nil
+	}
+	switch bl.Cause {
+	case CauseAbortCascade:
+		for i := len(bl.Path) - 1; i >= 0; i-- {
+			if bl.Path[i].Aborted {
+				return &bl.Path[i]
+			}
+		}
+		return &bl.Path[len(bl.Path)-1]
+	case CauseStageBudget:
+		if bl.Overrun >= bl.SlackDeficit {
+			var b *PathSpan
+			for i := range bl.Path {
+				if b == nil || bl.Path[i].Served-bl.Path[i].Pex > b.Served-b.Pex {
+					b = &bl.Path[i]
+				}
+			}
+			return b
+		}
+		var b *PathSpan
+		for i := range bl.Path {
+			if b == nil || bl.Path[i].Pex > b.Pex {
+				b = &bl.Path[i]
+			}
+		}
+		return b
+	default:
+		return maxWaitSpan(bl.Path)
+	}
+}

@@ -1,0 +1,244 @@
+package attrib_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+)
+
+func fp(v float64) *float64 { return &v }
+
+// global builds a resolved global root span record.
+func global(id uint64, node int, start, end, realDL float64, missed, aborted bool) obs.Record {
+	return obs.Record{
+		Schema: obs.SchemaVersion, Type: "span", Kind: "global",
+		Task: "G", Node: node, ID: id,
+		Start: fp(start), End: fp(end), RealDL: fp(realDL),
+		Missed: missed, Aborted: aborted,
+	}
+}
+
+// leaf builds a subtask span record with explicit exec/pex.
+func leaf(id, root uint64, node int, start, end, exec, pex float64, aborted bool) obs.Record {
+	return obs.Record{
+		Schema: obs.SchemaVersion, Type: "span", Kind: "subtask",
+		Task: "G.s", Node: node, ID: id, Root: root,
+		Start: fp(start), End: fp(end),
+		Exec: fp(exec), Pex: fp(pex), Aborted: aborted,
+	}
+}
+
+// checkIdentity asserts the load-bearing invariant: for every miss the
+// three components sum to the observed lateness within float tolerance.
+func checkIdentity(t *testing.T, rpt *attrib.Report) {
+	t.Helper()
+	for _, m := range rpt.Misses {
+		sum := m.Wait + m.Overrun + m.SlackDeficit
+		if math.Abs(sum-m.Lateness) > 1e-9 {
+			t.Errorf("%s: wait %g + overrun %g + deficit %g = %g, want lateness %g",
+				m.Task, m.Wait, m.Overrun, m.SlackDeficit, sum, m.Lateness)
+		}
+	}
+}
+
+func TestStageBudgetTight(t *testing.T) {
+	// Two back-to-back subtasks, zero wait, execution beats the prediction.
+	recs := []obs.Record{
+		global(1, -1, 0, 12, 10, true, false),
+		leaf(2, 1, 0, 0, 5, 5, 4, false),
+		leaf(3, 1, 1, 5, 12, 7, 5, false),
+	}
+	rpt := attrib.Analyze(recs)
+	checkIdentity(t, rpt)
+	if len(rpt.Misses) != 1 {
+		t.Fatalf("misses = %d, want 1", len(rpt.Misses))
+	}
+	m := rpt.Misses[0]
+	if m.Cause != attrib.CauseStageBudget {
+		t.Fatalf("cause = %s, want %s", m.Cause, attrib.CauseStageBudget)
+	}
+	if m.Wait != 0 || m.Overrun != 3 || m.SlackDeficit != -1 || m.Lateness != 2 {
+		t.Fatalf("decomposition = (%g, %g, %g) lateness %g, want (0, 3, -1) 2",
+			m.Wait, m.Overrun, m.SlackDeficit, m.Lateness)
+	}
+	// The bottleneck is the span with the largest overrun: the second stage.
+	if m.BottleneckStage != 1 || m.BottleneckNode != 1 {
+		t.Fatalf("bottleneck stage %d node %d, want 1 1", m.BottleneckStage, m.BottleneckNode)
+	}
+	if len(m.Path) != 2 || m.Path[0].ID != 2 || m.Path[1].ID != 3 {
+		t.Fatalf("path = %+v, want spans 2 then 3", m.Path)
+	}
+}
+
+func TestSiblingStraggler(t *testing.T) {
+	// A two-way fork released at t=0; one branch waits 16, the other 2.
+	recs := []obs.Record{
+		global(10, -1, 0, 20, 12, true, false),
+		leaf(11, 10, 1, 0, 20, 4, 4, false),
+		leaf(12, 10, 2, 0, 6, 4, 4, false),
+	}
+	rpt := attrib.Analyze(recs)
+	checkIdentity(t, rpt)
+	m := rpt.Misses[0]
+	if m.Cause != attrib.CauseSiblingStraggler {
+		t.Fatalf("cause = %s, want %s", m.Cause, attrib.CauseSiblingStraggler)
+	}
+	if m.BottleneckNode != 1 {
+		t.Fatalf("bottleneck node %d, want 1", m.BottleneckNode)
+	}
+}
+
+func TestLocalInterference(t *testing.T) {
+	// Same fork, but both branches wait long: symmetric congestion.
+	recs := []obs.Record{
+		global(10, -1, 0, 20, 12, true, false),
+		leaf(11, 10, 1, 0, 20, 4, 4, false),
+		leaf(12, 10, 2, 0, 14, 4, 4, false),
+	}
+	rpt := attrib.Analyze(recs)
+	checkIdentity(t, rpt)
+	if got := rpt.Misses[0].Cause; got != attrib.CauseLocalInterference {
+		t.Fatalf("cause = %s, want %s", got, attrib.CauseLocalInterference)
+	}
+}
+
+func TestAbortCascade(t *testing.T) {
+	// Root withdrawn at t=9 with one aborted (censored) subtask span.
+	recs := []obs.Record{
+		global(20, -1, 0, 9, 15, true, true),
+		leaf(21, 20, 3, 0, 9, 0, 3, true),
+	}
+	rpt := attrib.Analyze(recs)
+	checkIdentity(t, rpt)
+	m := rpt.Misses[0]
+	if m.Cause != attrib.CauseAbortCascade {
+		t.Fatalf("cause = %s, want %s", m.Cause, attrib.CauseAbortCascade)
+	}
+	if m.Lateness != -6 {
+		t.Fatalf("lateness at withdrawal = %g, want -6", m.Lateness)
+	}
+	if !m.Path[0].Censored || m.Path[0].Served != 0 || m.Path[0].Wait != 9 {
+		t.Fatalf("aborted span not censored into wait: %+v", m.Path[0])
+	}
+	if rpt.AbortedGlobals != 1 {
+		t.Fatalf("aborted globals = %d, want 1", rpt.AbortedGlobals)
+	}
+}
+
+func TestPathGapFoldsIntoWait(t *testing.T) {
+	// The chain cannot explain [0, 4): the hole becomes gap, inside wait.
+	recs := []obs.Record{
+		global(30, -1, 0, 10, 8, true, false),
+		leaf(31, 30, 0, 4, 10, 2, 2, false),
+	}
+	rpt := attrib.Analyze(recs)
+	checkIdentity(t, rpt)
+	m := rpt.Misses[0]
+	if m.Gap != 4 {
+		t.Fatalf("gap = %g, want 4", m.Gap)
+	}
+	if m.Wait != 8 {
+		t.Fatalf("wait = %g, want 8 (4 in-span + 4 gap)", m.Wait)
+	}
+}
+
+func TestSimpleGlobalIsItsOwnPath(t *testing.T) {
+	// A simple global runs on a node directly; its span is the whole path.
+	g := global(40, 2, 0, 7, 5, true, false)
+	g.Exec, g.Pex = fp(3), fp(3)
+	rpt := attrib.Analyze([]obs.Record{g})
+	checkIdentity(t, rpt)
+	m := rpt.Misses[0]
+	if len(m.Path) != 1 || m.Path[0].ID != 40 || m.Path[0].Node != 2 {
+		t.Fatalf("path = %+v, want the root span itself", m.Path)
+	}
+	if m.Cause != attrib.CauseLocalInterference {
+		t.Fatalf("cause = %s, want %s", m.Cause, attrib.CauseLocalInterference)
+	}
+}
+
+func TestV1FallbackDerivesPex(t *testing.T) {
+	// v1 records lack exec/pex: pex falls back to vdl − start − slack and
+	// served to pex (zero overrun), so the identity still holds.
+	g := obs.Record{
+		Type: "span", Kind: "global", Task: "G", Node: -1, ID: 50,
+		Start: fp(0), End: fp(11), RealDL: fp(9), Missed: true,
+	}
+	s := obs.Record{
+		Type: "span", Kind: "subtask", Task: "G.s", Node: 0, ID: 51, Root: 50,
+		Start: fp(0), End: fp(11), VDL: fp(8), Slack: fp(2),
+	}
+	rpt := attrib.Analyze([]obs.Record{g, s})
+	checkIdentity(t, rpt)
+	m := rpt.Misses[0]
+	if m.Path[0].Pex != 6 || m.Path[0].Served != 6 {
+		t.Fatalf("v1 fallback pex/served = %g/%g, want 6/6", m.Path[0].Pex, m.Path[0].Served)
+	}
+	if rpt.Schema != obs.SchemaV1 {
+		t.Fatalf("schema = %d, want %d", rpt.Schema, obs.SchemaV1)
+	}
+}
+
+func TestOpenRootsAreCensoredNotAttributed(t *testing.T) {
+	g := obs.Record{
+		Schema: obs.SchemaVersion, Type: "span", Kind: "global",
+		Task: "G", Node: -1, ID: 60, Start: fp(5), RealDL: fp(9),
+	}
+	rpt := attrib.Analyze([]obs.Record{g})
+	if rpt.OpenGlobals != 1 || len(rpt.Misses) != 0 {
+		t.Fatalf("open root attributed: open=%d misses=%d", rpt.OpenGlobals, len(rpt.Misses))
+	}
+}
+
+func TestHitsAndEventsIgnored(t *testing.T) {
+	recs := []obs.Record{
+		{Schema: obs.SchemaVersion, Type: "event", Kind: "start", Task: "L", Node: 0, At: fp(1)},
+		global(70, -1, 0, 4, 9, false, false), // a hit: nothing to attribute
+		{Schema: obs.SchemaVersion, Type: "span", Kind: "local", Task: "L", Node: 0,
+			ID: 71, Start: fp(0), End: fp(2), Missed: true},
+	}
+	rpt := attrib.Analyze(recs)
+	if rpt.Events != 1 || rpt.Globals != 1 || rpt.MissedGlobals != 0 {
+		t.Fatalf("counts off: %+v", rpt)
+	}
+	if rpt.Locals != 1 || rpt.MissedLocals != 1 {
+		t.Fatalf("local counts off: %+v", rpt)
+	}
+	if got := rpt.Markdown(); !bytes.Contains([]byte(got), []byte("nothing to attribute")) {
+		t.Fatalf("hit-only report missing empty notice:\n%s", got)
+	}
+}
+
+func TestReportsAreDeterministic(t *testing.T) {
+	recs := []obs.Record{
+		global(1, -1, 0, 12, 10, true, false),
+		leaf(2, 1, 0, 0, 5, 5, 4, false),
+		leaf(3, 1, 1, 5, 12, 7, 5, false),
+		global(10, -1, 0, 20, 12, true, false),
+		leaf(11, 10, 1, 0, 20, 4, 4, false),
+		leaf(12, 10, 2, 0, 6, 4, 4, false),
+		global(20, -1, 0, 9, 15, true, true),
+		leaf(21, 20, 3, 0, 9, 0, 3, true),
+	}
+	r1, r2 := attrib.Analyze(recs), attrib.Analyze(recs)
+	if r1.Markdown() != r2.Markdown() {
+		t.Fatalf("markdown differs across identical analyses")
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("json differs across identical analyses")
+	}
+	if len(r1.Causes) != 3 {
+		t.Fatalf("cause mix rows = %d, want 3: %+v", len(r1.Causes), r1.Causes)
+	}
+}

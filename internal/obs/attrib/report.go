@@ -1,0 +1,89 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the report as indented JSON. Rendering is deterministic:
+// two calls over the same records produce byte-identical output.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// f formats a float for the markdown report: fixed precision so the
+// rendering is byte-stable across runs and platforms.
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Markdown renders the report as a human-readable markdown document.
+// Like JSON, the output is byte-identical for identical inputs.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Miss-cause attribution\n\n")
+	fmt.Fprintf(&b, "Input: %d spans (schema %d)", r.Spans, r.Schema)
+	if r.Events > 0 {
+		fmt.Fprintf(&b, ", %d event records ignored", r.Events)
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "- global tasks resolved: %d (%d missed, %d aborted)\n",
+		r.Globals, r.MissedGlobals, r.AbortedGlobals)
+	if r.OpenGlobals > 0 {
+		fmt.Fprintf(&b, "- global tasks censored at the horizon: %d\n", r.OpenGlobals)
+	}
+	fmt.Fprintf(&b, "- local tasks: %d (%d missed)\n", r.Locals, r.MissedLocals)
+	b.WriteString("\n")
+
+	if r.MissedGlobals == 0 {
+		b.WriteString("No missed global tasks: nothing to attribute.\n")
+		return b.String()
+	}
+
+	b.WriteString("## Cause mix\n\n")
+	b.WriteString("| cause | misses | share |\n|---|---:|---:|\n")
+	for _, c := range r.Causes {
+		fmt.Fprintf(&b, "| %s | %d | %.1f%% |\n",
+			c.Cause, c.Count, 100*float64(c.Count)/float64(r.MissedGlobals))
+	}
+	b.WriteString("\n")
+
+	b.WriteString("## Lateness decomposition (means over misses)\n\n")
+	b.WriteString("| component | mean | meaning |\n|---|---:|---|\n")
+	fmt.Fprintf(&b, "| wait | %s | queueing/blocking on the realized path |\n", f(r.MeanWait))
+	fmt.Fprintf(&b, "| exec overrun | %s | realized work beyond the prediction |\n", f(r.MeanOverrun))
+	fmt.Fprintf(&b, "| slack deficit | %s | predicted path minus end-to-end budget |\n", f(r.MeanDeficit))
+	fmt.Fprintf(&b, "| lateness | %s | sum of the three components |\n", f(r.MeanLateness))
+	b.WriteString("\n")
+
+	if len(r.Nodes) > 0 {
+		b.WriteString("## Bottleneck placement\n\n")
+		b.WriteString("| node | misses |\n|---:|---:|\n")
+		for _, n := range r.Nodes {
+			fmt.Fprintf(&b, "| %d | %d |\n", n.Node, n.Count)
+		}
+		b.WriteString("\n| path stage | misses |\n|---:|---:|\n")
+		for _, s := range r.Stages {
+			fmt.Fprintf(&b, "| %d | %d |\n", s.Stage, s.Count)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Misses\n\n")
+	b.WriteString("| task | cause | lateness | wait | overrun | deficit | bottleneck |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|---|\n")
+	for i := range r.Misses {
+		m := &r.Misses[i]
+		bn := "-"
+		if m.BottleneckTask != "" {
+			bn = fmt.Sprintf("%s @ node %d (stage %d)", m.BottleneckTask, m.BottleneckNode, m.BottleneckStage)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			m.Task, m.Cause, f(m.Lateness), f(m.Wait), f(m.Overrun), f(m.SlackDeficit), bn)
+	}
+	return b.String()
+}

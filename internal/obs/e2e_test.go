@@ -131,8 +131,14 @@ func TestSpanLogShape(t *testing.T) {
 		if rec.Start == nil {
 			t.Fatalf("line %d: span without start", n)
 		}
-		if rec.End != nil && rec.Lateness == nil {
-			t.Fatalf("line %d: closed span without lateness", n)
+		if rec.Schema != obs.SchemaVersion {
+			t.Fatalf("line %d: schema %d, want %d", n, rec.Schema, obs.SchemaVersion)
+		}
+		if rec.End != nil && !rec.Aborted && rec.Lateness == nil {
+			t.Fatalf("line %d: finished span without lateness", n)
+		}
+		if rec.Aborted && rec.Lateness != nil {
+			t.Fatalf("line %d: aborted span carries a lateness", n)
 		}
 		if rec.Kind == "stage" || rec.Kind == "subtask" {
 			if rec.Root == 0 {

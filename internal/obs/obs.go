@@ -300,6 +300,8 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 		open:  true,
 		vdl:   float64(tk.VirtualDeadline),
 		slack: slack,
+		exec:  float64(tk.CriticalPath()),
+		pex:   float64(tk.PredictedCriticalPath()),
 		boost: tk.PriorityBoost,
 	}
 	if tk == root {
@@ -381,6 +383,8 @@ func (t *Telemetry) RecordLocal(tk *task.Task, missed bool) {
 		realDL: float64(tk.RealDeadline),
 		hasRDL: true,
 		slack:  slack,
+		exec:   float64(tk.Exec),
+		pex:    float64(tk.Pex),
 		missed: missed,
 		abort:  tk.Aborted,
 		boost:  tk.PriorityBoost,

@@ -31,7 +31,15 @@ type Sampler struct {
 	head  int         // next write position
 	n     int         // occupied slots (<= cap)
 	ticks uint64      // total ticks fired (>= n when the ring wrapped)
+
+	// onTick, when set, runs after each sample on the simulation
+	// goroutine. Like probes it must not mutate model state; the live
+	// observability server uses it to publish snapshots.
+	onTick func(now simtime.Time)
 }
+
+// SetOnTick registers fn to run after every sample. Pass nil to clear.
+func (s *Sampler) SetOnTick(fn func(now simtime.Time)) { s.onTick = fn }
 
 // newSampler preallocates rings for cap samples of the given probes.
 func newSampler(every simtime.Duration, capacity int, probes []Probe) *Sampler {
@@ -85,6 +93,9 @@ func (s *Sampler) sample(now simtime.Time) {
 	}
 	if s.n < len(s.times) {
 		s.n++
+	}
+	if s.onTick != nil {
+		s.onTick(now)
 	}
 }
 

@@ -1,0 +1,245 @@
+// Package serve is the opt-in live observability HTTP server: it exposes
+// a running simulation's telemetry — Prometheus metrics, progress, the
+// span tail, and the live miss-cause attribution — without perturbing the
+// run.
+//
+// The design keeps the simulation deterministic. The simulation goroutine
+// never handles HTTP: it only calls Hub.Publish (via the sampler's OnTick
+// hook), which renders immutable snapshots from telemetry state and swaps
+// them in under a mutex. HTTP handlers only ever read the latest
+// snapshot. Publishing happens inside existing sampler ticks — read-only
+// DES events — so attaching a hub cannot reorder the calendar: replication
+// results, exports, and scenario golden trace hashes are bit-identical
+// with and without -serve.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+	"repro/internal/simtime"
+)
+
+// DefaultEvery is the default publish cadence in sampler ticks (the
+// -serve-every flag default): a snapshot every 4th tick keeps the live
+// view fresh at a quarter of the worst-case publish cost.
+const DefaultEvery = 4
+
+// RunInfo labels the run being served.
+type RunInfo struct {
+	Label        string
+	Replication  int // 1-based
+	Replications int
+	Horizon      float64
+}
+
+// Progress is the JSON payload of /progress and its SSE stream.
+type Progress struct {
+	Label        string  `json:"label,omitempty"`
+	Replication  int     `json:"replication,omitempty"`
+	Replications int     `json:"replications,omitempty"`
+	Now          float64 `json:"now"`
+	Horizon      float64 `json:"horizon"`
+	Percent      float64 `json:"percent"`
+	Ticks        uint64  `json:"ticks"`
+	Spans        int     `json:"spans"`
+	Globals      int     `json:"globals"`
+	Missed       int     `json:"missed_globals"`
+	Done         bool    `json:"done"`
+}
+
+// Hub holds the latest published snapshot of one (or a sequence of) runs.
+// Publish runs on the simulation goroutine; every accessor is safe for
+// concurrent use by HTTP handlers.
+type Hub struct {
+	ring int // span-tail capacity
+
+	mu           sync.RWMutex
+	prom         []byte
+	summary      string
+	spans        []obs.Record
+	blame        *attrib.Report
+	blameJSON    []byte
+	progress     Progress
+	progressJSON []byte
+	publishes    uint64
+	subs         map[chan []byte]bool
+}
+
+// NewHub returns a hub retaining at most ringSize spans in its tail
+// (default 512 when ringSize <= 0).
+func NewHub(ringSize int) *Hub {
+	if ringSize <= 0 {
+		ringSize = 512
+	}
+	return &Hub{ring: ringSize, subs: make(map[chan []byte]bool)}
+}
+
+// Publish renders a fresh snapshot from tel and swaps it in. It must run
+// on the simulation goroutine (telemetry is not concurrency-safe) and
+// only reads model state — it is safe to call from a sampler tick.
+func (h *Hub) Publish(tel *obs.Telemetry, info RunInfo, now float64, done bool) {
+	var prom bytes.Buffer
+	_ = tel.WritePrometheus(&prom)
+
+	// Mid-run publishes materialize and attribute only the bounded tail
+	// window, keeping the per-tick cost O(ring) no matter how long the run
+	// gets (the guard is BenchmarkSimulationBlameOn). The final snapshot
+	// analyzes the whole stream, so a completed run's /blame is exact and
+	// matches an offline sdablame pass over the exported spans.
+	spans := tel.SpansTail(h.ring)
+	scope := spans
+	if done {
+		scope = tel.Spans()
+	}
+	rpt := attrib.Analyze(scope)
+
+	// Progress counters stay cumulative even when blame is windowed;
+	// GlobalCounts scans without materializing records.
+	globals, missed := tel.GlobalCounts()
+
+	pct := 0.0
+	if info.Horizon > 0 {
+		pct = 100 * now / info.Horizon
+		if pct > 100 {
+			pct = 100
+		}
+	}
+	pr := Progress{
+		Label:        info.Label,
+		Replication:  info.Replication,
+		Replications: info.Replications,
+		Now:          now,
+		Horizon:      info.Horizon,
+		Percent:      pct,
+		Ticks:        tel.Ticks(),
+		Spans:        tel.SpanCount(),
+		Globals:      globals,
+		Missed:       missed,
+		Done:         done,
+	}
+	progressJSON, _ := json.Marshal(pr)
+	summary := tel.Summary()
+
+	h.mu.Lock()
+	h.prom = prom.Bytes()
+	h.summary = summary
+	h.spans = spans
+	h.blame = rpt
+	h.blameJSON = nil // rendered lazily by BlameJSON, off the sim goroutine
+	h.progress = pr
+	h.progressJSON = progressJSON
+	h.publishes++
+	subs := make([]chan []byte, 0, len(h.subs))
+	for ch := range h.subs {
+		subs = append(subs, ch)
+	}
+	h.mu.Unlock()
+
+	// Fan the progress event out to SSE subscribers without ever blocking
+	// the simulation goroutine: a full subscriber just skips a beat.
+	for _, ch := range subs {
+		select {
+		case ch <- progressJSON:
+		default:
+		}
+	}
+}
+
+// Attach hooks the hub onto tel's sampler so every `every`-th tick
+// publishes a snapshot. Call after the system is built (the sampler
+// exists once telemetry is bound) and before the run starts. The final
+// state still needs an explicit Publish(..., done=true) after the run.
+func (h *Hub) Attach(tel *obs.Telemetry, info RunInfo, every int) {
+	if every <= 0 {
+		every = 1
+	}
+	s := tel.Sampler()
+	if s == nil {
+		return
+	}
+	n := 0
+	s.SetOnTick(func(now simtime.Time) {
+		n++
+		if n%every == 0 {
+			h.Publish(tel, info, float64(now), false)
+		}
+	})
+}
+
+// Metrics returns the latest Prometheus exposition (nil before the first
+// publish).
+func (h *Hub) Metrics() []byte {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.prom
+}
+
+// Summary returns the latest telemetry digest.
+func (h *Hub) Summary() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.summary
+}
+
+// SpansTail returns the latest span tail (do not mutate).
+func (h *Hub) SpansTail() []obs.Record {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.spans
+}
+
+// Blame returns the latest attribution report (nil before the first
+// publish; immutable once published). Mid-run it covers the span-tail
+// window; after the final done-publish it covers the whole run.
+func (h *Hub) Blame() *attrib.Report {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.blame
+}
+
+// BlameJSON returns the latest attribution report as JSON (nil before
+// the first publish). Rendering happens here — on the caller's
+// goroutine, not the simulation's — and is cached until the next
+// publish; the report itself is immutable once published.
+func (h *Hub) BlameJSON() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.blameJSON == nil && h.blame != nil {
+		h.blameJSON, _ = h.blame.JSON()
+	}
+	return h.blameJSON
+}
+
+// ProgressJSON returns the latest progress payload.
+func (h *Hub) ProgressJSON() []byte {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.progressJSON
+}
+
+// Publishes returns how many snapshots have been published.
+func (h *Hub) Publishes() uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.publishes
+}
+
+// subscribe registers an SSE subscriber channel.
+func (h *Hub) subscribe() chan []byte {
+	ch := make(chan []byte, 8)
+	h.mu.Lock()
+	h.subs[ch] = true
+	h.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes an SSE subscriber channel.
+func (h *Hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}

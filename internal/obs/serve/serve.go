@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Server is a running observability HTTP server bound to one Hub.
+type Server struct {
+	hub *Hub
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (":8080", "127.0.0.1:0", ...) and serves the
+// hub's snapshots in the background. Close shuts the listener down.
+func Start(addr string, hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &Server{hub: hub, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/blame", s.handleBlame)
+	mux.HandleFunc("/summary", s.handleSummary)
+	// pprof is registered explicitly on this mux (not the default one) so
+	// profiling works regardless of what the host binary does globally.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Hub returns the hub this server reads from.
+func (s *Server) Hub() *Hub { return s.hub }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `sda live observability
+  /healthz       liveness + publish count
+  /metrics       Prometheus text exposition (0.0.4)
+  /progress      run progress JSON; ?sse=1 for a live SSE stream
+  /spans         span tail as NDJSON; ?n=100 limits lines
+  /blame         live miss-cause attribution JSON; ?format=md for markdown
+  /summary       human-readable telemetry digest
+  /debug/pprof/  runtime profiles
+`)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","publishes":%d}`+"\n", s.hub.Publishes())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(s.hub.Metrics())
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.hub.Summary())
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("sse") == "1" || r.Header.Get("Accept") == "text/event-stream" {
+		s.streamProgress(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if p := s.hub.ProgressJSON(); p != nil {
+		w.Write(p)
+		w.Write([]byte("\n"))
+		return
+	}
+	fmt.Fprintln(w, "{}")
+}
+
+// streamProgress serves /progress as Server-Sent Events: the current
+// snapshot immediately, then one event per publish until the client
+// disconnects.
+func (s *Server) streamProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+	if p := s.hub.ProgressJSON(); p != nil {
+		fmt.Fprintf(w, "data: %s\n\n", p)
+		fl.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p := <-ch:
+			fmt.Fprintf(w, "data: %s\n\n", p)
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	tail := s.hub.SpansTail()
+	if q := r.URL.Query().Get("n"); q != "" {
+		if n, err := strconv.Atoi(q); err == nil && n >= 0 && n < len(tail) {
+			tail = tail[len(tail)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for i := range tail {
+		if err := obs.WriteRecord(w, tail[i]); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleBlame(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "md" {
+		rpt := s.hub.Blame()
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		if rpt == nil {
+			fmt.Fprintln(w, "# Miss-cause attribution\n\nNo snapshot published yet.")
+			return
+		}
+		fmt.Fprint(w, rpt.Markdown())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if b := s.hub.BlameJSON(); b != nil {
+		w.Write(b)
+		return
+	}
+	fmt.Fprintln(w, "{}")
+}

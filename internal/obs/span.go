@@ -1,9 +1,21 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+)
+
+// JSONL schema versions. Version 1 is the original (unversioned) format:
+// no schema field, no exec/pex, and aborted spans carried a lateness.
+// Version 2 adds the schema marker, the realized/predicted work fields
+// (Exec/Pex), and restricts Lateness to finished spans: an abort instant
+// is a withdrawal, not a completion, so "end - deadline" is not a
+// lateness there (attribution treats such spans as censored instead).
+const (
+	SchemaV1      = 1
+	SchemaVersion = 2
 )
 
 // Record is one line of the JSONL telemetry log — the schema shared by
@@ -16,19 +28,23 @@ import (
 // instant (absent while a span is still open at the horizon). VDL is the
 // virtual deadline assigned at release, RealDL the true deadline for
 // root/local spans, Slack the assigned slack at release (VDL - Start -
-// predicted work), and Lateness = End minus the deadline the unit is
+// predicted work), Exec/Pex the realized and predicted critical-path work
+// of the released unit, and Lateness = End minus the deadline the unit is
 // judged by (VDL for stage/subtask spans, RealDL for root and local
-// spans); negative lateness means an early finish.
+// spans); negative lateness means an early finish. Lateness is present
+// exactly on finished spans: open spans have no End, and aborted spans
+// keep their End (the abort instant) but no Lateness.
 //
 // Event records: At is the event instant and Kind one of
 // enqueue/start/finish/abort/preempt.
 type Record struct {
-	Type string `json:"type"`           // "span" | "event"
-	Kind string `json:"kind"`           // span: local|global|stage|subtask; event: enqueue|...
-	Task string `json:"task"`           // task name (or generated label)
-	Node int    `json:"node"`           // execution node; -1 for composite stages
-	ID   uint64 `json:"id,omitempty"`   // span id, unique per run, in release order
-	Root uint64 `json:"root,omitempty"` // id of the owning global root span
+	Schema int    `json:"schema,omitempty"` // SchemaVersion; 0 on decode = v1 input
+	Type   string `json:"type"`             // "span" | "event"
+	Kind   string `json:"kind"`             // span: local|global|stage|subtask; event: enqueue|...
+	Task   string `json:"task"`             // task name (or generated label)
+	Node   int    `json:"node"`             // execution node; -1 for composite stages
+	ID     uint64 `json:"id,omitempty"`     // span id, unique per run, in release order
+	Root   uint64 `json:"root,omitempty"`   // id of the owning global root span
 
 	Start    *float64 `json:"start,omitempty"`
 	End      *float64 `json:"end,omitempty"`
@@ -36,6 +52,8 @@ type Record struct {
 	VDL      *float64 `json:"vdl,omitempty"`
 	RealDL   *float64 `json:"real_dl,omitempty"`
 	Slack    *float64 `json:"slack,omitempty"`
+	Exec     *float64 `json:"exec,omitempty"` // realized critical-path work at release
+	Pex      *float64 `json:"pex,omitempty"`  // predicted critical-path work at release
 	Lateness *float64 `json:"lateness,omitempty"`
 
 	Missed  bool `json:"missed,omitempty"`
@@ -52,8 +70,12 @@ type Record struct {
 // F wraps a float for an optional Record field.
 func F(v float64) *float64 { return &v }
 
-// WriteRecord writes one Record as a JSON line.
+// WriteRecord writes one Record as a JSON line, stamping the current
+// schema version when the caller left Schema zero.
 func WriteRecord(w io.Writer, rec Record) error {
+	if rec.Schema == 0 {
+		rec.Schema = SchemaVersion
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -61,6 +83,48 @@ func WriteRecord(w io.Writer, rec Record) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// DecodeRecord parses one JSONL line. Input written before the schema
+// field existed (the PR 3 format) decodes with Schema normalized to
+// SchemaV1; input from a newer writer than this reader understands is
+// rejected rather than silently misread.
+func DecodeRecord(line []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return Record{}, err
+	}
+	if rec.Schema == 0 {
+		rec.Schema = SchemaV1
+	}
+	if rec.Schema > SchemaVersion {
+		return Record{}, fmt.Errorf("obs: record schema %d newer than supported %d", rec.Schema, SchemaVersion)
+	}
+	return rec, nil
+}
+
+// ReadRecords decodes a whole JSONL stream, skipping blank lines.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var recs []Record
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := DecodeRecord(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", n, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // span is the in-memory form of one lifecycle span; it converts to a
@@ -78,6 +142,8 @@ type span struct {
 	realDL float64
 	hasRDL bool
 	slack  float64
+	exec   float64 // realized critical-path work at release
+	pex    float64 // predicted critical-path work at release
 	missed bool
 	abort  bool
 	boost  bool
@@ -85,9 +151,12 @@ type span struct {
 	width  int // DAG root spans only
 }
 
-// record converts the span to its serialized form.
+// record converts the span to its serialized form. Still-open spans omit
+// End and Lateness; aborted spans keep End (the abort instant) but omit
+// Lateness, because a withdrawal has no completion to judge.
 func (s *span) record() Record {
 	rec := Record{
+		Schema:  SchemaVersion,
 		Type:    "span",
 		Kind:    s.kind,
 		Task:    s.task,
@@ -97,6 +166,8 @@ func (s *span) record() Record {
 		Start:   F(s.start),
 		VDL:     F(s.vdl),
 		Slack:   F(s.slack),
+		Exec:    F(s.exec),
+		Pex:     F(s.pex),
 		Missed:  s.missed,
 		Aborted: s.abort,
 		Boost:   s.boost,
@@ -108,11 +179,13 @@ func (s *span) record() Record {
 	}
 	if !s.open {
 		rec.End = F(s.end)
-		judge := s.vdl
-		if s.hasRDL {
-			judge = s.realDL
+		if !s.abort {
+			judge := s.vdl
+			if s.hasRDL {
+				judge = s.realDL
+			}
+			rec.Lateness = F(s.end - judge)
 		}
-		rec.Lateness = F(s.end - judge)
 	}
 	return rec
 }
@@ -136,6 +209,40 @@ func (t *Telemetry) Spans() []Record {
 		out[i] = t.spans[i].record()
 	}
 	return out
+}
+
+// SpanCount returns how many spans have been recorded so far.
+func (t *Telemetry) SpanCount() int { return len(t.spans) }
+
+// SpansTail materializes the most recent n spans, in release order (all
+// of them when n <= 0 or n >= SpanCount). The live observability hub
+// uses it so a per-tick snapshot costs O(n) in the ring size rather than
+// O(total spans recorded).
+func (t *Telemetry) SpansTail(n int) []Record {
+	s := t.spans
+	if n > 0 && n < len(s) {
+		s = s[len(s)-n:]
+	}
+	out := make([]Record, len(s))
+	for i := range s {
+		out[i] = s[i].record()
+	}
+	return out
+}
+
+// GlobalCounts returns how many global spans have resolved (finished or
+// aborted) and how many of those missed, without materializing records.
+func (t *Telemetry) GlobalCounts() (resolved, missed int) {
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.kind == "global" && !s.open {
+			resolved++
+			if s.missed {
+				missed++
+			}
+		}
+	}
+	return resolved, missed
 }
 
 // DroppedSpans returns how many spans were discarded because the span

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestBlameCheckAtTinyFidelity(t *testing.T) {
+	o := exp.Options{Duration: 2000, Warmup: 200, Replications: 1, Seed: 11}
+	cells, err := BlameCheck(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Strategy != "UD" || cells[1].Strategy != "DIV-1" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	for _, c := range cells {
+		if c.Report.Globals == 0 {
+			t.Fatalf("%s: attribution saw no globals", c.Strategy)
+		}
+		for _, m := range c.Report.Misses {
+			if m.Cause == "" {
+				t.Errorf("%s: %s has no primary cause", c.Strategy, m.Task)
+			}
+			if sum := m.Wait + m.Overrun + m.SlackDeficit; math.Abs(sum-m.Lateness) > 1e-6 {
+				t.Errorf("%s: %s decomposition %g != lateness %g", c.Strategy, m.Task, sum, m.Lateness)
+			}
+		}
+	}
+
+	md1 := BlameMarkdown(cells)
+	cells2, err := BlameCheck(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md2 := BlameMarkdown(cells2); md1 != md2 {
+		t.Fatalf("blame section differs across identical runs")
+	}
+	for _, want := range []string{"## Miss-cause mix", "| UD |", "| DIV-1 |"} {
+		if !strings.Contains(md1, want) {
+			t.Errorf("blame section missing %q:\n%s", want, md1)
+		}
+	}
+}

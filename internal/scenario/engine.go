@@ -38,7 +38,7 @@ func (o *Outcome) Passed() bool { return len(o.Failures) == 0 }
 // deterministic: the same scenario produces the same Outcome (including
 // TraceHash) on every call.
 func Run(sc *Scenario) (*Outcome, error) {
-	out, _, err := runWith(sc, obs.Options{})
+	out, _, err := runWith(sc, obs.Options{}, nil)
 	return out, err
 }
 
@@ -48,11 +48,21 @@ func Run(sc *Scenario) (*Outcome, error) {
 // state, so the Outcome — including TraceHash — is identical to Run's.
 func RunObserved(sc *Scenario, o obs.Options) (*Outcome, *obs.Telemetry, error) {
 	o.Enabled = true
-	return runWith(sc, o)
+	return runWith(sc, o, nil)
+}
+
+// RunObservedWith is RunObserved with a system hook: onSystem runs once
+// after the system is wired (telemetry bound, sampler built) and before
+// any event fires. The live observability server uses it to attach its
+// snapshot hub; the callback must not mutate model state, so the Outcome
+// — including TraceHash — stays identical to Run's.
+func RunObservedWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome, *obs.Telemetry, error) {
+	o.Enabled = true
+	return runWith(sc, o, onSystem)
 }
 
 // runWith is the shared engine behind Run and RunObserved.
-func runWith(sc *Scenario, o obs.Options) (*Outcome, *obs.Telemetry, error) {
+func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome, *obs.Telemetry, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -65,6 +75,7 @@ func runWith(sc *Scenario, o obs.Options) (*Outcome, *obs.Telemetry, error) {
 	cfg.Observer = node.CombineObservers(tr, chk)
 	cfg.ReleaseHook = chk.OnRelease
 	cfg.Obs = o
+	cfg.OnSystem = onSystem
 
 	sys, err := sim.NewSystem(cfg, sc.Seed)
 	if err != nil {

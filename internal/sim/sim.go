@@ -88,6 +88,13 @@ type Config struct {
 	// identical with it on or off.
 	Obs obs.Options
 
+	// OnSystem, when non-nil, runs once per wired system after nodes,
+	// manager, and telemetry exist but before any event fires. The live
+	// observability server uses it to attach its snapshot hub to the
+	// telemetry sampler. The callback must not mutate model state; like
+	// Observer/ReleaseHook it forces replications sequential.
+	OnSystem func(*System)
+
 	Duration     simtime.Duration // measured portion of each replication
 	Warmup       simtime.Duration // tasks arriving before this are not counted
 	Replications int              // independent replications (>= 1)
@@ -248,7 +255,7 @@ func Run(cfg Config) (Result, error) {
 		seeds[r] = sp.Seed()
 	}
 	workers := cfg.Workers
-	if cfg.Observer != nil || cfg.ReleaseHook != nil {
+	if cfg.Observer != nil || cfg.ReleaseHook != nil || cfg.OnSystem != nil {
 		workers = 1 // callbacks are not synchronized across replications
 	}
 	reps := make([]RepResult, cfg.Replications)
@@ -387,6 +394,9 @@ func NewSystem(cfg Config, seed uint64) (*System, error) {
 		return nil, err
 	}
 	sys.Driver = driver
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
+	}
 	return sys, nil
 }
 
@@ -597,6 +607,9 @@ func ReplayTrace(cfg Config, arrivals []workload.Arrival) (RepResult, error) {
 	sys := build(cfg)
 	if err := workload.Replay(sys.Eng, sys.Mgr, arrivals); err != nil {
 		return RepResult{}, err
+	}
+	if cfg.OnSystem != nil {
+		cfg.OnSystem(sys)
 	}
 	var horizon simtime.Time
 	for _, a := range arrivals {
