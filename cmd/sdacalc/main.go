@@ -12,6 +12,14 @@
 // its series-parallel decomposition:
 //
 //	sdacalc -dag -deadline 12 "a@0:2 b@1:3 c@2:1 ; a>b a>c b>c"
+//
+// With -analyze no deadlines are assigned; instead the analytic
+// response-time oracle (internal/analysis) prints volume, critical path,
+// and the schedule-independent bounds. DAG edges may carry branch
+// probabilities ("a>b:0.3"), making the vertex a conditional branch
+// point; the analysis then enumerates every realization:
+//
+//	sdacalc -analyze -dag -deadline 5 -m 2 "s@0:1 a@1:2 b@2:4 t@3:1 ; s>a:0.3 s>b:0.7 a>t b>t"
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/sda"
 	"repro/internal/simtime"
 	"repro/internal/task"
@@ -40,12 +49,43 @@ func run(args []string) error {
 		sspName  = fs.String("ssp", "EQF", "serial strategy: "+strings.Join(sda.SSPNames(), " | "))
 		pspName  = fs.String("psp", "DIV-1", "parallel strategy: "+strings.Join(sda.PSPNames(), " | "))
 		dag      = fs.Bool("dag", false, "parse the expression as a precedence DAG ('vertices ; edges')")
+		analyze  = fs.Bool("analyze", false, "print analytic response-time bounds instead of assigning deadlines")
+		procs    = fs.Int("m", 1, "processors for the Graham-style makespan bound (-analyze)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("want exactly one task expression, got %d args", fs.NArg())
+	}
+	ar := simtime.Time(*arrival)
+	dl := simtime.Time(*deadline)
+	if *analyze {
+		if *procs < 1 {
+			return fmt.Errorf("-m %d must be >= 1", *procs)
+		}
+		rel := simtime.Duration(0)
+		if dl.After(ar) {
+			rel = simtime.Duration(dl.Sub(ar))
+		}
+		if *dag {
+			cd, err := task.ParseCondDag(fs.Arg(0))
+			if err != nil {
+				return err
+			}
+			return printCondAnalysis(cd, rel, *procs)
+		}
+		root, err := task.Parse(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		m, err := analysis.TreeMetrics(root)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("task      %s\n", root)
+		printMetrics(m, rel, *procs)
+		return nil
 	}
 	ssp, err := sda.ParseSSP(*sspName)
 	if err != nil {
@@ -55,8 +95,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	ar := simtime.Time(*arrival)
-	dl := simtime.Time(*deadline)
 	if !dl.After(ar) {
 		return fmt.Errorf("deadline %v must be after arrival %v", dl, ar)
 	}
@@ -117,6 +155,50 @@ func printDag(d *task.Dag, ssp sda.SSP, psp sda.PSP, ar, dl simtime.Time) error 
 		}
 		fmt.Printf("%-16s %8d %10v %10v %6s  %s\n",
 			t.Name, t.Node, t.Arrival, t.VirtualDeadline, boost, pred)
+	}
+	return nil
+}
+
+// printMetrics renders one Metrics block with its bounds; rel > 0 adds a
+// feasibility verdict for that relative end-to-end deadline.
+func printMetrics(m analysis.Metrics, rel simtime.Duration, procs int) {
+	fmt.Printf("volume %v   critical path %v   vertices %d   depth %d   width %d\n",
+		m.Volume, m.Critical, m.Vertices, m.Depth, m.Width)
+	fmt.Printf("response lower bound (any schedule)  %v\n", m.ResponseLower(1))
+	fmt.Printf("isolated upper bound (idle system)   %v\n", m.IsolatedUpper(1))
+	fmt.Printf("graham makespan bound (m=%d)         %v\n", procs, m.GrahamUpper(procs))
+	if rel > 0 {
+		verdict := "infeasible under every schedule"
+		if m.Feasible(rel, 1) {
+			verdict = "not excluded by the lower bound"
+		}
+		fmt.Printf("relative deadline %v: %s\n", rel, verdict)
+	}
+}
+
+// printCondAnalysis enumerates the conditional DAG's realizations and
+// prints per-realization metrics plus the probability-weighted bounds.
+func printCondAnalysis(cd *task.CondDag, rel simtime.Duration, procs int) error {
+	s, err := analysis.SummarizeCond(cd, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cond dag  %s\n", cd)
+	fmt.Printf("branch points %d   realizations %d\n\n", cd.CondCount(), len(s.Realizations))
+	fmt.Printf("%-6s %10s %10s %12s %14s\n",
+		"prob", "volume", "critical", "lower bound", fmt.Sprintf("graham(m=%d)", procs))
+	for _, r := range s.Realizations {
+		m := r.Metrics
+		fmt.Printf("%-6.4g %10v %10v %12v %14v\n",
+			r.Prob, m.Volume, m.Critical, m.ResponseLower(1), m.GrahamUpper(procs))
+	}
+	fmt.Printf("\nE[volume] %.4g   E[critical] %.4g   E[response] >= %v\n",
+		s.ExpVolume, s.ExpCritical, s.ExpResponseLower(1))
+	fmt.Printf("critical path range [%v, %v]   max volume %v\n",
+		s.MinCritical, s.MaxCritical, s.MaxVolume)
+	if rel > 0 {
+		fmt.Printf("relative deadline %v: miss ratio >= %.4g under every schedule\n",
+			rel, s.MissLowerBound(rel, 1))
 	}
 	return nil
 }

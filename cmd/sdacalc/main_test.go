@@ -27,3 +27,37 @@ func TestCalcErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestAnalyzeRuns(t *testing.T) {
+	cases := [][]string{
+		{"-analyze", "[[a@0:2||b@1:3] c@2:1]"},
+		{"-analyze", "-dag", "a@0:2 b@1:3 c@2:1 ; a>b a>c b>c"},
+		{"-analyze", "-dag", "-deadline", "5", "-m", "2",
+			"s@0:1 a@1:2 b@2:4 t@3:1 ; s>a:0.3 s>b:0.7 a>t b>t"},
+	}
+	for i, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("case %d: %v: %v", i, args, err)
+		}
+	}
+}
+
+// TestAnalyzeErrors pins the error paths of the conditional-DAG analysis
+// mode: probabilities outside (0, 1], branch vectors that do not sum to 1,
+// and partially annotated branch points must all be rejected.
+func TestAnalyzeErrors(t *testing.T) {
+	cases := [][]string{
+		{"-analyze", "-dag", "s@0:1 a@1:2 b@2:4 ; s>a:1.5 s>b:-0.5"}, // prob outside (0,1]
+		{"-analyze", "-dag", "s@0:1 a@1:2 b@2:4 ; s>a:0 s>b:1"},      // zero prob
+		{"-analyze", "-dag", "s@0:1 a@1:2 b@2:4 ; s>a:0.3 s>b:0.3"},  // probs sum != 1
+		{"-analyze", "-dag", "s@0:1 a@1:2 b@2:4 ; s>a:0.3 s>b"},      // partial annotation
+		{"-analyze", "-dag", "a@0:1 b@1:2 ; a>b a>b"},                // bad dag
+		{"-analyze", "-m", "0", "a@0:1"},                             // bad processor count
+		{"-analyze", "["},                                            // bad tree
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d: expected error for %v", i, args)
+		}
+	}
+}

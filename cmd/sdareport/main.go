@@ -35,6 +35,7 @@ func run(args []string, out io.Writer) error {
 		reps     = fs.Int("reps", 0, "override replications")
 		seed     = fs.Uint64("seed", 0, "override master seed")
 		blame    = fs.Bool("blame", false, "append a miss-cause attribution section (UD vs DIV-1 baseline)")
+		oracle   = fs.Bool("oracle", false, "append an analytic response-time oracle audit (UD vs DIV-1 baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +66,16 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprint(out, report.BlameMarkdown(cells))
 	}
-	if !res.Passed() && !*quick {
+	oraclePassed := true
+	if *oracle {
+		cells, err := report.OracleCheck(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, report.OracleMarkdown(cells))
+		oraclePassed = report.OraclePassed(cells)
+	}
+	if (!res.Passed() || !oraclePassed) && !*quick {
 		os.Exit(2)
 	}
 	return nil

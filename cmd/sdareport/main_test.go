@@ -24,3 +24,21 @@ func TestReportRendersMarkdown(t *testing.T) {
 		}
 	}
 }
+
+func TestReportOracleSection(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-quick", "-duration", "800", "-reps", "1", "-oracle"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## Analytic oracle audit", "| UD |", "| DIV-1 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Quick-fidelity anchors may FAIL; the oracle section itself must not.
+	_, section, _ := strings.Cut(out, "## Analytic oracle audit")
+	if strings.Contains(section, "FAIL") {
+		t.Errorf("oracle audit failed:\n%s", section)
+	}
+}

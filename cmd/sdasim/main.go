@@ -42,10 +42,12 @@ func run(args []string) error {
 		slackMax  = fs.Float64("slack-max", 5.0, "maximum task slack")
 		gSlackMin = fs.Float64("global-slack-min", 0, "global-task slack minimum (0 = use local range)")
 		gSlackMax = fs.Float64("global-slack-max", 0, "global-task slack maximum (0 = use local range)")
-		factory   = fs.String("factory", "parallel", "global task shape: parallel | uniform | serial | layered | forkjoin")
-		stages    = fs.Int("stages", 5, "stages for -factory serial/forkjoin, layers for -factory layered")
+		factory   = fs.String("factory", "parallel", "global task shape: parallel | uniform | serial | layered | forkjoin | cond")
+		stages    = fs.Int("stages", 5, "stages for -factory serial/forkjoin/cond, layers for -factory layered")
 		edgeProb  = fs.Float64("edge-prob", 0.3, "extra-edge probability for -factory layered")
 		crossProb = fs.Float64("cross-prob", 0.3, "stage-skip edge probability for -factory forkjoin")
+		branches  = fs.Int("branches", 2, "gates per conditional fork for -factory cond")
+		probsFlag = fs.String("branch-probs", "", "comma-separated branch probabilities for -factory cond (each in (0,1], summing to 1; empty = uniform)")
 		sspName   = fs.String("ssp", "UD", "serial strategy: "+strings.Join(sda.SSPNames(), " | "))
 		pspName   = fs.String("psp", "UD", "parallel strategy: "+strings.Join(sda.PSPNames(), " | "))
 		abort     = fs.String("abort", "none", "abortion: none | pm | local")
@@ -94,6 +96,13 @@ func run(args []string) error {
 	case "forkjoin":
 		cfg.Spec.Factory = nil
 		cfg.Spec.DagFactory = workload.ForkJoinDag{Stages: *stages, Fanout: *n, CrossProb: *crossProb}
+	case "cond":
+		probs, err := parseProbs(*probsFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Spec.Factory = nil
+		cfg.Spec.DagFactory = workload.ConditionalDag{Stages: *stages, Branches: *branches, Width: *n, Probs: probs}
 	default:
 		return fmt.Errorf("unknown factory %q", *factory)
 	}
@@ -251,6 +260,22 @@ func exportObserved(cfg sim.Config, dir string) error {
 	fmt.Print(tel.Summary())
 	fmt.Printf("telemetry exported: %s\n", strings.Join(paths, " "))
 	return nil
+}
+
+// parseProbs parses the -branch-probs comma list; empty means uniform
+// (nil). Range and sum validation is left to the factory's Validate.
+func parseProbs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	probs := make([]float64, len(parts))
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%g", &probs[i]); err != nil {
+			return nil, fmt.Errorf("bad branch probability %q in %q", p, s)
+		}
+	}
+	return probs, nil
 }
 
 func parseEstimator(s string) (workload.Estimator, error) {

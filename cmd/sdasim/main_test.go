@@ -13,9 +13,21 @@ func TestSimRunsQuick(t *testing.T) {
 	}
 }
 
+func TestSimCondFactory(t *testing.T) {
+	err := run([]string{"-factory", "cond", "-n", "2", "-stages", "3",
+		"-branches", "2", "-branch-probs", "0.3,0.7",
+		"-duration", "800", "-warmup", "50", "-reps", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSimFlagErrors(t *testing.T) {
 	cases := [][]string{
 		{"-factory", "bogus"},
+		{"-factory", "cond", "-branch-probs", "0.3,0.3"},  // sum != 1
+		{"-factory", "cond", "-branch-probs", "1.5,-0.5"}, // out of (0,1]
+		{"-factory", "cond", "-branch-probs", "0.5,zap"},  // unparsable
 		{"-ssp", "bogus"},
 		{"-psp", "bogus"},
 		{"-abort", "bogus"},

@@ -1,0 +1,226 @@
+// Cross-validation of the analytic oracle against the simulator: the
+// analytic bounds must bracket every simulated response, for randomized
+// DAG populations (idle-system sample-path bounds) and for every workload
+// factory under the full stochastic model (lower bound only, enforced by
+// the Oracle recorder).
+package analysis_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/des"
+	"repro/internal/node"
+	"repro/internal/procmgr"
+	"repro/internal/rng"
+	"repro/internal/sda"
+	"repro/internal/sim"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// randomDagFactory draws a randomized parameterisation of one of the DAG
+// factory families, cycling so every family appears.
+func randomDagFactory(s *rng.Stream, trial, k int) workload.DagFactory {
+	switch trial % 3 {
+	case 0:
+		return workload.LayeredDag{
+			Layers:   s.IntRange(2, 5),
+			MinWidth: 1,
+			MaxWidth: s.IntRange(1, 4),
+			EdgeProb: s.Float64(),
+		}
+	case 1:
+		return workload.ForkJoinDag{
+			Stages:    s.IntRange(1, 6),
+			Fanout:    s.IntRange(1, 4),
+			CrossProb: s.Float64() * 0.5,
+		}
+	default:
+		branches := s.IntRange(1, 3)
+		probs := make([]float64, branches)
+		rem := 1.0
+		for i := 0; i < branches-1; i++ {
+			probs[i] = rem * s.Uniform(0.1, 0.9)
+			rem -= probs[i]
+		}
+		probs[branches-1] = rem
+		return workload.ConditionalDag{
+			Stages:   s.IntRange(1, 6),
+			Branches: branches,
+			Width:    s.IntRange(1, 3),
+			Probs:    probs,
+		}
+	}
+}
+
+// TestRandomDagsRespectBounds is the idle-system property test: >= 200
+// randomized DAGs, each submitted alone into an otherwise empty system.
+// On every sample path the response must be at least the critical path
+// (no schedule can beat the longest chain) and, because the system runs
+// nothing else and the manager is work-conserving, at most the volume
+// (some vertex of the DAG is always in service until it finishes).
+func TestRandomDagsRespectBounds(t *testing.T) {
+	strategies := []struct {
+		ssp sda.SSP
+		psp sda.PSP
+	}{
+		{sda.SerialUD{}, sda.UD{}},
+		{sda.EQF{}, sda.MustDiv(1)},
+		{sda.EQS{}, sda.GF{}},
+	}
+	const k = 5
+	const trials = 210
+	stream := rng.NewStream(20260807)
+	for trial := 0; trial < trials; trial++ {
+		strat := strategies[trial%len(strategies)]
+		f := randomDagFactory(stream, trial, k)
+		if err := f.Validate(k); err != nil {
+			t.Fatalf("trial %d: randomized factory invalid: %v", trial, err)
+		}
+		d, err := f.NewDag(stream, k, func(s *rng.Stream) simtime.Duration {
+			return simtime.Duration(s.Exp(1.0))
+		})
+		if err != nil {
+			t.Fatalf("trial %d: NewDag: %v", trial, err)
+		}
+		m := analysis.DagMetrics(d)
+
+		eng := des.New()
+		nodes := make([]*node.Node, k)
+		for i := range nodes {
+			nodes[i] = node.New(i, eng)
+		}
+		oracle := analysis.NewOracle()
+		mgr := procmgr.New(eng, nodes, strat.ssp, strat.psp, procmgr.WithRecorder(oracle))
+
+		root := d.Root()
+		root.RealDeadline = simtime.Time(0).Add(m.Critical + simtime.Duration(stream.Uniform(1.25, 5)))
+		if err := mgr.SubmitDag(d); err != nil {
+			t.Fatalf("trial %d: SubmitDag: %v", trial, err)
+		}
+		eng.Run()
+
+		if !root.Finished() {
+			t.Fatalf("trial %d (%s): DAG never finished", trial, f.Name())
+		}
+		resp := root.Finish.Sub(root.Arrival)
+		const tol = 1e-9
+		if float64(m.Critical)-float64(resp) > tol*(1+float64(m.Critical)) {
+			t.Errorf("trial %d (%s): response %v below critical path %v",
+				trial, f.Name(), resp, m.Critical)
+		}
+		if float64(resp)-float64(m.Volume) > tol*(1+float64(m.Volume)) {
+			t.Errorf("trial %d (%s): response %v above idle-system volume bound %v",
+				trial, f.Name(), resp, m.Volume)
+		}
+		if oracle.ViolationCount() != 0 {
+			t.Errorf("trial %d (%s): oracle violations: %v", trial, f.Name(), oracle.Violations())
+		}
+		if oracle.Checks() == 0 {
+			t.Errorf("trial %d (%s): oracle performed no checks", trial, f.Name())
+		}
+	}
+}
+
+// TestSpecCondActivationConvergence draws conditional-DAG globals through
+// the full workload spec (estimator, slack, deadline stamping) and checks
+// the realized branch frequencies converge to the configured
+// probabilities. Deterministic seed, CI-safe tolerance.
+func TestSpecCondActivationConvergence(t *testing.T) {
+	const n = 4000
+	const tol = 0.025
+	probs := []float64{0.2, 0.5, 0.3}
+	spec := workload.Baseline(nil)
+	spec.Factory = nil
+	spec.DagFactory = workload.ConditionalDag{Stages: 3, Branches: 3, Width: 1, Probs: probs}
+	spec.FracLocal = 0.5
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.NewSplitter(77).Stream()
+	counts := make([]int, len(probs))
+	for i := 0; i < n; i++ {
+		d, err := spec.NewGlobalDag(stream, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range d.Nodes() {
+			switch v.Task.Name {
+			case "g1_0":
+				counts[0]++
+			case "g1_1":
+				counts[1]++
+			case "g1_2":
+				counts[2]++
+			}
+		}
+	}
+	for g, want := range probs {
+		freq := float64(counts[g]) / n
+		if math.Abs(freq-want) > tol {
+			t.Errorf("gate %d frequency = %v, want %v +/- %v", g, freq, want, tol)
+		}
+	}
+}
+
+// TestOracleCrossValidationAllFactories runs the full stochastic
+// simulation for every workload factory family — trees and DAGs, with and
+// without abortion — with the analytic oracle attached as a recorder and
+// demands zero violations: across the whole applicable scenario space no
+// simulated task may ever beat its schedule-independent response-time
+// lower bound.
+func TestOracleCrossValidationAllFactories(t *testing.T) {
+	type cell struct {
+		name    string
+		factory workload.Factory
+		dag     workload.DagFactory
+		abort   sim.AbortMode
+	}
+	cells := []cell{
+		{"parallel", workload.FixedParallel{N: 3}, nil, sim.AbortNone},
+		{"uniform", workload.UniformParallel{Min: 2, Max: 4}, nil, sim.AbortNone},
+		{"serial", workload.SerialParallel{Stages: 3, Fanout: 3}, nil, sim.AbortNone},
+		{"parallel-pm-abort", workload.FixedParallel{N: 3}, nil, sim.AbortProcessManager},
+		{"layered", nil, workload.LayeredDag{Layers: 3, MinWidth: 1, MaxWidth: 3, EdgeProb: 0.3}, sim.AbortNone},
+		{"forkjoin", nil, workload.ForkJoinDag{Stages: 3, Fanout: 3, CrossProb: 0.3}, sim.AbortNone},
+		{"cond", nil, workload.ConditionalDag{Stages: 3, Branches: 2, Width: 2, Probs: []float64{0.3, 0.7}}, sim.AbortNone},
+		{"cond-local-abort", nil, workload.ConditionalDag{Stages: 5, Branches: 3, Width: 2}, sim.AbortLocalScheduler},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			oracle := analysis.NewOracle()
+			cfg := sim.Config{
+				Spec: workload.Spec{
+					K:               4,
+					Load:            0.7,
+					FracLocal:       0.6,
+					MeanLocalExec:   1,
+					MeanSubtaskExec: 1,
+					SlackMin:        1.25,
+					SlackMax:        5,
+					Factory:         c.factory,
+					DagFactory:      c.dag,
+				},
+				PSP:          sda.MustDiv(1),
+				Abort:        c.abort,
+				Duration:     400,
+				Warmup:       50,
+				Replications: 2,
+				Seed:         13,
+				Recorder:     oracle,
+			}
+			if _, err := sim.Run(cfg); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if oracle.Checks() == 0 {
+				t.Fatalf("oracle performed no checks")
+			}
+			if oracle.ViolationCount() != 0 {
+				t.Fatalf("%d oracle violations, e.g. %v", oracle.ViolationCount(), oracle.Violations())
+			}
+		})
+	}
+}

@@ -45,6 +45,27 @@ func (m multiRecorder) RecordDagSubmit(d *task.Dag, root *task.Task) {
 	}
 }
 
+// DagOutcomeRecorder is an optional extension of Recorder. A recorder
+// that also implements it is told when a DAG run ends — completion or
+// abort — with the DAG, its accounting root and the miss verdict, right
+// after the corresponding RecordGlobal. Unlike RecordGlobal it carries
+// the DAG itself, so outcome consumers (the analytic oracle) can judge
+// the response time against the DAG's true critical path rather than the
+// synthetic root's weaker max-over-vertices view.
+type DagOutcomeRecorder interface {
+	RecordDagOutcome(d *task.Dag, root *task.Task, missed bool)
+}
+
+// RecordDagOutcome forwards the outcome to every member recorder that
+// understands DAG outcomes.
+func (m multiRecorder) RecordDagOutcome(d *task.Dag, root *task.Task, missed bool) {
+	for _, r := range m {
+		if dr, ok := r.(DagOutcomeRecorder); ok {
+			dr.RecordDagOutcome(d, root, missed)
+		}
+	}
+}
+
 // SubmitDag submits a global task expressed as a precedence DAG. The
 // accounting root's RealDeadline must be set (d.Root().RealDeadline); the
 // manager decomposes the DAG online and releases each vertex as soon as
@@ -401,7 +422,11 @@ func (r *dagRun) complete(at simtime.Time) {
 	r.over = true
 	r.root.Finish = at
 	r.m.eng.Cancel(r.timer)
-	r.m.rec.RecordGlobal(r.root, at.After(r.root.RealDeadline))
+	missed := at.After(r.root.RealDeadline)
+	r.m.rec.RecordGlobal(r.root, missed)
+	if dr, ok := r.m.rec.(DagOutcomeRecorder); ok {
+		dr.RecordDagOutcome(r.dag, r.root, missed)
+	}
 }
 
 // abortAll withdraws every outstanding vertex and abandons the run. The
@@ -429,4 +454,7 @@ func (r *dagRun) abortAll() {
 	}
 	r.root.Aborted = true
 	r.m.rec.RecordGlobal(r.root, true)
+	if dr, ok := r.m.rec.(DagOutcomeRecorder); ok {
+		dr.RecordDagOutcome(r.dag, r.root, true)
+	}
 }

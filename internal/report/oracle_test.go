@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestOracleCheckAtTinyFidelity(t *testing.T) {
+	o := exp.Options{Duration: 2000, Warmup: 200, Replications: 1, Seed: 11}
+	cells, err := OracleCheck(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].Strategy != "UD" || cells[1].Strategy != "DIV-1" {
+		t.Fatalf("cells = %+v", cells)
+	}
+	for _, c := range cells {
+		if c.Checks == 0 {
+			t.Errorf("%s: oracle performed no checks", c.Strategy)
+		}
+		if !c.Passed() {
+			t.Errorf("%s: analytic bound violated: %v", c.Strategy, c.Violations)
+		}
+	}
+	if !OraclePassed(cells) {
+		t.Fatal("OraclePassed = false for passing cells")
+	}
+
+	md1 := OracleMarkdown(cells)
+	cells2, err := OracleCheck(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md2 := OracleMarkdown(cells2); md1 != md2 {
+		t.Fatalf("oracle section differs across identical runs")
+	}
+	for _, want := range []string{"## Analytic oracle audit", "| UD |", "| DIV-1 |", "PASS"} {
+		if !strings.Contains(md1, want) {
+			t.Errorf("oracle section missing %q:\n%s", want, md1)
+		}
+	}
+
+	// A failing cell must flip both verdicts.
+	bad := []OracleCell{{Strategy: "UD", Checks: 10, ViolationCount: 1,
+		Violations: []string{"local \"x\": response 1 below bound 2"}}}
+	if OraclePassed(bad) {
+		t.Fatal("OraclePassed = true for failing cell")
+	}
+	if md := OracleMarkdown(bad); !strings.Contains(md, "FAIL") || !strings.Contains(md, "below bound") {
+		t.Errorf("failing cell not rendered:\n%s", md)
+	}
+}

@@ -118,3 +118,66 @@ func TestDagForkjoinBlameGolden(t *testing.T) {
 		t.Errorf("attribution report drifted from golden %s;\nregenerate with BLESS_BLAME=1 if the change is deliberate", goldenPath)
 	}
 }
+
+// TestCondDagBlameGolden pins the attribution report of the cond-dag
+// scenario — conditional DAGs whose non-activated branches never appear in
+// the realized task, so attribution only ever sees the vertices that ran.
+// The decomposition identity (wait + overrun + deficit == lateness, to
+// 1e-6) must hold for every miss, including aborted and censored ones from
+// the scenario's local-abort mode. Regenerate with
+//
+//	BLESS_BLAME=1 go test ./internal/scenario -run CondDagBlameGolden
+func TestCondDagBlameGolden(t *testing.T) {
+	sc, err := Load(filepath.Join(scenarioDir, "cond_dag.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tel, err := RunObserved(sc, obs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpt := attrib.Analyze(tel.Spans())
+
+	if rpt.MissedGlobals == 0 {
+		t.Fatalf("cond-dag produced no missed globals; the golden is vacuous")
+	}
+	for _, m := range rpt.Misses {
+		if m.Cause == "" {
+			t.Errorf("%s: miss without a primary cause", m.Task)
+		}
+		if sum := m.Wait + m.Overrun + m.SlackDeficit; math.Abs(sum-m.Lateness) > 1e-6 {
+			t.Errorf("%s: wait %g + overrun %g + deficit %g != lateness %g",
+				m.Task, m.Wait, m.Overrun, m.SlackDeficit, m.Lateness)
+		}
+		// Only realized branch vertices may be blamed: the cond factory
+		// names them r*/g*/m* and never emits a gate that was not taken.
+		for _, p := range m.Path {
+			if p.Task == "" {
+				t.Errorf("%s: blame path has unnamed span", m.Task)
+				continue
+			}
+			switch p.Task[0] {
+			case 'r', 'g', 'm':
+			default:
+				t.Errorf("%s: blame path names unrealized vertex %q", m.Task, p.Task)
+			}
+		}
+	}
+
+	got := rpt.Markdown()
+	goldenPath := filepath.Join(scenarioDir, "blame_cond_dag.golden.md")
+	if os.Getenv("BLESS_BLAME") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("blessed %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden attribution report missing (run with BLESS_BLAME=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("attribution report drifted from golden %s;\nregenerate with BLESS_BLAME=1 if the change is deliberate", goldenPath)
+	}
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -27,6 +28,10 @@ type Outcome struct {
 
 	Violations []string // invariant violations (always part of Failures)
 	Failures   []string // failed assertions; empty = scenario passed
+
+	// OracleChecks counts the analytic response-time lower-bound checks the
+	// always-on oracle performed; oracle violations are part of Failures.
+	OracleChecks int64
 }
 
 // Passed reports whether every invariant and assertion held.
@@ -76,6 +81,19 @@ func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome,
 	cfg.ReleaseHook = chk.OnRelease
 	cfg.Obs = o
 	cfg.OnSystem = onSystem
+	// Always-on analytic oracle: every completion is checked against the
+	// response-time lower bound R >= len(G)/maxRate, which holds on every
+	// sample path. set_rate events can speed nodes up, so the oracle gets
+	// the fastest rate the timeline ever sets.
+	oracle := analysis.NewOracle()
+	maxRate := 1.0
+	for _, ev := range sc.Events {
+		if ev.Action == ActionSetRate && ev.Rate > maxRate {
+			maxRate = ev.Rate
+		}
+	}
+	oracle.SetMaxRate(maxRate)
+	cfg.Recorder = oracle
 
 	sys, err := sim.NewSystem(cfg, sc.Seed)
 	if err != nil {
@@ -92,14 +110,21 @@ func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome,
 	chk.Finish()
 
 	out := &Outcome{
-		Scenario:    sc,
-		Rep:         rep,
-		TraceHash:   tr.Hash(),
-		TraceEvents: tr.Len(),
-		Violations:  chk.Violations(),
+		Scenario:     sc,
+		Rep:          rep,
+		TraceHash:    tr.Hash(),
+		TraceEvents:  tr.Len(),
+		Violations:   chk.Violations(),
+		OracleChecks: oracle.Checks(),
 	}
 	for _, v := range out.Violations {
 		out.Failures = append(out.Failures, "invariant: "+v)
+	}
+	for _, v := range oracle.Violations() {
+		out.Failures = append(out.Failures, "oracle: "+v)
+	}
+	if extra := oracle.ViolationCount() - int64(len(oracle.Violations())); extra > 0 {
+		out.Failures = append(out.Failures, fmt.Sprintf("oracle: %d further violations suppressed", extra))
 	}
 	out.Failures = append(out.Failures, sc.Assert.evaluate(rep)...)
 	return out, sys.Telemetry(), nil

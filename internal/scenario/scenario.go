@@ -73,13 +73,19 @@ type Workload struct {
 	MeanSubtaskExec float64 `json:"mean_subtask_exec,omitempty"` // default 1.0
 
 	// Factory: parallel | uniform | serial (tree globals), or
-	// layered | forkjoin (precedence-DAG globals). Default parallel.
+	// layered | forkjoin | cond (precedence-DAG globals). Default parallel.
 	Factory string `json:"factory,omitempty"`
-	N       int    `json:"n,omitempty"`      // fanout / max layer width (default 4)
-	Stages  int    `json:"stages,omitempty"` // serial/forkjoin stages, layered layers (default 5)
+	N       int    `json:"n,omitempty"`      // fanout / max layer width / cond branch width (default 4)
+	Stages  int    `json:"stages,omitempty"` // serial/forkjoin/cond stages, layered layers (default 5)
 
 	EdgeProb  float64 `json:"edge_prob,omitempty"`  // layered: extra-edge probability
 	CrossProb float64 `json:"cross_prob,omitempty"` // forkjoin: stage-skip edge probability
+
+	// Conditional-DAG knobs (factory "cond"). Branches defaults to 2;
+	// BranchProbs (len == Branches, each in (0, 1], summing to 1) defaults
+	// to uniform. Invalid probabilities are rejected at load time.
+	Branches    int       `json:"branches,omitempty"`
+	BranchProbs []float64 `json:"branch_probs,omitempty"`
 }
 
 // Assertions bound the scenario outcome. Nil pointers disable a bound.
@@ -144,6 +150,9 @@ func (s Scenario) withDefaults() Scenario {
 	if w.Stages == 0 {
 		w.Stages = 5
 	}
+	if w.Factory == "cond" && w.Branches == 0 {
+		w.Branches = 2
+	}
 	if s.SSP == "" {
 		s.SSP = "UD"
 	}
@@ -180,6 +189,13 @@ func (w Workload) factories() (workload.Factory, workload.DagFactory, error) {
 		return nil, workload.LayeredDag{Layers: w.Stages, MinWidth: 1, MaxWidth: w.N, EdgeProb: w.EdgeProb}, nil
 	case "forkjoin":
 		return nil, workload.ForkJoinDag{Stages: w.Stages, Fanout: w.N, CrossProb: w.CrossProb}, nil
+	case "cond":
+		return nil, workload.ConditionalDag{
+			Stages:   w.Stages,
+			Branches: w.Branches,
+			Width:    w.N,
+			Probs:    w.BranchProbs,
+		}, nil
 	default:
 		return nil, nil, fmt.Errorf("%w: unknown factory %q", ErrBadScenario, w.Factory)
 	}

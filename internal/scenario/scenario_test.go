@@ -152,6 +152,24 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		{"unknown abort", func(s *Scenario) { s.Abort = "sometimes" }},
 		{"unknown policy", func(s *Scenario) { s.Policy = "lifo" }},
 		{"unknown factory", func(s *Scenario) { s.Workload.Factory = "ring" }},
+		{"cond prob outside (0,1]", func(s *Scenario) {
+			s.Workload.Factory = "cond"
+			s.Workload.N = 1
+			s.Workload.Stages = 3
+			s.Workload.BranchProbs = []float64{1.5, -0.5}
+		}},
+		{"cond probs not summing to 1", func(s *Scenario) {
+			s.Workload.Factory = "cond"
+			s.Workload.N = 1
+			s.Workload.Stages = 3
+			s.Workload.BranchProbs = []float64{0.3, 0.3}
+		}},
+		{"cond probs wrong arity", func(s *Scenario) {
+			s.Workload.Factory = "cond"
+			s.Workload.N = 1
+			s.Workload.Stages = 3
+			s.Workload.BranchProbs = []float64{1}
+		}},
 		{"unknown action", func(s *Scenario) { s.Events = []Event{{At: 1, Action: "meteor"}} }},
 		{"negative event time", func(s *Scenario) { s.Events = []Event{{At: -1, Action: ActionCrash}} }},
 		{"crash node out of range", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionCrash, Node: 4}} }},

@@ -40,6 +40,14 @@ func sweepConfigs() []Config {
 	c.Abort = AbortProcessManager
 	c.Spec.Load = 1.2
 	out = append(out, c)
+	// Probabilistic conditional DAG workload: branch realization draws come
+	// from the workload stream, so they must not perturb determinism either.
+	cd := base
+	cd.Spec.Factory = nil
+	cd.Spec.DagFactory = workload.ConditionalDag{
+		Stages: 3, Branches: 2, Width: 2, Probs: []float64{0.4, 0.6},
+	}
+	out = append(out, cd)
 	return out
 }
 

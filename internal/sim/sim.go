@@ -80,6 +80,14 @@ type Config struct {
 	// scenario harness's invariant checker.
 	ReleaseHook procmgr.ReleaseHook
 
+	// Recorder, when non-nil, receives every task outcome next to the
+	// statistics collector (fan-out via procmgr.Recorders). The scenario
+	// harness attaches the analytic oracle here. Recorders that also
+	// implement procmgr.DagRecorder / DagOutcomeRecorder see DAG
+	// submissions and outcomes. Like Observer, a Recorder forces
+	// replications sequential: its callbacks are not synchronized.
+	Recorder procmgr.Recorder
+
 	// Obs configures the unified telemetry layer (see internal/obs). The
 	// zero value is disabled: nothing is constructed and the hot path is
 	// untouched. When enabled, each replication gets its own Telemetry
@@ -255,7 +263,7 @@ func Run(cfg Config) (Result, error) {
 		seeds[r] = sp.Seed()
 	}
 	workers := cfg.Workers
-	if cfg.Observer != nil || cfg.ReleaseHook != nil || cfg.OnSystem != nil {
+	if cfg.Observer != nil || cfg.ReleaseHook != nil || cfg.OnSystem != nil || cfg.Recorder != nil {
 		workers = 1 // callbacks are not synchronized across replications
 	}
 	reps := make([]RepResult, cfg.Replications)
@@ -365,9 +373,17 @@ func build(cfg Config) *System {
 	var recorder procmgr.Recorder = rec
 	hook := cfg.ReleaseHook
 	if tel != nil {
-		recorder = procmgr.Recorders(rec, tel)
 		hook = procmgr.ReleaseHooks(cfg.ReleaseHook, tel.OnRelease)
 		tel.Bind(eng, nodes)
+	}
+	if tel != nil || cfg.Recorder != nil {
+		// Recorders drops nil members; order is collector, telemetry,
+		// caller-supplied recorder (the oracle observes, never perturbs).
+		var telRec procmgr.Recorder
+		if tel != nil {
+			telRec = tel
+		}
+		recorder = procmgr.Recorders(rec, telRec, cfg.Recorder)
 	}
 	mgrOpts := []procmgr.Option{procmgr.WithRecorder(recorder)}
 	if cfg.Abort == AbortProcessManager {

@@ -1,6 +1,8 @@
 package task
 
 import (
+	"errors"
+	"math"
 	"testing"
 )
 
@@ -55,6 +57,70 @@ func FuzzParse(f *testing.F) {
 // FuzzParseDag checks that the DAG-spec parser never panics and that any
 // accepted DAG validates, decomposes, and round-trips through its
 // canonical string form.
+// FuzzParseCondDag checks that the conditional-DAG parser never panics
+// and that any accepted spec validates, enumerates a consistent
+// realization set (probabilities sum to 1, every realization a valid
+// DAG), and round-trips through its canonical string form.
+func FuzzParseCondDag(f *testing.F) {
+	for _, seed := range []string{
+		"a",
+		"a b ; a>b",
+		"s a b ; s>a:0.3 s>b:0.7",
+		"s a b c d t ; s>a:0.5 s>b:0.5 a>c:0.25 a>d:0.75 b>t c>t d>t",
+		"s@0:1 a@1:2 b@2:4 t@3:1 ; s>a:0.3 s>b:0.7 a>t b>t",
+		"s a ; s>a:1",
+		"s a b ; s>a:0.5 s>b",
+		"s a b ; s>a:0 s>b:1",
+		"s a b ; s>a:1.5 s>b:0.5",
+		"s a b ; s>a:0.3 s>b:0.3",
+		"s a ; s>a:",
+		"s a ; s>a:0.5:0.5",
+		"a b ; a>b:1e-1 a>b:0.9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		cd, err := ParseCondDag(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := cd.Validate(); err != nil {
+			t.Fatalf("parsed cond-DAG fails validation: %v (input %q)", err, input)
+		}
+		reals, err := cd.Realizations(256)
+		if err != nil {
+			if errors.Is(err, ErrTooManyRealizations) {
+				return // enumeration guard tripping on big inputs is fine
+			}
+			t.Fatalf("realizations of a valid cond-DAG fail: %v (input %q)", err, input)
+		}
+		var sum float64
+		for _, r := range reals {
+			sum += r.Prob
+			if err := r.Dag.Validate(); err != nil {
+				t.Fatalf("invalid realization: %v (input %q)", err, input)
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("realization probabilities sum to %v (input %q)", sum, input)
+		}
+		printed := cd.String()
+		back, err := ParseCondDag(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v (printed %q from %q)",
+				err, printed, input)
+		}
+		if back.Dag().Len() != cd.Dag().Len() || back.CondCount() != cd.CondCount() {
+			t.Fatalf("shape changed across round trip: %d/%d vs %d/%d (input %q)",
+				back.Dag().Len(), back.CondCount(), cd.Dag().Len(), cd.CondCount(), input)
+		}
+		if back.String() != printed {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)",
+				printed, back.String(), input)
+		}
+	})
+}
+
 func FuzzParseDag(f *testing.F) {
 	for _, seed := range []string{
 		"a",

@@ -1,0 +1,258 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// DistAwareDagFactory is an optional extension of DagFactory for
+// factories that assign different service-time distributions to different
+// vertices. Spec.NewGlobalDag prefers NewDagDist over NewDag when the
+// factory implements it, passing the mean and base family so the factory
+// can substitute per-vertex families that share the same mean — the load
+// equations, which only see ExpectedWork(mean), are unchanged.
+type DistAwareDagFactory interface {
+	DagFactory
+	// NewDagDist draws one global DAG with per-vertex execution-time
+	// distributions. Every family used must have the given mean; base is
+	// the spec-level subtask family to fall back to.
+	NewDagDist(stream *rng.Stream, k int, mean float64, base Dist) (*task.Dag, error)
+}
+
+// ConditionalDag builds probabilistic conditional fork-join pipelines
+// (Ueter et al., arXiv:2101.11053): stages alternate between a single
+// relay vertex (even stages) and a conditional fork (odd stages). A fork
+// is a branch point — the preceding relay takes exactly one of Branches
+// conditional out-edges, each leading to a gate vertex followed by Width
+// parallel member vertices; all members (of every gate) feed the next
+// relay, which therefore starts when the chosen branch finishes.
+//
+// The factory samples the branch outcome at generation time: NewDag
+// returns one concrete realization drawn from the template's branch
+// distribution. Branch choice models data-dependent control flow, which
+// is independent of execution timing, so pre-sampling is semantically
+// equivalent to resolving branches online — and it keeps replications
+// bit-identical at any worker count, because all randomness stays in the
+// workload stream.
+//
+// Every realization activates exactly one gate and its members per fork,
+// so the realized volume is fixed: ceil(Stages/2) relays plus
+// floor(Stages/2) * (1 + Width) branch vertices, independent of Branches
+// and of the probabilities. ExpectedWork is exact, not approximate.
+//
+// RelayDist and BranchDist optionally override the service-time family
+// for relay and branch (gate/member) vertices; both must be parameterised
+// by the spec's subtask mean (Dist families are), which keeps the load
+// equations valid.
+type ConditionalDag struct {
+	Stages   int // total stages (>= 1); even 0-based stages are relays
+	Branches int // gates per conditional fork (>= 1)
+	Width    int // parallel members behind the chosen gate (>= 1)
+
+	// Probs are the branch probabilities of every fork, in gate order
+	// (len == Branches, each in (0, 1], summing to 1). Nil means uniform.
+	Probs []float64
+
+	// Per-vertex service-time families (nil = the spec's subtask family).
+	RelayDist  Dist
+	BranchDist Dist
+}
+
+// Compile-time interface checks.
+var (
+	_ DagFactory          = ConditionalDag{}
+	_ DistAwareDagFactory = ConditionalDag{}
+)
+
+// forks returns the number of conditional fork stages.
+func (f ConditionalDag) forks() int { return f.Stages / 2 }
+
+// relays returns the number of relay stages.
+func (f ConditionalDag) relays() int { return (f.Stages + 1) / 2 }
+
+// branchProbs returns the per-fork branch probabilities (uniform when
+// Probs is nil).
+func (f ConditionalDag) branchProbs() []float64 {
+	if f.Probs != nil {
+		return f.Probs
+	}
+	p := make([]float64, f.Branches)
+	for i := range p {
+		p[i] = 1 / float64(f.Branches)
+	}
+	return p
+}
+
+// Template builds the full conditional DAG — every gate of every fork —
+// with freshly drawn execution times and node placements. Realize on the
+// result (or NewDag, which does both) yields the concrete task.
+func (f ConditionalDag) Template(stream *rng.Stream, k int, draw ExecSampler) (*task.CondDag, error) {
+	return f.template(stream, k, draw, draw)
+}
+
+// TemplateDist is Template with per-vertex distribution overrides.
+func (f ConditionalDag) TemplateDist(stream *rng.Stream, k int, mean float64, base Dist) (*task.CondDag, error) {
+	relay, branch := f.RelayDist, f.BranchDist
+	if relay == nil {
+		relay = base
+	}
+	if branch == nil {
+		branch = base
+	}
+	relayDraw := func(s *rng.Stream) simtime.Duration {
+		return simtime.Duration(relay.Sample(mean, s))
+	}
+	branchDraw := func(s *rng.Stream) simtime.Duration {
+		return simtime.Duration(branch.Sample(mean, s))
+	}
+	return f.template(stream, k, relayDraw, branchDraw)
+}
+
+// template builds the conditional DAG with separate samplers for relay
+// and branch vertices.
+func (f ConditionalDag) template(stream *rng.Stream, k int, relayDraw, branchDraw ExecSampler) (*task.CondDag, error) {
+	if err := f.Validate(k); err != nil {
+		return nil, err
+	}
+	d := task.NewDag("")
+	cd := task.NewCondDag(d)
+	probs := f.branchProbs()
+	// exits of the previous stage: the vertices wired into the next relay.
+	var exits []*task.DagNode
+	for st := 0; st < f.Stages; st++ {
+		if st%2 == 0 {
+			// Relay stage: one vertex, any node.
+			nodes := stream.Choose(k, 1)
+			leaf, err := task.NewSimple(fmt.Sprintf("r%d", st), nodes[0], relayDraw(stream))
+			if err != nil {
+				return nil, err
+			}
+			r, err := d.AddTask(leaf)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range exits {
+				if err := d.AddEdge(p, r); err != nil {
+					return nil, err
+				}
+			}
+			exits = []*task.DagNode{r}
+			continue
+		}
+		// Fork stage: the preceding relay branches to Branches gates, each
+		// followed by Width parallel members. Only members of one gate ever
+		// run concurrently, so each gate's members get distinct nodes; the
+		// gate itself runs alone between relay and members.
+		relay := exits[0]
+		gates := make([]*task.DagNode, f.Branches)
+		exits = exits[:0]
+		for g := range gates {
+			gnodes := stream.Choose(k, 1)
+			gleaf, err := task.NewSimple(fmt.Sprintf("g%d_%d", st, g), gnodes[0], branchDraw(stream))
+			if err != nil {
+				return nil, err
+			}
+			gn, err := d.AddTask(gleaf)
+			if err != nil {
+				return nil, err
+			}
+			gates[g] = gn
+			if err := d.AddEdge(relay, gn); err != nil {
+				return nil, err
+			}
+			mnodes := stream.Choose(k, f.Width)
+			for w := 0; w < f.Width; w++ {
+				mleaf, err := task.NewSimple(fmt.Sprintf("m%d_%d_%d", st, g, w), mnodes[w], branchDraw(stream))
+				if err != nil {
+					return nil, err
+				}
+				mn, err := d.AddTask(mleaf)
+				if err != nil {
+					return nil, err
+				}
+				if err := d.AddEdge(gn, mn); err != nil {
+					return nil, err
+				}
+				exits = append(exits, mn)
+			}
+		}
+		if err := cd.SetBranch(relay, probs); err != nil {
+			return nil, err
+		}
+	}
+	return cd, nil
+}
+
+// NewDag implements DagFactory: build the template and draw one
+// realization from its branch distribution.
+func (f ConditionalDag) NewDag(stream *rng.Stream, k int, draw ExecSampler) (*task.Dag, error) {
+	cd, err := f.Template(stream, k, draw)
+	if err != nil {
+		return nil, err
+	}
+	return cd.Realize(stream)
+}
+
+// NewDagDist implements DistAwareDagFactory.
+func (f ConditionalDag) NewDagDist(stream *rng.Stream, k int, mean float64, base Dist) (*task.Dag, error) {
+	cd, err := f.TemplateDist(stream, k, mean, base)
+	if err != nil {
+		return nil, err
+	}
+	return cd.Realize(stream)
+}
+
+// ExpectedWork implements DagFactory. The realized vertex count is the
+// same for every branch outcome, so this is exact.
+func (f ConditionalDag) ExpectedWork(meanExec float64) float64 {
+	return float64(f.relays()+f.forks()*(1+f.Width)) * meanExec
+}
+
+// Validate implements DagFactory, rejecting — per the task-model rules —
+// branch probabilities outside (0, 1] and probability vectors that do not
+// sum to 1.
+func (f ConditionalDag) Validate(k int) error {
+	if f.Stages < 1 {
+		return fmt.Errorf("%w: ConditionalDag needs >= 1 stage, got %d", ErrBadSpec, f.Stages)
+	}
+	if f.forks() > 0 {
+		if f.Branches < 1 {
+			return fmt.Errorf("%w: ConditionalDag branches %d", ErrBadSpec, f.Branches)
+		}
+		if f.Width < 1 {
+			return fmt.Errorf("%w: ConditionalDag width %d", ErrBadSpec, f.Width)
+		}
+		if f.Width > k {
+			return fmt.Errorf("%w: width %d needs %d distinct nodes but k = %d",
+				ErrBadSpec, f.Width, f.Width, k)
+		}
+		if f.Probs != nil {
+			if len(f.Probs) != f.Branches {
+				return fmt.Errorf("%w: %d branch probabilities for %d branches",
+					ErrBadSpec, len(f.Probs), f.Branches)
+			}
+			sum := 0.0
+			for _, p := range f.Probs {
+				if !(p > 0) || p > 1 {
+					return fmt.Errorf("%w: %w: probability %v", ErrBadSpec, task.ErrBranchProb, p)
+				}
+				sum += p
+			}
+			if diff := sum - 1; diff > task.BranchProbTol || diff < -task.BranchProbTol {
+				return fmt.Errorf("%w: %w: probabilities sum to %v", ErrBadSpec, task.ErrBranchSum, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// Name implements DagFactory.
+func (f ConditionalDag) Name() string {
+	if f.forks() == 0 {
+		return fmt.Sprintf("cond%d", f.Stages)
+	}
+	return fmt.Sprintf("cond%d-b%d-w%d", f.Stages, f.Branches, f.Width)
+}

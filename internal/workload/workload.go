@@ -236,7 +236,15 @@ func (s *Spec) NewGlobalDag(stream *rng.Stream, ar simtime.Time) (*task.Dag, err
 	if s.DagFactory == nil {
 		return nil, fmt.Errorf("%w: no global DAG factory", ErrBadSpec)
 	}
-	d, err := s.DagFactory.NewDag(stream, s.K, s.subtaskSampler())
+	var d *task.Dag
+	var err error
+	if df, ok := s.DagFactory.(DistAwareDagFactory); ok {
+		// Factories with per-vertex service-time families get the mean and
+		// the spec-level base family instead of a flattened sampler.
+		d, err = df.NewDagDist(stream, s.K, s.MeanSubtaskExec, s.subtaskDist())
+	} else {
+		d, err = s.DagFactory.NewDag(stream, s.K, s.subtaskSampler())
+	}
 	if err != nil {
 		return nil, err
 	}
