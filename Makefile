@@ -34,8 +34,8 @@ bench:
 bench-record:
 	$(GO) run ./cmd/sdabench -record
 
-# bench-compare runs the same subset and fails on a >25% ns/op regression
-# against the latest committed snapshot.
+# bench-compare runs the same subset and fails on a >25% ns/op or >10%
+# allocs/op regression against the latest committed snapshot.
 bench-compare:
 	$(GO) run ./cmd/sdabench -compare -q
 

@@ -12,6 +12,7 @@ import (
 	sda "repro"
 	"repro/internal/des"
 	"repro/internal/exp"
+	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
 	isda "repro/internal/sda"
@@ -220,6 +221,95 @@ func BenchmarkEngineEventChurn(b *testing.B) {
 	}
 	b.ResetTimer()
 	eng.Run()
+}
+
+// benchNodeQueueChurn measures the node waiting queue in isolation: one
+// remove + recycle + acquire + submit cycle against a 256-deep heap, with
+// the server parked on a long-running item so nothing dequeues. The
+// steady state must report 0 allocs/op — the cycle runs entirely on the
+// item pool and the inline heap.
+func benchNodeQueueChurn(b *testing.B, p node.Policy) {
+	b.ReportAllocs()
+	eng := des.New()
+	n := node.New(0, eng, node.WithPolicy(p))
+
+	blocker, err := task.NewSimple("blocker", 0, simtime.Duration(1e18))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Submit(node.NewItem(blocker)); err != nil {
+		b.Fatal(err)
+	}
+
+	// Twice as many tasks as the queue window, so a task is never handed
+	// to a new item while a previous incarnation still queues it.
+	const window = 256
+	tasks := make([]*task.Task, 2*window)
+	for i := range tasks {
+		tk, err := task.NewSimple("", 0, simtime.Duration(1+i%7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tk.VirtualDeadline = simtime.Time((i * 2654435761) % 4096)
+		tasks[i] = tk
+	}
+	refs := make([]node.ItemRef, window)
+	for i := 0; i < window; i++ {
+		it := n.AcquireItem(tasks[i])
+		if err := n.Submit(it); err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = it.Ref()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// gcd(31, window) = 1, so the victim slot sweeps the whole window
+		// and removals hit arbitrary heap positions.
+		j := (i*31 + 17) % window
+		if it := refs[j].Item(); it != nil {
+			n.Remove(it)
+			n.RecycleItem(it)
+		}
+		it := n.AcquireItem(tasks[(window+i)%len(tasks)])
+		if err := n.Submit(it); err != nil {
+			b.Fatal(err)
+		}
+		refs[j] = it.Ref()
+	}
+}
+
+// BenchmarkNodeQueueChurn tracks the inline heap under EDF (the paper's
+// policy) and LLF (whose laxity key shifts as remaining demand differs).
+func BenchmarkNodeQueueChurn(b *testing.B) {
+	b.Run("EDF", func(b *testing.B) { benchNodeQueueChurn(b, node.EDF{}) })
+	b.Run("LLF", func(b *testing.B) { benchNodeQueueChurn(b, node.LLF{}) })
+}
+
+// BenchmarkBurstArrival measures the batch scheduling path: one
+// des.ScheduleBatch of 512 events (the bulk-heapify regime) followed by a
+// full drain, as when a workload driver or trace replay arms a burst of
+// arrivals at once.
+func BenchmarkBurstArrival(b *testing.B) {
+	b.ReportAllocs()
+	eng := des.New()
+	const burst = 512
+	batch := make([]des.BatchEntry, burst)
+	nop := func(any) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := eng.Now()
+		for k := range batch {
+			batch[k] = des.BatchEntry{
+				At:   base.Add(simtime.Duration(1 + (k*2654435761)%1024)),
+				Call: nop,
+			}
+		}
+		if err := eng.ScheduleBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+	b.ReportMetric(burst, "events/op")
 }
 
 // BenchmarkStrategyAssignment measures the per-subtask cost of each PSP

@@ -6,14 +6,18 @@
 // instead of guessed. The trajectory is the committed sequence BENCH_1,
 // BENCH_2, ...: each perf-relevant change appends one snapshot and the
 // comparison mode fails the build when a benchmark regresses by more than
-// a threshold against the latest committed snapshot.
+// a threshold against the latest committed snapshot. Two thresholds
+// apply: -max-regress gates ns/op (skippable with -report-only, since
+// wall-clock timings are noisy on shared runners) and -max-alloc-regress
+// gates allocs/op, which is deterministic and therefore enforced even
+// under -report-only.
 //
 // Examples:
 //
 //	sdabench                          # run benchmarks, print snapshot JSON
 //	sdabench -record                  # ... and write BENCH_<n+1>.json
 //	sdabench -compare                 # ... and diff against latest BENCH_*.json
-//	sdabench -compare -report-only    # diff but never fail (CI smoke job)
+//	sdabench -compare -report-only    # diff; only allocs/op can fail (CI smoke job)
 //	sdabench -input raw.txt -out s.json   # parse saved `go test -bench` output
 //
 // Equivalent make targets: `make bench-record`, `make bench-compare`.
@@ -36,10 +40,11 @@ import (
 )
 
 // defaultBench selects the benchmarks that guard the hot paths: the DES
-// kernel, end-to-end simulation throughput, and the strategy/parse/plan
-// micro-benchmarks. The per-figure experiment benchmarks are excluded to
-// keep the smoke run short; pass -bench '.' for everything.
-const defaultBench = "BenchmarkEngineEventChurn|BenchmarkSimulation|BenchmarkStrategyAssignment|BenchmarkEQFAssignment|BenchmarkTaskParse|BenchmarkPlan"
+// kernel (event churn, batch bursts), the node queue, end-to-end
+// simulation throughput, and the strategy/parse/plan micro-benchmarks.
+// The per-figure experiment benchmarks are excluded to keep the smoke run
+// short; pass -bench '.' for everything.
+const defaultBench = "BenchmarkEngineEventChurn|BenchmarkNodeQueueChurn|BenchmarkBurstArrival|BenchmarkSimulation|BenchmarkStrategyAssignment|BenchmarkEQFAssignment|BenchmarkTaskParse|BenchmarkPlan"
 
 // Measurement is one benchmark's recorded metrics, keyed the way `go test
 // -bench` prints them ("ns/op", "B/op", "allocs/op", "events/op", ...).
@@ -67,16 +72,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sdabench", flag.ContinueOnError)
 	var (
-		bench      = fs.String("bench", defaultBench, "benchmark regex passed to `go test -bench`")
-		benchtime  = fs.String("benchtime", "100ms", "per-benchmark time passed to `go test -benchtime`")
-		dir        = fs.String("dir", ".", "directory holding BENCH_*.json snapshots (the package to benchmark)")
-		input      = fs.String("input", "", "parse raw `go test -bench` output from this file instead of running benchmarks")
-		record     = fs.Bool("record", false, "write the snapshot as BENCH_<n+1>.json in -dir")
-		outPath    = fs.String("out", "", "write the snapshot to this explicit path")
-		compare    = fs.Bool("compare", false, "compare against the latest BENCH_*.json in -dir")
-		maxRegress = fs.Float64("max-regress", 25, "fail -compare when ns/op regresses by more than this percentage")
-		reportOnly = fs.Bool("report-only", false, "with -compare: report regressions but always exit 0")
-		quiet      = fs.Bool("q", false, "suppress the snapshot JSON on stdout")
+		bench           = fs.String("bench", defaultBench, "benchmark regex passed to `go test -bench`")
+		benchtime       = fs.String("benchtime", "100ms", "per-benchmark time passed to `go test -benchtime`")
+		dir             = fs.String("dir", ".", "directory holding BENCH_*.json snapshots (the package to benchmark)")
+		input           = fs.String("input", "", "parse raw `go test -bench` output from this file instead of running benchmarks")
+		record          = fs.Bool("record", false, "write the snapshot as BENCH_<n+1>.json in -dir")
+		outPath         = fs.String("out", "", "write the snapshot to this explicit path")
+		compare         = fs.Bool("compare", false, "compare against the latest BENCH_*.json in -dir")
+		maxRegress      = fs.Float64("max-regress", 25, "fail -compare when ns/op regresses by more than this percentage")
+		maxAllocRegress = fs.Float64("max-alloc-regress", 10, "fail -compare when allocs/op regresses by more than this percentage (enforced even with -report-only)")
+		reportOnly      = fs.Bool("report-only", false, "with -compare: report ns/op regressions but exit 0 (allocs/op regressions still fail)")
+		quiet           = fs.Bool("q", false, "suppress the snapshot JSON on stdout")
 
 		cpuprofile = fs.String("cpuprofile", "", "write the benchmark run's CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write the benchmark run's heap profile to this file")
@@ -117,7 +123,7 @@ func run(args []string, out io.Writer) error {
 
 	// Compare before recording, so a new snapshot never diffs against
 	// itself.
-	var regressions []string
+	var regressions, allocRegressions []string
 	if *compare {
 		prev, prevPath, err := latestSnapshot(*dir)
 		if err != nil {
@@ -126,7 +132,7 @@ func run(args []string, out io.Writer) error {
 		if prev == nil {
 			fmt.Fprintf(out, "compare: no BENCH_*.json snapshot in %s yet; nothing to compare\n", *dir)
 		} else {
-			regressions = compareSnapshots(out, prev, &snap, prevPath, *maxRegress)
+			regressions, allocRegressions = compareSnapshots(out, prev, &snap, prevPath, *maxRegress, *maxAllocRegress)
 		}
 	}
 
@@ -153,6 +159,12 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "recorded %s\n", path)
 	}
 
+	// The allocs/op gate holds even under -report-only: allocation counts
+	// are deterministic, so a jump is a real regression, not timing noise.
+	if len(allocRegressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed allocs/op beyond %.0f%%: %s",
+			len(allocRegressions), *maxAllocRegress, strings.Join(allocRegressions, ", "))
+	}
 	if len(regressions) > 0 && !*reportOnly {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
 			len(regressions), *maxRegress, strings.Join(regressions, ", "))
@@ -331,9 +343,12 @@ func writeSnapshot(path string, s *Snapshot) error {
 }
 
 // compareSnapshots prints a per-benchmark delta table and returns the
-// names whose ns/op regressed beyond maxRegress percent. Benchmarks
-// present in only one snapshot are reported but never fail the run.
-func compareSnapshots(out io.Writer, prev, cur *Snapshot, prevPath string, maxRegress float64) []string {
+// names whose ns/op regressed beyond maxRegress percent and the names
+// whose allocs/op regressed beyond maxAllocRegress percent. The alloc
+// gate allows one allocation of absolute slack so benchmarks at or near
+// zero allocs/op do not flap on amortized setup costs. Benchmarks present
+// in only one snapshot are reported but never fail the run.
+func compareSnapshots(out io.Writer, prev, cur *Snapshot, prevPath string, maxRegress, maxAllocRegress float64) (regressions, allocRegressions []string) {
 	names := make([]string, 0, len(cur.Benchmarks))
 	for name := range cur.Benchmarks {
 		names = append(names, name)
@@ -341,7 +356,6 @@ func compareSnapshots(out io.Writer, prev, cur *Snapshot, prevPath string, maxRe
 	sort.Strings(names)
 
 	fmt.Fprintf(out, "compare against %s (recorded %s):\n", prevPath, prev.Recorded)
-	var regressions []string
 	for _, name := range names {
 		curM := cur.Benchmarks[name]
 		prevM, ok := prev.Benchmarks[name]
@@ -361,7 +375,12 @@ func compareSnapshots(out io.Writer, prev, cur *Snapshot, prevPath string, maxRe
 		}
 		line := fmt.Sprintf("  %-40s %12.1f -> %12.1f ns/op  %+7.1f%%  %s",
 			name, oldNs, newNs, delta, status)
-		if oa, na := prevM.Metrics["allocs/op"], curM.Metrics["allocs/op"]; oa != na {
+		oa, oaOK := prevM.Metrics["allocs/op"]
+		na, naOK := curM.Metrics["allocs/op"]
+		if oaOK && naOK && na > oa*(1+maxAllocRegress/100)+1 {
+			allocRegressions = append(allocRegressions, name)
+			line += fmt.Sprintf("  ALLOCS REGRESSED (allocs/op %g -> %g)", oa, na)
+		} else if oa != na {
 			line += fmt.Sprintf("  (allocs/op %g -> %g)", oa, na)
 		}
 		fmt.Fprintln(out, line)
@@ -371,5 +390,5 @@ func compareSnapshots(out io.Writer, prev, cur *Snapshot, prevPath string, maxRe
 			fmt.Fprintf(out, "  %-40s dropped (present in baseline only)\n", name)
 		}
 	}
-	return regressions
+	return regressions, allocRegressions
 }

@@ -142,9 +142,12 @@ func TestCompareSnapshots(t *testing.T) {
 		"BenchmarkNew":  {Metrics: map[string]float64{"ns/op": 7}},
 	}}
 	var buf strings.Builder
-	regressed := compareSnapshots(&buf, prev, cur, "BENCH_1.json", 25)
+	regressed, allocRegressed := compareSnapshots(&buf, prev, cur, "BENCH_1.json", 25, 10)
 	if len(regressed) != 1 || regressed[0] != "BenchmarkSlow" {
 		t.Errorf("regressions = %v, want [BenchmarkSlow]", regressed)
+	}
+	if len(allocRegressed) != 0 {
+		t.Errorf("alloc regressions = %v, want none", allocRegressed)
 	}
 	out := buf.String()
 	for _, want := range []string{"REGRESSED", "new benchmark", "dropped", "allocs/op 1 -> 0"} {
@@ -153,8 +156,37 @@ func TestCompareSnapshots(t *testing.T) {
 		}
 	}
 	// A 40% threshold lets the slow benchmark pass.
-	if regressed := compareSnapshots(&strings.Builder{}, prev, cur, "x", 45); len(regressed) != 0 {
+	if regressed, _ := compareSnapshots(&strings.Builder{}, prev, cur, "x", 45, 10); len(regressed) != 0 {
 		t.Errorf("regressions at 45%% threshold = %v, want none", regressed)
+	}
+}
+
+func TestCompareSnapshotsAllocGate(t *testing.T) {
+	prev := &Snapshot{Benchmarks: map[string]Measurement{
+		"BenchmarkLeaky": {Metrics: map[string]float64{"ns/op": 100, "allocs/op": 1000}},
+		"BenchmarkZero":  {Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+		"BenchmarkNoMem": {Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	cur := &Snapshot{Benchmarks: map[string]Measurement{
+		"BenchmarkLeaky": {Metrics: map[string]float64{"ns/op": 100, "allocs/op": 1200}},
+		"BenchmarkZero":  {Metrics: map[string]float64{"ns/op": 100, "allocs/op": 1}},
+		"BenchmarkNoMem": {Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	var buf strings.Builder
+	_, allocRegressed := compareSnapshots(&buf, prev, cur, "x", 25, 10)
+	// 1000 -> 1200 is a 20% jump; 0 -> 1 sits inside the one-alloc grace;
+	// a benchmark with no memory metrics is skipped.
+	if len(allocRegressed) != 1 || allocRegressed[0] != "BenchmarkLeaky" {
+		t.Fatalf("alloc regressions = %v, want [BenchmarkLeaky]", allocRegressed)
+	}
+	if !strings.Contains(buf.String(), "ALLOCS REGRESSED") {
+		t.Errorf("report missing ALLOCS REGRESSED:\n%s", buf.String())
+	}
+	// 0 -> 2 exceeds the grace allocation.
+	cur.Benchmarks["BenchmarkZero"] = Measurement{Metrics: map[string]float64{"ns/op": 100, "allocs/op": 2}}
+	_, allocRegressed = compareSnapshots(&strings.Builder{}, prev, cur, "x", 25, 10)
+	if len(allocRegressed) != 2 {
+		t.Fatalf("alloc regressions = %v, want BenchmarkLeaky and BenchmarkZero", allocRegressed)
 	}
 }
 
@@ -191,5 +223,16 @@ func TestRunWithInputFixture(t *testing.T) {
 	}
 	if err := run([]string{"-input", slowPath, "-dir", dir, "-compare", "-report-only", "-q"}, io.Discard); err != nil {
 		t.Fatalf("report-only run failed: %v", err)
+	}
+
+	// An allocs/op regression must fail even under -report-only.
+	leaky := strings.ReplaceAll(sampleOutput, "126824 allocs/op", "150000 allocs/op")
+	leakyPath := filepath.Join(dir, "leaky.txt")
+	if err := os.WriteFile(leakyPath, []byte(leaky), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-input", leakyPath, "-dir", dir, "-compare", "-report-only", "-q"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc-regressed report-only run: err = %v, want allocs/op failure", err)
 	}
 }

@@ -96,8 +96,14 @@ const (
 
 // record holds the mutable state of one scheduled event. Records are
 // pooled and recycled; gen disambiguates incarnations for stale handles.
+// A record carries either a plain callback (fn) or an argument-carrying
+// one (fnc + ctx); the latter lets hot model code schedule a shared
+// package-level function with a pointer argument instead of allocating a
+// fresh closure per event.
 type record struct {
 	fn    func()
+	fnc   func(any)
+	ctx   any
 	gen   uint32
 	state uint8
 }
@@ -174,6 +180,8 @@ func (e *Engine) alloc() int32 {
 func (e *Engine) release(idx int32) {
 	r := &e.pool[idx]
 	r.fn = nil
+	r.fnc = nil
+	r.ctx = nil
 	r.state = stateFree
 	e.free = append(e.free, idx)
 }
@@ -201,6 +209,130 @@ func (e *Engine) After(d simtime.Duration, fn func()) (Event, error) {
 		return Event{}, fmt.Errorf("%w: delay=%v", ErrPastEvent, d)
 	}
 	return e.At(e.now.Add(d), fn)
+}
+
+// AtCall schedules fn(ctx) to run at the given instant. It is the
+// allocation-free flavour of At for hot model code: fn is typically a
+// package-level function and ctx a pooled pointer, so scheduling performs
+// no closure allocation. Firing order relative to At events is by
+// scheduling order, exactly as for At.
+func (e *Engine) AtCall(at simtime.Time, fn func(any), ctx any) (Event, error) {
+	if at.Before(e.now) {
+		return Event{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	idx := e.alloc()
+	r := &e.pool[idx]
+	r.fnc = fn
+	r.ctx = ctx
+	r.state = statePending
+	s := slot{at: at, seq: e.seq, idx: idx}
+	e.seq++
+	e.live++
+	e.push(s)
+	return Event{eng: e, idx: idx, gen: r.gen, at: at}, nil
+}
+
+// AfterCall schedules fn(ctx) to run d time units from now (see AtCall).
+func (e *Engine) AfterCall(d simtime.Duration, fn func(any), ctx any) (Event, error) {
+	if d < 0 {
+		return Event{}, fmt.Errorf("%w: delay=%v", ErrPastEvent, d)
+	}
+	return e.AtCall(e.now.Add(d), fn, ctx)
+}
+
+// BatchEntry describes one event of a ScheduleBatch call. Exactly one of
+// Fn or Call must be set; Ctx is the argument passed to Call.
+type BatchEntry struct {
+	At   simtime.Time
+	Fn   func()
+	Call func(any)
+	Ctx  any
+}
+
+// ScheduleBatch inserts all entries into the calendar in one pass. It is
+// semantically identical to calling At/AtCall once per entry in slice
+// order — sequence numbers are assigned in that order, so the firing
+// order (including FIFO tie-breaks) is bit-identical to the sequential
+// calls — but large batches are inserted by appending every slot and
+// re-heapifying once, O(n + k) instead of O(k log n) sift-ups. Burst
+// arrivals, trace replays and injection timelines use it to arm many
+// events at a known instant cheaply.
+//
+// Entries are validated up front; on error (an entry in the past or with
+// no callback) nothing is scheduled.
+func (e *Engine) ScheduleBatch(entries []BatchEntry) error {
+	for i := range entries {
+		if entries[i].At.Before(e.now) {
+			return fmt.Errorf("%w: entry %d: at=%v now=%v", ErrPastEvent, i, entries[i].At, e.now)
+		}
+		if (entries[i].Fn == nil) == (entries[i].Call == nil) {
+			return fmt.Errorf("des: batch entry %d: exactly one of Fn and Call must be set", i)
+		}
+	}
+	k := len(entries)
+	// Small batches relative to the calendar sift in one by one; large
+	// ones append all slots and rebuild the heap bottom-up.
+	bulk := k >= 8 && k >= len(e.heap)/4
+	for i := range entries {
+		ent := &entries[i]
+		idx := e.alloc()
+		r := &e.pool[idx]
+		r.fn = ent.Fn
+		r.fnc = ent.Call
+		r.ctx = ent.Ctx
+		r.state = statePending
+		s := slot{at: ent.At, seq: e.seq, idx: idx}
+		e.seq++
+		e.live++
+		if bulk {
+			e.heap = append(e.heap, s)
+		} else {
+			e.push(s)
+		}
+	}
+	if bulk {
+		e.heapify()
+	}
+	return nil
+}
+
+// heapify restores the 4-ary heap property over the whole slot slice
+// (Floyd's bottom-up construction).
+func (e *Engine) heapify() {
+	h := e.heap
+	n := len(h)
+	for i := (n - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// siftDown sinks the slot at index i to its place in the 4-ary heap.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	s := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].before(s) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = s
 }
 
 // Cancel removes a pending event from the calendar. Cancelling a fired,
@@ -240,14 +372,19 @@ func (e *Engine) Step() bool {
 	}
 	s := e.heap[0]
 	e.popMin()
-	fn := e.pool[s.idx].fn
+	r := &e.pool[s.idx]
+	fn, fnc, ctx := r.fn, r.fnc, r.ctx
 	// Recycle before firing so the callback's own scheduling can reuse the
 	// record: a steady schedule-fire loop then touches no allocator at all.
 	e.release(s.idx)
 	e.now = s.at
 	e.live--
 	e.fired++
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		fnc(ctx)
+	}
 	return true
 }
 
@@ -286,38 +423,16 @@ func (e *Engine) push(s slot) {
 	e.heap = h
 }
 
-// popMin removes the minimum slot (h[0]) from the 4-ary heap.
+// popMin removes the minimum slot (h[0]) from the 4-ary heap: the last
+// slot takes the root's place and sinks to its position.
 func (e *Engine) popMin() {
 	h := e.heap
 	n := len(h) - 1
 	s := h[n]
-	h = h[:n]
-	e.heap = h
+	e.heap = h[:n]
 	if n == 0 {
 		return
 	}
-	// Sift the displaced last slot down from the root.
-	i := 0
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		m := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if h[j].before(h[m]) {
-				m = j
-			}
-		}
-		if !h[m].before(s) {
-			break
-		}
-		h[i] = h[m]
-		i = m
-	}
-	h[i] = s
+	e.heap[0] = s
+	e.siftDown(0)
 }

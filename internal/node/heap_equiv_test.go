@@ -1,0 +1,146 @@
+package node
+
+import (
+	"container/heap"
+	"fmt"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/simtime"
+	"repro/internal/task"
+)
+
+// refHeap is the reference implementation of the waiting queue: the old
+// container/heap binary heap over the policy's interface Less. The inline
+// 4-ary heap must reproduce its pop order exactly — every policy order is
+// total, so this holds independent of arity or internal layout.
+type refHeap struct {
+	items []*Item
+	p     Policy
+}
+
+func (h *refHeap) Len() int           { return len(h.items) }
+func (h *refHeap) Less(i, j int) bool { return h.p.Less(h.items[i], h.items[j]) }
+func (h *refHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *refHeap) Push(x any)         { h.items = append(h.items, x.(*Item)) }
+func (h *refHeap) Pop() any {
+	last := len(h.items) - 1
+	it := h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	return it
+}
+
+// reverseEDF is a custom (non-built-in) policy, exercising the interface
+// slow path of the inline heap.
+type reverseEDF struct{}
+
+func (reverseEDF) Less(a, b *Item) bool {
+	if a.Task.VirtualDeadline != b.Task.VirtualDeadline {
+		return b.Task.VirtualDeadline.Before(a.Task.VirtualDeadline)
+	}
+	return a.seq < b.seq
+}
+func (reverseEDF) Name() string { return "reverse-EDF" }
+
+// TestInlineHeapMatchesContainerHeap drives a randomized push/pop/remove
+// mix through the node's inline 4-ary heap and a container/heap reference
+// in lockstep and checks the pop orders are identical for every policy.
+func TestInlineHeapMatchesContainerHeap(t *testing.T) {
+	policies := []Policy{EDF{}, FIFO{}, LLF{}, SJF{}, reverseEDF{}}
+	for _, p := range policies {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			s := rng.NewStream(uint64(len(p.Name())) * 977)
+			eng := des.New()
+			n := New(0, eng, WithPolicy(p))
+
+			// mk builds twin items — one per heap — with identical keys.
+			var seq uint64
+			mk := func() (*Item, *Item) {
+				exec := simtime.Duration(0.25 + s.Exp(1))
+				vdl := simtime.Time(s.Uniform(0, 50))
+				boost := s.IntN(8) == 0
+				twins := make([]*Item, 2)
+				for i := range twins {
+					tk, err := task.NewSimple(fmt.Sprintf("t%d", seq), 0, exec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tk.VirtualDeadline = vdl
+					tk.PriorityBoost = boost
+					it := NewItem(tk)
+					it.seq = seq
+					twins[i] = it
+				}
+				seq++
+				return twins[0], twins[1]
+			}
+
+			ref := &refHeap{p: p}
+			checkPair := func(op string, a, b *Item) {
+				t.Helper()
+				if a.seq != b.seq {
+					t.Fatalf("%s diverged: inline heap gave seq %d, container/heap gave seq %d",
+						op, a.seq, b.seq)
+				}
+			}
+			checkIndexes := func(op string) {
+				t.Helper()
+				for i, it := range n.queue {
+					if it.index != i {
+						t.Fatalf("after %s: queue[%d].index = %d", op, i, it.index)
+					}
+				}
+			}
+
+			for round := 0; round < 3000; round++ {
+				switch r := s.IntN(10); {
+				case r < 6: // push
+					a, b := mk()
+					n.qPush(a)
+					heap.Push(ref, b)
+					checkIndexes("push")
+				case r < 8: // pop best
+					if len(n.queue) == 0 {
+						continue
+					}
+					checkPair("pop", n.qPop(), heap.Pop(ref).(*Item))
+					checkIndexes("pop")
+				default: // remove a random queued item (abortion)
+					if len(n.queue) == 0 {
+						continue
+					}
+					// Pick by position in the reference heap, match the
+					// inline-heap twin by seq through its O(1) index.
+					j := s.IntN(ref.Len())
+					victim := ref.items[j]
+					heap.Remove(ref, j)
+					var twin *Item
+					for _, it := range n.queue {
+						if it.seq == victim.seq {
+							twin = it
+							break
+						}
+					}
+					if twin == nil {
+						t.Fatalf("remove: seq %d in reference but not inline heap", victim.seq)
+					}
+					if got := n.qRemove(twin.index); got != twin {
+						t.Fatalf("qRemove returned seq %d, want %d", got.seq, twin.seq)
+					}
+					checkIndexes("remove")
+				}
+				if len(n.queue) != ref.Len() {
+					t.Fatalf("round %d: sizes diverged: inline %d, reference %d",
+						round, len(n.queue), ref.Len())
+				}
+			}
+			// Drain: the full residual pop order must match.
+			for len(n.queue) > 0 {
+				checkPair("drain", n.qPop(), heap.Pop(ref).(*Item))
+			}
+		})
+	}
+}

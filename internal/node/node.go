@@ -15,13 +15,25 @@
 //   - Local-scheduler abortion (WithLocalAbort): at dispatch the node
 //     discards any item whose *virtual* deadline has already passed and
 //     notifies the owner via the item's OnLocalAbort callback.
+//
+// # Hot path
+//
+// The waiting queue is an inline generation-tagged 4-ary indexed min-heap
+// in the style of the internal/des calendar: no container/heap interface
+// boxing, the built-in policies (EDF, FIFO, LLF, SJF) compare through a
+// devirtualized switch (custom policies keep the interface slow path),
+// the earliest item peeks in O(1), and abort-removal is O(log n) through
+// the item's heap index. Items are pooled per node (AcquireItem /
+// RecycleItem) with generation-tagged ItemRef handles, and service
+// completions are scheduled through des.AfterCall with a shared
+// package-level callback, so the steady submit/serve/complete cycle
+// performs no heap allocation. docs/PERFORMANCE.md describes the design
+// and the determinism constraints it honors.
 package node
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/des"
 	"repro/internal/simtime"
@@ -37,7 +49,8 @@ var (
 // ItemState tracks an item through its life cycle at a node.
 type ItemState int
 
-// Item states.
+// Item states. The zero ItemState marks a recycled pool item and is never
+// observable through a live item.
 const (
 	StateNew ItemState = iota + 1
 	StateQueued
@@ -64,21 +77,45 @@ func (s ItemState) String() string {
 	}
 }
 
+// Hooks receives an item's life-cycle callbacks. It is the
+// allocation-free alternative to the OnDone/OnLocalAbort closure fields:
+// the owner stores one pooled record per item and the node calls through
+// the interface, so no per-item closures are built. When both Hooks and
+// the closure fields are set, Hooks wins.
+type Hooks interface {
+	// ItemDone is invoked when service completes, before the node picks
+	// its next item.
+	ItemDone(it *Item, at simtime.Time)
+	// ItemLocalAbort is invoked when the local scheduler discards the
+	// item because its virtual deadline expired (local-abort mode only).
+	ItemLocalAbort(it *Item, at simtime.Time)
+}
+
 // Item is one unit of work submitted to a node: a local task or a simple
 // subtask of a global task. The embedded task carries the timing
 // attributes (virtual deadline, priority boost, execution time).
+//
+// Items come from two places: NewItem allocates a fresh one (simple,
+// garbage-collected — fine for tests and demos), and Node.AcquireItem
+// recycles one from the node's pool (the process manager's hot path).
+// Pooled items are generation-tagged: RecycleItem bumps the generation,
+// so any ItemRef taken earlier goes stale and can never reach the item's
+// next incarnation.
 type Item struct {
 	Task *task.Task
 
 	// OnDone is invoked when service completes, before the node picks its
-	// next item. Optional.
+	// next item. Optional; prefer Hooks on hot paths.
 	OnDone func(it *Item, at simtime.Time)
 	// OnLocalAbort is invoked when the local scheduler discards the item
 	// because its virtual deadline expired (local-abort mode only).
-	// Optional.
+	// Optional; prefer Hooks on hot paths.
 	OnLocalAbort func(it *Item, at simtime.Time)
+	// Hooks receives both callbacks through one interface value. Optional.
+	Hooks Hooks
 
 	state     ItemState
+	gen       uint32
 	seq       uint64
 	index     int // heap index; -1 when not queued
 	service   des.Event
@@ -94,6 +131,34 @@ func NewItem(t *task.Task) *Item {
 
 // State returns the item's current life-cycle state.
 func (it *Item) State() ItemState { return it.state }
+
+// Generation returns the item's pool generation. It increments each time
+// the item is recycled; observers that cache per-item state must key it
+// by (item, generation) so a recycled item is not mistaken for its
+// previous incarnation.
+func (it *Item) Generation() uint32 { return it.gen }
+
+// Ref returns a generation-tagged handle to the item. The handle resolves
+// to the item only while this incarnation is live; after RecycleItem it
+// degrades to nil, so a stale handle can never touch somebody else's
+// item.
+func (it *Item) Ref() ItemRef { return ItemRef{it: it, gen: it.gen} }
+
+// ItemRef is a by-value generation-tagged handle to an Item (see
+// Item.Ref). The zero ItemRef resolves to nil.
+type ItemRef struct {
+	it  *Item
+	gen uint32
+}
+
+// Item resolves the handle, or returns nil when the handle is zero or
+// stale (the item has been recycled since the handle was taken).
+func (r ItemRef) Item() *Item {
+	if r.it == nil || r.it.gen != r.gen {
+		return nil
+	}
+	return r.it
+}
 
 // Observer receives scheduling events from a node, e.g. for tracing or
 // visualisation. All callbacks run synchronously on the simulation
@@ -115,6 +180,12 @@ type Observer interface {
 
 // Policy orders the waiting queue. Less reports whether a should be served
 // before b.
+//
+// The built-in policies (EDF, FIFO, LLF, SJF) are recognised by type at
+// node construction and compared inline on the hot path; a custom Policy
+// still works through the interface. Every ordering must be total — the
+// built-ins tie-break on submission order — so the dispatch sequence is
+// independent of the heap's internal layout.
 type Policy interface {
 	Less(a, b *Item) bool
 	Name() string
@@ -152,17 +223,47 @@ func (FIFO) Less(a, b *Item) bool { return a.seq < b.seq }
 // Name implements Policy.
 func (FIFO) Name() string { return "FIFO" }
 
+// policyKind tags the built-in policies for devirtualized comparison.
+type policyKind uint8
+
+const (
+	policyCustom policyKind = iota
+	policyEDF
+	policyFIFO
+	policyLLF
+	policySJF
+)
+
+// kindOf recognises the built-in policies by concrete type.
+func kindOf(p Policy) policyKind {
+	switch p.(type) {
+	case EDF:
+		return policyEDF
+	case FIFO:
+		return policyFIFO
+	case LLF:
+		return policyLLF
+	case SJF:
+		return policySJF
+	default:
+		return policyCustom
+	}
+}
+
 // Node is a single-server processing component.
 type Node struct {
 	id         int
 	eng        *des.Engine
 	policy     Policy
+	pkind      policyKind
 	localAbort bool
 	preemptive bool
 	observer   Observer
 
-	queue   itemHeap
-	serving map[*Item]struct{}
+	queue   []*Item // inline 4-ary indexed min-heap, ordered by policy
+	serving []*Item // in-service items in dispatch order (len <= servers)
+	pool    []*Item // recycled items (AcquireItem / RecycleItem)
+	scratch []*Item // reusable snapshot buffer for Crash/SetRate
 	servers int
 	seq     uint64
 
@@ -240,11 +341,11 @@ func WithServers(c int) Option {
 // New returns a node attached to the simulation engine. It panics on an
 // invalid option combination (a programming error, caught at setup).
 func New(id int, eng *des.Engine, opts ...Option) *Node {
-	n := &Node{id: id, eng: eng, policy: EDF{}, servers: 1, rate: 1,
-		serving: make(map[*Item]struct{})}
+	n := &Node{id: id, eng: eng, policy: EDF{}, servers: 1, rate: 1}
 	for _, o := range opts {
 		o(n)
 	}
+	n.pkind = kindOf(n.policy)
 	if n.servers < 1 {
 		panic(fmt.Sprintf("node: invalid server count %d", n.servers))
 	}
@@ -279,7 +380,7 @@ func (n *Node) AbortedCount() uint64 { return n.aborted }
 func (n *Node) BusyTime() simtime.Duration {
 	total := n.busy
 	now := n.eng.Now()
-	for it := range n.serving {
+	for _, it := range n.serving {
 		total += now.Sub(it.startedAt)
 	}
 	return total
@@ -308,6 +409,52 @@ func (n *Node) Down() bool { return n.down }
 // Crashes returns the number of Crash calls that took the node down.
 func (n *Node) Crashes() uint64 { return n.crashes }
 
+// AcquireItem returns an item wrapping t, recycled from the node's pool
+// when one is free. Pair it with RecycleItem once the item has resolved
+// and no references to it remain; the steady acquire/serve/recycle cycle
+// then allocates nothing.
+func (n *Node) AcquireItem(t *task.Task) *Item {
+	var it *Item
+	if k := len(n.pool); k > 0 {
+		it = n.pool[k-1]
+		n.pool[k-1] = nil
+		n.pool = n.pool[:k-1]
+	} else {
+		it = &Item{}
+	}
+	it.Task = t
+	it.state = StateNew
+	it.index = -1
+	it.remaining = t.Exec
+	return it
+}
+
+// RecycleItem returns a resolved item to the node's pool. The item must
+// not be queued or in service, and the caller must hold the only live
+// references; generation-tagged ItemRef handles taken earlier go stale
+// at this point. Recycling an already-recycled item panics (a
+// double-release is a programming error).
+func (n *Node) RecycleItem(it *Item) {
+	if it == nil {
+		return
+	}
+	switch it.state {
+	case StateQueued, StateServing:
+		panic(fmt.Sprintf("node: recycling a live item (%v)", it.state))
+	case 0:
+		panic("node: item recycled twice")
+	}
+	it.gen++
+	it.state = 0
+	it.Task = nil
+	it.OnDone = nil
+	it.OnLocalAbort = nil
+	it.Hooks = nil
+	it.service = des.Event{}
+	it.remaining = 0
+	n.pool = append(n.pool, it)
+}
+
 // SetRate changes the node's service rate to r > 0 (fault injection:
 // r < 1 models a degraded component, r > 1 a fast one). Items in service
 // keep the work they have completed so far; their completion is
@@ -330,7 +477,7 @@ func (n *Node) SetRate(r float64) {
 		}
 		n.busy += elapsed
 		it.startedAt = now
-		ev, err := n.eng.After(it.remaining.Scale(1/r), func() { n.complete(it) })
+		ev, err := n.eng.AfterCall(it.remaining.Scale(1/r), serviceDone, it)
 		if err != nil {
 			panic(fmt.Sprintf("node: reschedule service at new rate: %v", err))
 		}
@@ -339,20 +486,35 @@ func (n *Node) SetRate(r float64) {
 	n.rate = r
 }
 
-// servingInOrder returns the in-service items in submission order. Fault
-// injection must not iterate the serving map directly: map order is
-// random per process, and the order of cancellations and re-insertions
-// is visible in the event trace, which must be reproducible.
+// servingInOrder snapshots the in-service items in submission order into
+// the node's scratch buffer. Fault injection must not iterate n.serving
+// directly: it mutates the slice mid-loop, and the order of cancellations
+// and re-insertions is visible in the event trace, which must be
+// reproducible — hence the explicit sort by submission sequence.
 func (n *Node) servingInOrder() []*Item {
-	if len(n.serving) == 0 {
-		return nil
+	n.scratch = append(n.scratch[:0], n.serving...)
+	out := n.scratch
+	// Insertion sort by seq: at most a handful of servers.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].seq < out[j-1].seq; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
 	}
-	out := make([]*Item, 0, len(n.serving))
-	for it := range n.serving {
-		out = append(out, it)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
+}
+
+// removeServing takes it out of the in-service list, preserving dispatch
+// order.
+func (n *Node) removeServing(it *Item) {
+	for i, v := range n.serving {
+		if v == it {
+			last := len(n.serving) - 1
+			copy(n.serving[i:], n.serving[i+1:])
+			n.serving[last] = nil
+			n.serving = n.serving[:last]
+			return
+		}
+	}
 }
 
 // Crash takes the node down (fault injection). Items in service lose the
@@ -373,8 +535,8 @@ func (n *Node) Crash() {
 		n.busy += now.Sub(it.startedAt)
 		it.state = StateQueued
 		n.noteQueueChange()
-		heap.Push(&n.queue, it)
-		delete(n.serving, it)
+		n.qPush(it)
+		n.removeServing(it)
 		if n.observer != nil {
 			n.observer.OnPreempt(n, it, now)
 		}
@@ -408,12 +570,12 @@ func (n *Node) Submit(it *Item) error {
 	it.owner = n
 	n.seq++
 	n.noteQueueChange()
-	heap.Push(&n.queue, it)
+	n.qPush(it)
 	if n.observer != nil {
 		n.observer.OnEnqueue(n, it, n.eng.Now())
 	}
 	if n.preemptive {
-		if cur := n.soleServing(); cur != nil && n.policy.Less(it, cur) {
+		if cur := n.soleServing(); cur != nil && n.less(it, cur) {
 			n.preempt(cur)
 		}
 	}
@@ -424,8 +586,8 @@ func (n *Node) Submit(it *Item) error {
 // soleServing returns the single in-service item (preemption implies a
 // single server), or nil when idle.
 func (n *Node) soleServing() *Item {
-	for it := range n.serving {
-		return it
+	if len(n.serving) > 0 {
+		return n.serving[0]
 	}
 	return nil
 }
@@ -443,8 +605,8 @@ func (n *Node) preempt(cur *Item) {
 	n.busy += elapsed
 	cur.state = StateQueued
 	n.noteQueueChange()
-	heap.Push(&n.queue, cur)
-	delete(n.serving, cur)
+	n.qPush(cur)
+	n.removeServing(cur)
 	if n.observer != nil {
 		n.observer.OnPreempt(n, cur, n.eng.Now())
 	}
@@ -460,7 +622,7 @@ func (n *Node) Remove(it *Item) bool {
 	switch it.state {
 	case StateQueued:
 		n.noteQueueChange()
-		heap.Remove(&n.queue, it.index)
+		n.qRemove(it.index)
 		it.state = StateAborted
 		n.aborted++
 		if n.observer != nil {
@@ -473,7 +635,7 @@ func (n *Node) Remove(it *Item) bool {
 		it.state = StateAborted
 		n.aborted++
 		n.busy += n.eng.Now().Sub(it.startedAt)
-		delete(n.serving, it)
+		n.removeServing(it)
 		if n.observer != nil {
 			n.observer.OnAbort(n, it, n.eng.Now())
 		}
@@ -484,6 +646,24 @@ func (n *Node) Remove(it *Item) bool {
 	}
 }
 
+// RemoveRef is Remove through a generation-tagged handle: a stale handle
+// (the item was recycled since the handle was taken) is a safe no-op.
+func (n *Node) RemoveRef(r ItemRef) bool {
+	it := r.Item()
+	if it == nil {
+		return false
+	}
+	return n.Remove(it)
+}
+
+// serviceDone is the shared completion callback scheduled for every
+// service: a package-level function plus the item as argument, so
+// dispatch never allocates a closure.
+func serviceDone(x any) {
+	it := x.(*Item)
+	it.owner.complete(it)
+}
+
 // dispatch starts service on the best waiting items while servers are
 // idle. A crashed node dispatches nothing until Restart.
 func (n *Node) dispatch() {
@@ -492,11 +672,7 @@ func (n *Node) dispatch() {
 	}
 	for len(n.serving) < n.servers && len(n.queue) > 0 {
 		n.noteQueueChange()
-		it, ok := heap.Pop(&n.queue).(*Item)
-		if !ok {
-			panic("node: queue contained a non-item")
-		}
-		it.index = -1
+		it := n.qPop()
 		now := n.eng.Now()
 		if n.localAbort && it.Task.VirtualDeadline.Before(now) {
 			// Local-scheduler abortion: the deadline presented to us has
@@ -506,18 +682,20 @@ func (n *Node) dispatch() {
 			if n.observer != nil {
 				n.observer.OnAbort(n, it, now)
 			}
-			if it.OnLocalAbort != nil {
+			if it.Hooks != nil {
+				it.Hooks.ItemLocalAbort(it, now)
+			} else if it.OnLocalAbort != nil {
 				it.OnLocalAbort(it, now)
 			}
 			continue
 		}
 		it.state = StateServing
-		n.serving[it] = struct{}{}
+		n.serving = append(n.serving, it)
 		it.startedAt = now
 		if n.observer != nil {
 			n.observer.OnStart(n, it, now)
 		}
-		ev, err := n.eng.After(it.remaining.Scale(1/n.rate), func() { n.complete(it) })
+		ev, err := n.eng.AfterCall(it.remaining.Scale(1/n.rate), serviceDone, it)
 		if err != nil {
 			// Exec is validated non-negative at construction; a scheduling
 			// failure here is a programming error in the kernel.
@@ -536,46 +714,150 @@ func (n *Node) complete(it *Item) {
 	n.busy += now.Sub(it.startedAt)
 	it.remaining = 0
 	n.served++
-	delete(n.serving, it)
+	n.removeServing(it)
 	if n.observer != nil {
 		n.observer.OnFinish(n, it, now)
 	}
-	if it.OnDone != nil {
+	if it.Hooks != nil {
+		it.Hooks.ItemDone(it, now)
+	} else if it.OnDone != nil {
 		it.OnDone(it, now)
 	}
 	n.dispatch()
 }
 
-// itemHeap orders waiting items by the node's policy. The policy pointer
-// lives on the items' owner, so Less dereferences through the first item.
-type itemHeap []*Item
+// --- waiting-queue heap -----------------------------------------------------
+//
+// The waiting queue is a 4-ary indexed min-heap over the node's policy
+// order. Every policy order is total (the built-ins tie-break on the
+// submission sequence), so the pop sequence is a property of the order
+// alone — independent of heap arity or the internal layout — which keeps
+// dispatch traces bit-identical to the previous container/heap
+// implementation.
 
-func (h itemHeap) Len() int { return len(h) }
-
-func (h itemHeap) Less(i, j int) bool {
-	return h[i].owner.policy.Less(h[i], h[j])
-}
-
-func (h itemHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *itemHeap) Push(x any) {
-	it, ok := x.(*Item)
-	if !ok {
-		panic("node: pushed a non-item")
+// less compares two queued items in the node's policy order, inlining the
+// built-in policies to avoid the interface call per comparison.
+func (n *Node) less(a, b *Item) bool {
+	switch n.pkind {
+	case policyEDF:
+		ta, tb := a.Task, b.Task
+		if ta.PriorityBoost != tb.PriorityBoost {
+			return ta.PriorityBoost
+		}
+		if ta.VirtualDeadline != tb.VirtualDeadline {
+			return ta.VirtualDeadline.Before(tb.VirtualDeadline)
+		}
+		return a.seq < b.seq
+	case policyFIFO:
+		return a.seq < b.seq
+	case policyLLF:
+		ta, tb := a.Task, b.Task
+		if ta.PriorityBoost != tb.PriorityBoost {
+			return ta.PriorityBoost
+		}
+		la := ta.VirtualDeadline.Sub(0) - a.remaining
+		lb := tb.VirtualDeadline.Sub(0) - b.remaining
+		if la != lb {
+			return la < lb
+		}
+		return a.seq < b.seq
+	case policySJF:
+		if a.remaining != b.remaining {
+			return a.remaining < b.remaining
+		}
+		return a.seq < b.seq
+	default:
+		return n.policy.Less(a, b)
 	}
-	it.index = len(*h)
-	*h = append(*h, it)
 }
 
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// qPush inserts it into the waiting queue.
+func (n *Node) qPush(it *Item) {
+	n.queue = append(n.queue, it)
+	n.siftUp(len(n.queue)-1, it)
+}
+
+// qPop removes and returns the best waiting item.
+func (n *Node) qPop() *Item {
+	q := n.queue
+	top := q[0]
+	last := len(q) - 1
+	moved := q[last]
+	q[last] = nil
+	n.queue = q[:last]
+	if last > 0 {
+		n.queue[0] = moved
+		moved.index = 0
+		n.siftDown(0)
+	}
+	top.index = -1
+	return top
+}
+
+// qRemove removes the item at heap index i (abort-removal through
+// Item.index).
+func (n *Node) qRemove(i int) *Item {
+	q := n.queue
+	last := len(q) - 1
+	it := q[i]
+	moved := q[last]
+	q[last] = nil
+	n.queue = q[:last]
+	if i < last {
+		n.queue[i] = moved
+		moved.index = i
+		n.siftDown(i)
+		if moved.index == i {
+			n.siftUp(i, moved)
+		}
+	}
+	it.index = -1
 	return it
+}
+
+// siftUp moves it (currently at index i) toward the root to its place.
+func (n *Node) siftUp(i int, it *Item) {
+	q := n.queue
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !n.less(it, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = it
+	it.index = i
+}
+
+// siftDown sinks the item at index i to its place.
+func (n *Node) siftDown(i int) {
+	q := n.queue
+	nn := len(q)
+	it := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= nn {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > nn {
+			end = nn
+		}
+		for j := c + 1; j < end; j++ {
+			if n.less(q[j], q[m]) {
+				m = j
+			}
+		}
+		if !n.less(q[m], it) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = i
+		i = m
+	}
+	q[i] = it
+	it.index = i
 }

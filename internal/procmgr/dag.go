@@ -88,12 +88,12 @@ func (m *Manager) SubmitDag(d *task.Dag) error {
 		}
 	}
 
-	if dr, ok := m.rec.(DagRecorder); ok {
-		dr.RecordDagSubmit(d, root)
+	if m.dagRec != nil {
+		m.dagRec.RecordDagSubmit(d, root)
 	}
 	r := &dagRun{m: m, dag: d, root: root}
 	if m.pmAbort {
-		ev, err := m.eng.At(root.RealDeadline, r.abortAll)
+		ev, err := m.eng.AtCall(root.RealDeadline, dagDeadlineFired, r)
 		if err != nil {
 			// Born dead: deadline already passed.
 			r.abortAll()
@@ -111,21 +111,29 @@ func (m *Manager) SubmitDag(d *task.Dag) error {
 	return nil
 }
 
+// dagDeadlineFired is the pm-abort timer callback for DAG tasks.
+func dagDeadlineFired(x any) { x.(*dagRun).abortAll() }
+
 // dagRun tracks one in-flight DAG task. It mirrors run.
 type dagRun struct {
-	m     *Manager
-	dag   *task.Dag
-	root  *task.Task
-	timer des.Event
-	live  liveSet
-	over  bool
+	m       *Manager
+	dag     *task.Dag
+	root    *task.Task
+	timer   des.Event
+	live    liveSet
+	over    bool
+	reap    []*node.Item
+	seenBuf []int
 }
 
 // dagCtrl is the control block for one node of the decomposition tree, or
-// — when member is set — for a single vertex inside a cluster.
+// — when member is set — for a single vertex inside a cluster. Leaf ctrls
+// carry the vertex task and implement node.Hooks, replacing the two
+// closures the manager used to allocate per submitted item.
 type dagCtrl struct {
 	run       *dagRun
 	s         *task.Structure
+	t         *task.Task // set on leaf/member ctrls (the submitted vertex)
 	parent    *dagCtrl
 	stageIdx  int // index of this child within a serial parent
 	remaining int // parallel: unfinished children; serial: current stage index
@@ -186,11 +194,12 @@ func (r *dagRun) releaseStruct(c *dagCtrl, now simtime.Time, budget simtime.Time
 // stages — the same online recomputation the tree path performs.
 func (r *dagRun) releaseDagStage(c *dagCtrl, now simtime.Time) {
 	i := c.remaining
-	pexs := make([]simtime.Duration, 0, len(c.s.Children)-i)
+	pexs := r.m.pexScratch()
 	for _, rest := range c.s.Children[i:] {
 		pexs = append(pexs, rest.PredictedCriticalPath())
 	}
 	dl := r.m.ssp.AssignSerial(now, c.vdl, pexs)
+	r.m.putPex(pexs)
 	cc := &dagCtrl{run: r, s: c.s.Children[i], parent: c, stageIdx: i}
 	r.releaseStruct(cc, now, dl, c.vdl, c.boost)
 }
@@ -259,20 +268,32 @@ func (r *dagRun) releaseMember(c *dagCtrl, mb *task.DagNode, now, vdl, parentBud
 	r.submitDagLeaf(&dagCtrl{run: r, parent: c, member: mb}, t)
 }
 
+// ItemDone implements node.Hooks: the vertex finished service.
+func (c *dagCtrl) ItemDone(done *node.Item, at simtime.Time) {
+	r := c.run
+	t := c.t
+	r.live.remove(done)
+	r.m.nodes[t.Node].RecycleItem(done)
+	r.m.rec.RecordSubtask(t, at.After(r.root.RealDeadline))
+	r.leafFinished(c, t, at)
+}
+
+// ItemLocalAbort implements node.Hooks: the node discarded the vertex
+// because its virtual deadline expired.
+func (c *dagCtrl) ItemLocalAbort(ab *node.Item, at simtime.Time) {
+	r := c.run
+	r.live.remove(ab)
+	r.resubmit(c, c.t, ab, at)
+}
+
 // submitDagLeaf sends a vertex subtask to its node.
 func (r *dagRun) submitDagLeaf(c *dagCtrl, t *task.Task) {
-	it := node.NewItem(t)
-	it.OnDone = func(done *node.Item, at simtime.Time) {
-		r.live.remove(done)
-		r.m.rec.RecordSubtask(t, at.After(r.root.RealDeadline))
-		r.leafFinished(c, t, at)
-	}
-	it.OnLocalAbort = func(ab *node.Item, at simtime.Time) {
-		r.live.remove(ab)
-		r.resubmit(c, t, ab, at)
-	}
+	c.t = t
+	nd := r.m.nodes[t.Node]
+	it := nd.AcquireItem(t)
+	it.Hooks = c
 	r.live.add(it)
-	if err := r.m.nodes[t.Node].Submit(it); err != nil {
+	if err := nd.Submit(it); err != nil {
 		// Validated up front; a failure here is a bug in the manager.
 		panic(fmt.Sprintf("procmgr: submit DAG leaf %q: %v", t.Name, err))
 	}
@@ -299,7 +320,7 @@ func (r *dagRun) memberFinished(cl *dagCtrl, mb *task.DagNode, at simtime.Time) 
 	// A finished vertex is one predecessor of every distinct group its
 	// successors belong to; decrement each such group exactly once (a group
 	// may hold several successors of mb).
-	var seen []int
+	seen := r.seenBuf[:0]
 	for _, s := range mb.Succs() {
 		if _, in := cl.down[s]; !in {
 			continue
@@ -321,6 +342,7 @@ func (r *dagRun) memberFinished(cl *dagCtrl, mb *task.DagNode, at simtime.Time) 
 			r.releaseGroup(cl, gi, at)
 		}
 	}
+	r.seenBuf = seen[:0]
 	if cl.unfinished == 0 {
 		r.finishedStruct(cl, at)
 	}
@@ -363,8 +385,12 @@ func (r *dagRun) resubmit(c *dagCtrl, t *task.Task, it *node.Item, now simtime.T
 	}
 	vdl, boost := r.reassign(c, now)
 	if vdl.Before(now) {
-		// The former trial consumed all the slack; give up on the DAG.
+		// The former trial consumed all the slack; give up on the DAG. The
+		// aborted item is already out of the live set, so the cascade
+		// cannot reach it; recycle it once the run is wound down.
+		nd := r.m.nodes[t.Node]
 		r.abortAll()
+		nd.RecycleItem(it)
 		return
 	}
 	t.VirtualDeadline = vdl
@@ -407,11 +433,13 @@ func (r *dagRun) reassign(c *dagCtrl, now simtime.Time) (simtime.Time, bool) {
 		return a.Virtual, p.boost || a.Boost
 	case task.StructSerial:
 		i := c.stageIdx
-		pexs := make([]simtime.Duration, 0, len(p.s.Children)-i)
+		pexs := r.m.pexScratch()
 		for _, rest := range p.s.Children[i:] {
 			pexs = append(pexs, rest.PredictedCriticalPath())
 		}
-		return r.m.ssp.AssignSerial(now, p.vdl, pexs), p.boost
+		dl := r.m.ssp.AssignSerial(now, p.vdl, pexs)
+		r.m.putPex(pexs)
+		return dl, p.boost
 	default:
 		return p.vdl, p.boost
 	}
@@ -424,7 +452,7 @@ func (r *dagRun) complete(at simtime.Time) {
 	r.m.eng.Cancel(r.timer)
 	missed := at.After(r.root.RealDeadline)
 	r.m.rec.RecordGlobal(r.root, missed)
-	if dr, ok := r.m.rec.(DagOutcomeRecorder); ok {
+	if dr := r.m.dagOutcome; dr != nil {
 		dr.RecordDagOutcome(r.dag, r.root, missed)
 	}
 }
@@ -440,11 +468,22 @@ func (r *dagRun) abortAll() {
 	r.over = true
 	r.m.eng.Cancel(r.timer)
 	r.timer = des.Event{}
+	// Withdrawal can synchronously cascade local aborts of this run's
+	// later items, whose hooks mutate r.live mid-loop; recycling is
+	// deferred to a reap pass over the items this loop positively removed
+	// (see run.abortAll).
+	r.reap = r.reap[:0]
 	for _, it := range r.live {
-		r.m.nodes[it.Task.Node].Remove(it)
+		if r.m.nodes[it.Task.Node].Remove(it) {
+			r.reap = append(r.reap, it)
+		}
 		it.Task.Aborted = true
 		r.m.rec.RecordSubtask(it.Task, true)
 	}
+	for _, it := range r.reap {
+		r.m.nodes[it.Task.Node].RecycleItem(it)
+	}
+	r.reap = r.reap[:0]
 	r.live = nil
 	for _, n := range r.dag.Nodes() {
 		// Never released: no virtual deadline was ever assigned.
@@ -454,7 +493,7 @@ func (r *dagRun) abortAll() {
 	}
 	r.root.Aborted = true
 	r.m.rec.RecordGlobal(r.root, true)
-	if dr, ok := r.m.rec.(DagOutcomeRecorder); ok {
+	if dr := r.m.dagOutcome; dr != nil {
 		dr.RecordDagOutcome(r.dag, r.root, true)
 	}
 }

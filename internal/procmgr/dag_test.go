@@ -340,7 +340,7 @@ func TestSubmitDagDeterministic(t *testing.T) {
 	runOnce := func() ([]record, []string) {
 		eng, _, m, _ := rig(t, 3, sda.EQF{}, sda.MustDiv(1), []Option{WithPMAbort()})
 		rec := &dagRecorder{}
-		m.rec = Recorders(rec)
+		m.setRecorder(Recorders(rec))
 		d := task.MustParseDag(
 			"s@0:1 a@1:3 b@2:2 j@0:1 t@1:2 ; s>a s>b a>j b>j a>t j>t")
 		d.Root().RealDeadline = 12

@@ -21,6 +21,17 @@
 //     global task, which is then abandoned — this reproduces the paper's
 //     observation that local aborts consume the task's slack in failed
 //     trials.
+//
+// # Hot path
+//
+// The steady submit/serve/record cycle is allocation-free: runs and their
+// per-tree-node control blocks are pooled on the manager (the control
+// blocks live in a slab sized to the tree at submission, so pointers stay
+// stable), node items are recycled through the nodes' pools, life-cycle
+// callbacks go through the node.Hooks interface instead of per-item
+// closures, and deadline timers are scheduled with des.AtCall against
+// pooled records guarded by generation-tagged item handles. See
+// docs/PERFORMANCE.md.
 package procmgr
 
 import (
@@ -157,6 +168,17 @@ type Manager struct {
 	rec     Recorder
 	pmAbort bool
 	onRel   ReleaseHook
+
+	// Optional-interface views of rec, asserted once at construction
+	// instead of per submission.
+	dagRec     DagRecorder
+	dagOutcome DagOutcomeRecorder
+
+	// Free lists and scratch buffers for the allocation-free hot path.
+	// The engine is single-goroutine, so plain slices suffice.
+	localPool []*localRun
+	runPool   []*run
+	pexBuf    []simtime.Duration
 }
 
 // Option configures a Manager.
@@ -185,7 +207,16 @@ func New(eng *des.Engine, nodes []*node.Node, ssp sda.SSP, psp sda.PSP, opts ...
 	for _, o := range opts {
 		o(m)
 	}
+	m.setRecorder(m.rec)
 	return m
+}
+
+// setRecorder installs the outcome sink and refreshes the cached
+// optional-interface views.
+func (m *Manager) setRecorder(r Recorder) {
+	m.rec = r
+	m.dagRec, _ = r.(DagRecorder)
+	m.dagOutcome, _ = r.(DagOutcomeRecorder)
 }
 
 // SetStrategies hot-swaps the deadline-assignment strategies. A nil
@@ -206,6 +237,79 @@ func (m *Manager) SetStrategies(ssp sda.SSP, psp sda.PSP) {
 // Strategies returns the currently active serial and parallel strategies.
 func (m *Manager) Strategies() (sda.SSP, sda.PSP) { return m.ssp, m.psp }
 
+// pexScratch returns the manager's reusable deadline-budget buffer,
+// emptied. Strategies must not retain the slice past the AssignSerial
+// call (the built-ins are pure); the buffer is handed back via putPex so
+// grown capacity is kept.
+func (m *Manager) pexScratch() []simtime.Duration { return m.pexBuf[:0] }
+
+func (m *Manager) putPex(p []simtime.Duration) { m.pexBuf = p[:0] }
+
+// localRun tracks one in-flight local task: the pooled counterpart of the
+// per-task OnDone closure and abort timer the manager used to allocate.
+// It implements node.Hooks.
+type localRun struct {
+	m     *Manager
+	t     *task.Task
+	timer des.Event
+	ref   node.ItemRef
+}
+
+func (m *Manager) acquireLocalRun() *localRun {
+	if k := len(m.localPool); k > 0 {
+		lr := m.localPool[k-1]
+		m.localPool[k-1] = nil
+		m.localPool = m.localPool[:k-1]
+		return lr
+	}
+	return &localRun{m: m}
+}
+
+func (m *Manager) releaseLocalRun(lr *localRun) {
+	lr.t = nil
+	lr.timer = des.Event{}
+	lr.ref = node.ItemRef{}
+	m.localPool = append(m.localPool, lr)
+}
+
+// ItemDone implements node.Hooks: the local task finished service.
+func (lr *localRun) ItemDone(it *node.Item, _ simtime.Time) {
+	m, t := lr.m, lr.t
+	m.eng.Cancel(lr.timer) // no-op on the zero handle or a fired timer
+	m.nodes[t.Node].RecycleItem(it)
+	m.releaseLocalRun(lr)
+	m.rec.RecordLocal(t, t.Missed())
+}
+
+// ItemLocalAbort implements node.Hooks. Local tasks are scheduled by
+// their real deadline, so the manager has no tighter budget to recompute
+// from; the node has already counted the abort and there is nothing to
+// resubmit or record (matching the closure-era behavior, where local
+// tasks carried no local-abort callback).
+func (lr *localRun) ItemLocalAbort(it *node.Item, _ simtime.Time) {
+	m, t := lr.m, lr.t
+	m.eng.Cancel(lr.timer)
+	m.nodes[t.Node].RecycleItem(it)
+	m.releaseLocalRun(lr)
+}
+
+// localDeadlineFired is the pm-abort timer callback for local tasks: a
+// package-level function with the pooled localRun as argument, so arming
+// the timer allocates nothing. The generation-tagged handle makes a stale
+// fire (task already resolved, item recycled) a safe no-op.
+func localDeadlineFired(x any) {
+	lr := x.(*localRun)
+	m, t := lr.m, lr.t
+	it := lr.ref.Item()
+	if it == nil || !m.nodes[t.Node].Remove(it) {
+		return
+	}
+	t.Aborted = true
+	m.nodes[t.Node].RecycleItem(it)
+	m.releaseLocalRun(lr)
+	m.rec.RecordLocal(t, true)
+}
+
 // SubmitLocal submits a local task: a simple task executed at exactly one
 // node, scheduled by its own (real) deadline. The task's Arrival is set to
 // the current instant; its RealDeadline must already be set.
@@ -223,31 +327,31 @@ func (m *Manager) SubmitLocal(t *task.Task) error {
 	t.Arrival = now
 	t.VirtualDeadline = t.RealDeadline
 
-	it := node.NewItem(t)
-	var timer des.Event
-	it.OnDone = func(_ *node.Item, at simtime.Time) {
-		m.eng.Cancel(timer) // no-op on the zero handle or a fired timer
-		m.rec.RecordLocal(t, t.Missed())
-	}
+	nd := m.nodes[t.Node]
+	it := nd.AcquireItem(t)
+	lr := m.acquireLocalRun()
+	lr.t = t
+	lr.ref = it.Ref()
+	it.Hooks = lr
 	if m.pmAbort {
-		ev, err := m.eng.At(t.RealDeadline, func() {
-			if m.nodes[t.Node].Remove(it) {
-				t.Aborted = true
-				m.rec.RecordLocal(t, true)
-			}
-		})
-		if err == nil {
-			timer = ev
-		} else {
+		ev, err := m.eng.AtCall(t.RealDeadline, localDeadlineFired, lr)
+		if err != nil {
 			// Deadline already in the past at submission: the task is
 			// hopeless; count it missed without occupying the node.
+			it.Hooks = nil
+			nd.RecycleItem(it)
+			m.releaseLocalRun(lr)
 			t.Aborted = true
 			m.rec.RecordLocal(t, true)
 			return nil
 		}
+		lr.timer = ev
 	}
-	return m.nodes[t.Node].Submit(it)
+	return nd.Submit(it)
 }
+
+// globalDeadlineFired is the pm-abort timer callback for global tasks.
+func globalDeadlineFired(x any) { x.(*run).abortAll() }
 
 // SubmitGlobal submits a global task tree. The root's RealDeadline must be
 // set; the manager decomposes it into virtual deadlines online and
@@ -263,7 +367,9 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 		return fmt.Errorf("%w: %q", ErrNoDeadline, root.Name)
 	}
 	var badNode error
+	var treeNodes int
 	root.Walk(func(n *task.Task) {
+		treeNodes++
 		if badNode == nil && n.IsSimple() && (n.Node < 0 || n.Node >= len(m.nodes)) {
 			badNode = fmt.Errorf("%w: %q at node %d", ErrBadNode, n.Name, n.Node)
 		}
@@ -272,9 +378,9 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 		return badNode
 	}
 
-	r := &run{m: m, root: root}
+	r := m.acquireRun(root, treeNodes)
 	if m.pmAbort {
-		ev, err := m.eng.At(root.RealDeadline, r.abortAll)
+		ev, err := m.eng.AtCall(root.RealDeadline, globalDeadlineFired, r)
 		if err != nil {
 			// Born dead: deadline already passed.
 			r.abortAll()
@@ -282,17 +388,64 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 		}
 		r.timer = ev
 	}
-	r.release(&ctrl{run: r, t: root}, m.eng.Now(), root.RealDeadline, root.RealDeadline, false)
+	r.release(r.newCtrl(root, nil, 0), m.eng.Now(), root.RealDeadline, root.RealDeadline, false)
 	return nil
 }
 
-// run tracks one in-flight global task.
+// run tracks one in-flight global task. Runs are pooled on the manager;
+// their control blocks live in a slab sized to the tree at submission so
+// ctrl pointers stay stable for the run's whole life.
 type run struct {
 	m     *Manager
 	root  *task.Task
 	timer des.Event
 	live  liveSet // submitted, not yet finished
 	over  bool    // completed or aborted
+	ctrls []ctrl  // slab: exactly one ctrl per released tree node
+	reap  []*node.Item
+}
+
+// acquireRun returns a run for root, recycled from the manager's pool
+// when one is free. treeNodes is the tree's node count; the ctrl slab is
+// sized to it up front so newCtrl never reallocates (pointer stability).
+func (m *Manager) acquireRun(root *task.Task, treeNodes int) *run {
+	var r *run
+	if k := len(m.runPool); k > 0 {
+		r = m.runPool[k-1]
+		m.runPool[k-1] = nil
+		m.runPool = m.runPool[:k-1]
+	} else {
+		r = &run{m: m}
+	}
+	r.root = root
+	r.over = false
+	if cap(r.ctrls) < treeNodes {
+		r.ctrls = make([]ctrl, 0, treeNodes)
+	}
+	return r
+}
+
+// releaseRun recycles a finished or aborted run. Callers must not touch
+// the run or its ctrls afterwards; stale slab contents are overwritten by
+// the next acquire.
+func (m *Manager) releaseRun(r *run) {
+	r.root = nil
+	r.timer = des.Event{}
+	r.live = r.live[:0]
+	r.reap = r.reap[:0]
+	r.ctrls = r.ctrls[:0]
+	m.runPool = append(m.runPool, r)
+}
+
+// newCtrl allocates a control block from the run's slab.
+func (r *run) newCtrl(t *task.Task, parent *ctrl, stageIdx int) *ctrl {
+	if len(r.ctrls) == cap(r.ctrls) {
+		// The slab is sized to the tree's node count at submission and each
+		// tree node is released at most once; overflow is a bug.
+		panic("procmgr: ctrl slab overflow")
+	}
+	r.ctrls = append(r.ctrls, ctrl{run: r, t: t, parent: parent, stageIdx: stageIdx})
+	return &r.ctrls[len(r.ctrls)-1]
 }
 
 // liveSet is the insertion-ordered set of a run's outstanding items.
@@ -313,13 +466,33 @@ func (s *liveSet) remove(it *node.Item) {
 	}
 }
 
-// ctrl is the control block for one node of the task tree.
+// ctrl is the control block for one node of the task tree. Leaf ctrls
+// implement node.Hooks, replacing the two closures the manager used to
+// allocate per submitted item.
 type ctrl struct {
 	run       *run
 	t         *task.Task
 	parent    *ctrl
 	stageIdx  int // index of this child within its parent
 	remaining int // parallel: unfinished children; serial: next stage index
+}
+
+// ItemDone implements node.Hooks: the leaf's subtask finished service.
+func (c *ctrl) ItemDone(done *node.Item, at simtime.Time) {
+	r := c.run
+	t := c.t
+	r.live.remove(done)
+	r.m.nodes[t.Node].RecycleItem(done)
+	r.m.rec.RecordSubtask(t, at.After(r.root.RealDeadline))
+	r.finished(c, at)
+}
+
+// ItemLocalAbort implements node.Hooks: the node discarded the leaf's
+// subtask because its virtual deadline expired.
+func (c *ctrl) ItemLocalAbort(ab *node.Item, at simtime.Time) {
+	r := c.run
+	r.live.remove(ab)
+	r.resubmit(c, ab, at)
 }
 
 // release makes the subtree rooted at c executable at instant now with the
@@ -346,8 +519,7 @@ func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, parentBudg
 		c.remaining = len(c.t.Children)
 		a := r.m.psp.AssignParallel(now, budget, len(c.t.Children))
 		for i, child := range c.t.Children {
-			cc := &ctrl{run: r, t: child, parent: c, stageIdx: i}
-			r.release(cc, now, a.Virtual, budget, boost || a.Boost)
+			r.release(r.newCtrl(child, c, i), now, a.Virtual, budget, boost || a.Boost)
 		}
 	}
 }
@@ -356,29 +528,22 @@ func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, parentBudg
 func (r *run) releaseStage(c *ctrl, now simtime.Time) {
 	i := c.remaining
 	child := c.t.Children[i]
-	pexs := make([]simtime.Duration, 0, len(c.t.Children)-i)
+	pexs := r.m.pexScratch()
 	for _, rest := range c.t.Children[i:] {
 		pexs = append(pexs, rest.PredictedCriticalPath())
 	}
 	dl := r.m.ssp.AssignSerial(now, c.t.VirtualDeadline, pexs)
-	cc := &ctrl{run: r, t: child, parent: c, stageIdx: i}
-	r.release(cc, now, dl, c.t.VirtualDeadline, c.t.PriorityBoost)
+	r.m.putPex(pexs)
+	r.release(r.newCtrl(child, c, i), now, dl, c.t.VirtualDeadline, c.t.PriorityBoost)
 }
 
 // submitLeaf sends a simple subtask to its node.
 func (r *run) submitLeaf(c *ctrl) {
-	it := node.NewItem(c.t)
-	it.OnDone = func(done *node.Item, at simtime.Time) {
-		r.live.remove(done)
-		r.m.rec.RecordSubtask(c.t, at.After(r.root.RealDeadline))
-		r.finished(c, at)
-	}
-	it.OnLocalAbort = func(ab *node.Item, at simtime.Time) {
-		r.live.remove(ab)
-		r.resubmit(c, ab, at)
-	}
+	nd := r.m.nodes[c.t.Node]
+	it := nd.AcquireItem(c.t)
+	it.Hooks = c
 	r.live.add(it)
-	if err := r.m.nodes[c.t.Node].Submit(it); err != nil {
+	if err := nd.Submit(it); err != nil {
 		// Validated up front; a failure here is a bug in the manager.
 		panic(fmt.Sprintf("procmgr: submit leaf %q: %v", c.t.Name, err))
 	}
@@ -394,8 +559,13 @@ func (r *run) resubmit(c *ctrl, it *node.Item, now simtime.Time) {
 	vdl, boost := r.reassign(c, now)
 	if vdl.Before(now) {
 		// The recomputed deadline is still in the past: the former trial
-		// consumed all the slack. Give up on the whole global task.
+		// consumed all the slack. Give up on the whole global task. The
+		// aborted item is already out of the live set, so the cascade
+		// cannot reach it; recycle it once the run is wound down (the run
+		// itself is released inside abortAll).
+		nd := r.m.nodes[c.t.Node]
 		r.abortAll()
+		nd.RecycleItem(it)
 		return
 	}
 	c.t.VirtualDeadline = vdl
@@ -428,11 +598,13 @@ func (r *run) reassign(c *ctrl, now simtime.Time) (simtime.Time, bool) {
 		return a.Virtual, p.t.PriorityBoost || a.Boost
 	case task.KindSerial:
 		i := c.stageIdx
-		pexs := make([]simtime.Duration, 0, len(p.t.Children)-i)
+		pexs := r.m.pexScratch()
 		for _, rest := range p.t.Children[i:] {
 			pexs = append(pexs, rest.PredictedCriticalPath())
 		}
-		return r.m.ssp.AssignSerial(now, p.t.VirtualDeadline, pexs), p.t.PriorityBoost
+		dl := r.m.ssp.AssignSerial(now, p.t.VirtualDeadline, pexs)
+		r.m.putPex(pexs)
+		return dl, p.t.PriorityBoost
 	default:
 		return p.t.VirtualDeadline, p.t.PriorityBoost
 	}
@@ -466,27 +638,47 @@ func (r *run) finished(c *ctrl, at simtime.Time) {
 	}
 }
 
-// complete closes out a successfully finished run.
+// complete closes out a successfully finished run. The run is recycled
+// before the recorder fires; callers up the finished() recursion must not
+// touch the run afterwards.
 func (r *run) complete(at simtime.Time) {
 	r.over = true
-	r.m.eng.Cancel(r.timer)
-	r.m.rec.RecordGlobal(r.root, at.After(r.root.RealDeadline))
+	m, root := r.m, r.root
+	m.eng.Cancel(r.timer)
+	m.releaseRun(r)
+	m.rec.RecordGlobal(root, at.After(root.RealDeadline))
 }
 
 // abortAll withdraws every outstanding subtask and abandons the run.
+//
+// Withdrawing an in-service item frees its server, and the node's
+// dispatch can synchronously local-abort further items — including later
+// items of this very run, whose hooks then mutate r.live mid-loop. The
+// loop therefore ranges over the header captured at entry (preserving the
+// long-standing cascade semantics) and recycling is deferred: only items
+// this loop positively removed are reaped, after the loop, so a slot the
+// cascade already touched is never recycled twice or read after reuse.
 func (r *run) abortAll() {
 	if r.over {
 		return
 	}
 	r.over = true
-	r.m.eng.Cancel(r.timer)
+	m := r.m
+	m.eng.Cancel(r.timer)
 	r.timer = des.Event{}
+	r.reap = r.reap[:0]
 	for _, it := range r.live {
-		r.m.nodes[it.Task.Node].Remove(it)
+		if m.nodes[it.Task.Node].Remove(it) {
+			r.reap = append(r.reap, it)
+		}
 		it.Task.Aborted = true
-		r.m.rec.RecordSubtask(it.Task, true)
+		m.rec.RecordSubtask(it.Task, true)
 	}
-	r.live = nil
-	r.root.Aborted = true
-	r.m.rec.RecordGlobal(r.root, true)
+	for _, it := range r.reap {
+		m.nodes[it.Task.Node].RecycleItem(it)
+	}
+	root := r.root
+	root.Aborted = true
+	m.releaseRun(r)
+	m.rec.RecordGlobal(root, true)
 }

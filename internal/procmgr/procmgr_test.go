@@ -526,7 +526,7 @@ func TestBornDeadLocalUnderPMAbort(t *testing.T) {
 
 func TestNopRecorder(t *testing.T) {
 	eng, _, m, _ := rig(t, 1, sda.SerialUD{}, sda.UD{}, nil)
-	m.rec = NopRecorder{}
+	m.setRecorder(NopRecorder{})
 	l := task.MustSimple("L", 0, 1)
 	l.RealDeadline = 5
 	if err := m.SubmitLocal(l); err != nil {

@@ -19,6 +19,9 @@ import (
 // the simulator is single-threaded by design.
 type Stream struct {
 	r *rand.Rand
+	// permBuf backs Choose; reused across calls so per-task placement
+	// draws do not allocate.
+	permBuf []int
 }
 
 // NewStream returns a stream seeded with seed.
@@ -109,11 +112,29 @@ func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
 // Choose returns k distinct integers drawn uniformly from [0, n) in random
 // order. It panics if k > n, which would indicate an impossible request
 // such as placing more parallel subtasks than there are nodes.
+//
+// The returned slice aliases a per-stream scratch buffer and is only
+// valid until the next Choose call on the same stream; callers that need
+// to keep it must copy. The underlying draws are exactly those of Perm
+// (the inside-out Fisher–Yates of math/rand), so Choose consumes the same
+// random numbers it always has.
 func (s *Stream) Choose(n, k int) []int {
 	if k > n {
 		panic("rng: cannot choose more elements than available")
 	}
-	return s.r.Perm(n)[:k]
+	if cap(s.permBuf) < n {
+		s.permBuf = make([]int, n)
+	}
+	m := s.permBuf[:n]
+	// Mirror math/rand's Perm loop exactly, including the i=0 iteration:
+	// Intn(1) still consumes a draw, so starting at i=1 would shift every
+	// subsequent random number.
+	for i := 0; i < n; i++ {
+		j := s.r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m[:k]
 }
 
 // PoissonProcess generates the arrival instants of a Poisson process with

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/des"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -136,6 +137,7 @@ func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome,
 // injections first.
 func armTimeline(sys *sim.System, sc *Scenario, spec workload.Spec) error {
 	burst := rng.NewSplitter(sc.Seed + burstSeedSalt)
+	batch := make([]des.BatchEntry, 0, len(sc.Events))
 	for i := range sc.Events {
 		ev := sc.Events[i]
 		var apply func()
@@ -206,9 +208,12 @@ func armTimeline(sys *sim.System, sc *Scenario, spec workload.Spec) error {
 		default:
 			return fmt.Errorf("%w: %s: unknown action %q", ErrBadScenario, sc.Name, ev.Action)
 		}
-		if _, err := sys.Eng.At(simtime.Time(ev.At), apply); err != nil {
-			return fmt.Errorf("%w: %s: schedule %s at %v: %v", ErrBadScenario, sc.Name, ev.Action, ev.At, err)
-		}
+		batch = append(batch, des.BatchEntry{At: simtime.Time(ev.At), Fn: apply})
+	}
+	// One batch insert; entries keep timeline order, so same-instant
+	// injections still fire in declaration order.
+	if err := sys.Eng.ScheduleBatch(batch); err != nil {
+		return fmt.Errorf("%w: %s: schedule timeline: %v", ErrBadScenario, sc.Name, err)
 	}
 	return nil
 }

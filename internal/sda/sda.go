@@ -45,7 +45,9 @@ type PSP interface {
 // (or inherited virtual) deadline of the serial group, and pexRemaining
 // the predicted execution times of the remaining stages, current stage
 // first. Implementations must cope with negative slack (the system may be
-// overloaded) and with all-zero predictions.
+// overloaded) and with all-zero predictions. pexRemaining is only valid
+// for the duration of the call — the process manager reuses the backing
+// buffer — so implementations must not retain it.
 type SSP interface {
 	// AssignSerial returns the virtual deadline for the current stage.
 	AssignSerial(ar simtime.Time, deadline simtime.Time, pexRemaining []simtime.Duration) simtime.Time

@@ -62,10 +62,18 @@ type Event struct {
 	Boost   bool
 }
 
+// itemKey identifies one incarnation of a (possibly pooled) item: nodes
+// recycle Item records, so a bare pointer would alias successive tasks.
+// The generation tag disambiguates them.
+type itemKey struct {
+	it  *node.Item
+	gen uint32
+}
+
 // Tracer collects events. The zero value is not usable; call New.
 type Tracer struct {
 	events []Event
-	names  map[*node.Item]string
+	names  map[itemKey]string
 	nextID int
 }
 
@@ -73,7 +81,7 @@ var _ node.Observer = (*Tracer)(nil)
 
 // New returns an empty tracer.
 func New() *Tracer {
-	return &Tracer{names: make(map[*node.Item]string)}
+	return &Tracer{names: make(map[itemKey]string)}
 }
 
 // taskName labels an item; unnamed tasks get stable generated labels.
@@ -81,12 +89,13 @@ func (tr *Tracer) taskName(it *node.Item) string {
 	if it.Task.Name != "" {
 		return it.Task.Name
 	}
-	if name, ok := tr.names[it]; ok {
+	k := itemKey{it, it.Generation()}
+	if name, ok := tr.names[k]; ok {
 		return name
 	}
 	name := fmt.Sprintf("t%d", tr.nextID)
 	tr.nextID++
-	tr.names[it] = name
+	tr.names[k] = name
 	return name
 }
 

@@ -17,6 +17,11 @@ import (
 // Every stream draws from its own substream of the seed, so per-node
 // processes are statistically independent and the whole run is
 // reproducible.
+//
+// The arrival hot path is allocation-free: each stream owns one arrival
+// context scheduled through des.AtCall with a package-level callback (no
+// per-arrival closures), and Start arms all first arrivals with one
+// des.ScheduleBatch call.
 type Driver struct {
 	eng     *des.Engine
 	mgr     *procmgr.Manager
@@ -25,6 +30,11 @@ type Driver struct {
 
 	localStreams []*rng.Stream
 	globalStream *rng.Stream
+
+	// Per-stream arrival contexts, allocated once. localArrs never grows,
+	// so pointers into it stay valid for the driver's life.
+	localArrs []localArrival
+	globalArr globalArrival
 
 	locals  int64
 	globals int64
@@ -55,74 +65,111 @@ func (d *Driver) Locals() int64 { return d.locals }
 // Globals returns the number of global tasks generated so far.
 func (d *Driver) Globals() int64 { return d.globals }
 
-// Start schedules the first arrival of every stream. New arrivals are
-// generated while they fall at or before the horizon.
+// Start schedules the first arrival of every stream in one batch (local
+// streams in node order, then the global stream — the same order, and
+// therefore the same RNG consumption and event sequence, as arming them
+// one by one). New arrivals are generated while they fall at or before
+// the horizon.
 func (d *Driver) Start(horizon simtime.Time) error {
 	d.horizon = horizon
+	batch := make([]des.BatchEntry, 0, d.spec.K+1)
 	localRate := d.spec.LocalRate()
 	if localRate > 0 {
+		d.localArrs = make([]localArrival, d.spec.K)
 		for i := 0; i < d.spec.K; i++ {
-			if err := d.scheduleLocal(i, 1/localRate); err != nil {
-				return err
+			a := &d.localArrs[i]
+			a.d, a.nodeID, a.meanInter = d, i, 1/localRate
+			at := d.eng.Now().Add(simtime.Duration(d.localStreams[i].Exp(a.meanInter)))
+			if at.After(d.horizon) {
+				continue
 			}
+			batch = append(batch, des.BatchEntry{At: at, Call: localArrivalFired, Ctx: a})
 		}
 	}
 	globalRate := d.spec.GlobalRate()
 	if globalRate > 0 {
-		if err := d.scheduleGlobal(1 / globalRate); err != nil {
-			return err
+		a := &d.globalArr
+		a.d, a.meanInter = d, 1/globalRate
+		at := d.eng.Now().Add(simtime.Duration(d.globalStream.Exp(a.meanInter)))
+		if !at.After(d.horizon) {
+			batch = append(batch, des.BatchEntry{At: at, Call: globalArrivalFired, Ctx: a})
 		}
 	}
-	return nil
+	return d.eng.ScheduleBatch(batch)
 }
 
-func (d *Driver) scheduleLocal(nodeID int, meanInter float64) error {
-	s := d.localStreams[nodeID]
-	at := d.eng.Now().Add(simtime.Duration(s.Exp(meanInter)))
+// localArrival is the reusable event context of one node's local-task
+// stream.
+type localArrival struct {
+	d         *Driver
+	nodeID    int
+	meanInter float64
+}
+
+// localArrivalFired generates one local task and re-arms the stream.
+func localArrivalFired(x any) {
+	a := x.(*localArrival)
+	d := a.d
+	t := d.spec.NewLocal(d.localStreams[a.nodeID], a.nodeID, d.eng.Now())
+	d.locals++
+	if err := d.mgr.SubmitLocal(t); err != nil {
+		panic(fmt.Sprintf("workload: submit local: %v", err))
+	}
+	if err := d.scheduleLocal(a); err != nil {
+		panic(fmt.Sprintf("workload: schedule local: %v", err))
+	}
+}
+
+func (d *Driver) scheduleLocal(a *localArrival) error {
+	at := d.eng.Now().Add(simtime.Duration(d.localStreams[a.nodeID].Exp(a.meanInter)))
 	if at.After(d.horizon) {
 		return nil
 	}
-	_, err := d.eng.At(at, func() {
-		t := d.spec.NewLocal(s, nodeID, d.eng.Now())
-		d.locals++
-		if err := d.mgr.SubmitLocal(t); err != nil {
-			panic(fmt.Sprintf("workload: submit local: %v", err))
-		}
-		if err := d.scheduleLocal(nodeID, meanInter); err != nil {
-			panic(fmt.Sprintf("workload: schedule local: %v", err))
-		}
-	})
+	_, err := d.eng.AtCall(at, localArrivalFired, a)
 	return err
 }
 
-func (d *Driver) scheduleGlobal(meanInter float64) error {
+// globalArrival is the reusable event context of the system-wide
+// global-task stream.
+type globalArrival struct {
+	d         *Driver
+	meanInter float64
+}
+
+// globalArrivalFired generates one global task (tree or DAG) and re-arms
+// the stream.
+func globalArrivalFired(x any) {
+	a := x.(*globalArrival)
+	d := a.d
 	s := d.globalStream
-	at := d.eng.Now().Add(simtime.Duration(s.Exp(meanInter)))
+	d.globals++
+	if d.spec.DagFactory != nil {
+		g, err := d.spec.NewGlobalDag(s, d.eng.Now())
+		if err != nil {
+			panic(fmt.Sprintf("workload: build global DAG: %v", err))
+		}
+		if err := d.mgr.SubmitDag(g); err != nil {
+			panic(fmt.Sprintf("workload: submit global DAG: %v", err))
+		}
+	} else {
+		root, err := d.spec.NewGlobal(s, d.eng.Now())
+		if err != nil {
+			panic(fmt.Sprintf("workload: build global: %v", err))
+		}
+		if err := d.mgr.SubmitGlobal(root); err != nil {
+			panic(fmt.Sprintf("workload: submit global: %v", err))
+		}
+	}
+	if err := d.scheduleGlobal(a); err != nil {
+		panic(fmt.Sprintf("workload: schedule global: %v", err))
+	}
+}
+
+func (d *Driver) scheduleGlobal(a *globalArrival) error {
+	at := d.eng.Now().Add(simtime.Duration(d.globalStream.Exp(a.meanInter)))
 	if at.After(d.horizon) {
 		return nil
 	}
-	_, err := d.eng.At(at, func() {
-		d.globals++
-		if d.spec.DagFactory != nil {
-			g, err := d.spec.NewGlobalDag(s, d.eng.Now())
-			if err != nil {
-				panic(fmt.Sprintf("workload: build global DAG: %v", err))
-			}
-			if err := d.mgr.SubmitDag(g); err != nil {
-				panic(fmt.Sprintf("workload: submit global DAG: %v", err))
-			}
-		} else {
-			root, err := d.spec.NewGlobal(s, d.eng.Now())
-			if err != nil {
-				panic(fmt.Sprintf("workload: build global: %v", err))
-			}
-			if err := d.mgr.SubmitGlobal(root); err != nil {
-				panic(fmt.Sprintf("workload: submit global: %v", err))
-			}
-		}
-		if err := d.scheduleGlobal(meanInter); err != nil {
-			panic(fmt.Sprintf("workload: schedule global: %v", err))
-		}
-	})
+	_, err := d.eng.AtCall(at, globalArrivalFired, a)
 	return err
 }

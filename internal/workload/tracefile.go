@@ -151,30 +151,45 @@ func Synthesize(spec Spec, seed uint64, horizon simtime.Time) ([]Arrival, error)
 	return out, nil
 }
 
+// replayed is the event context of one recorded arrival.
+type replayed struct {
+	mgr *procmgr.Manager
+	a   Arrival
+}
+
+// replayFired submits one recorded arrival.
+func replayFired(x any) {
+	r := x.(*replayed)
+	tk := r.a.Task.Clone()
+	tk.RealDeadline = r.a.Deadline
+	if tk.IsSimple() {
+		if err := r.mgr.SubmitLocal(tk); err != nil {
+			panic(fmt.Sprintf("workload: replay local: %v", err))
+		}
+		return
+	}
+	if err := r.mgr.SubmitGlobal(tk); err != nil {
+		panic(fmt.Sprintf("workload: replay global: %v", err))
+	}
+}
+
 // Replay schedules the recorded arrivals into the engine, submitting each
 // task to the manager at its recorded instant with its recorded deadline.
-// Tasks are cloned, so a trace can be replayed many times.
+// Tasks are cloned, so a trace can be replayed many times. The whole
+// trace is armed with one des.ScheduleBatch call — a single heapify pass
+// for large traces instead of one sift per arrival.
 func Replay(eng *des.Engine, mgr *procmgr.Manager, arrivals []Arrival) error {
+	ctxs := make([]replayed, len(arrivals))
+	batch := make([]des.BatchEntry, len(arrivals))
 	for i, a := range arrivals {
 		if a.Task == nil {
 			return fmt.Errorf("%w: arrival %d has no task", ErrBadTrace, i)
 		}
-		a := a
-		if _, err := eng.At(a.At, func() {
-			tk := a.Task.Clone()
-			tk.RealDeadline = a.Deadline
-			if tk.IsSimple() {
-				if err := mgr.SubmitLocal(tk); err != nil {
-					panic(fmt.Sprintf("workload: replay local: %v", err))
-				}
-				return
-			}
-			if err := mgr.SubmitGlobal(tk); err != nil {
-				panic(fmt.Sprintf("workload: replay global: %v", err))
-			}
-		}); err != nil {
-			return fmt.Errorf("arrival %d at %v: %w", i, a.At, err)
-		}
+		ctxs[i] = replayed{mgr: mgr, a: a}
+		batch[i] = des.BatchEntry{At: a.At, Call: replayFired, Ctx: &ctxs[i]}
+	}
+	if err := eng.ScheduleBatch(batch); err != nil {
+		return fmt.Errorf("workload: replay: %w", err)
 	}
 	return nil
 }

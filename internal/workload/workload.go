@@ -53,6 +53,9 @@ type Spec struct {
 	// the load equations are unchanged.
 	LocalService   Dist
 	SubtaskService Dist
+
+	// sampler caches the subtask ExecSampler (see subtaskSampler).
+	sampler ExecSampler
 }
 
 // localDist returns the local service-time family.
@@ -71,13 +74,18 @@ func (s *Spec) subtaskDist() Dist {
 	return s.SubtaskService
 }
 
-// subtaskSampler builds the ExecSampler used by the global factories.
+// subtaskSampler builds the ExecSampler used by the global factories. The
+// closure is cached on first use so the per-arrival path does not rebuild
+// it for every global task.
 func (s *Spec) subtaskSampler() ExecSampler {
-	dist := s.subtaskDist()
-	mean := s.MeanSubtaskExec
-	return func(stream *rng.Stream) simtime.Duration {
-		return simtime.Duration(dist.Sample(mean, stream))
+	if s.sampler == nil {
+		dist := s.subtaskDist()
+		mean := s.MeanSubtaskExec
+		s.sampler = func(stream *rng.Stream) simtime.Duration {
+			return simtime.Duration(dist.Sample(mean, stream))
+		}
 	}
+	return s.sampler
 }
 
 // Validate checks the specification for consistency.
