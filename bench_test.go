@@ -7,6 +7,7 @@ package sda_test
 // cmd/sdaexp.
 
 import (
+	"runtime"
 	"testing"
 
 	sda "repro"
@@ -133,6 +134,47 @@ func BenchmarkSimulationObsOff(b *testing.B) {
 // counters, per-node gauges and the 50-unit sampler.
 func BenchmarkSimulationObsOn(b *testing.B) {
 	benchSimulationObs(b, obs.Options{Enabled: true})
+}
+
+// benchSimulationObsReps runs an 8-replication observed batch through
+// sim.Run at the given worker count and equal retention budget. The
+// Sequential/Parallel pair measures the speedup unlocked by sharded
+// telemetry: observed replications used to be forced onto one worker,
+// now they fan out and the shards merge deterministically.
+func benchSimulationObsReps(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default()
+		cfg.Duration = 5000
+		cfg.Warmup = 0
+		cfg.Replications = 8
+		cfg.Workers = workers
+		cfg.Seed = uint64(i + 1)
+		cfg.Obs = obs.Options{Enabled: true, MaxSpans: 1 << 14}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rep := range res.Reps {
+			events += rep.Events
+		}
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulationObsOnSequential is the old forced-sequential
+// observed path: 8 replications on one worker.
+func BenchmarkSimulationObsOnSequential(b *testing.B) {
+	benchSimulationObsReps(b, 1)
+}
+
+// BenchmarkSimulationObsOnParallel runs the same 8 observed
+// replications on all cores; the merged output is bit-identical to the
+// sequential run, so ns/op is the only thing that changes.
+func BenchmarkSimulationObsOnParallel(b *testing.B) {
+	benchSimulationObsReps(b, runtime.GOMAXPROCS(0))
 }
 
 // benchSimulationBlame measures telemetry-instrumented throughput with or

@@ -49,7 +49,8 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 0, "override master seed")
 		workers  = fs.Int("workers", 0, "bound cell+replication parallelism (0 = GOMAXPROCS cells, sequential replications)")
 
-		obsDir     = fs.String("obs", "", "run the baseline cell with telemetry and export spans/metrics/timeseries/dashboard into this directory")
+		obsDir     = fs.String("obs", "", "run the baseline cell with telemetry and export the cross-replication merge (spans/exemplars/metrics/dashboard/summary) into this directory")
+		obsSpans   = fs.Int("obs-max-spans", 0, "per-replication span retention budget for -obs/-serve (0 = default 65536)")
 		serveAddr  = fs.String("serve", "", "serve live telemetry of the instrumented baseline run on this address (e.g. :8080)")
 		serveEvry  = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
 		serveHold  = fs.Duration("serve-hold", 0, "keep the observability server up this long after the instrumented run")
@@ -135,7 +136,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *obsDir != "" || srv != nil {
-		if err := exportObserved(opts, *obsDir, out, srv, *serveEvry, *serveHold); err != nil {
+		if err := exportObserved(opts, *obsSpans, *obsDir, out, srv, *serveEvry, *serveHold); err != nil {
 			return err
 		}
 		if *id == "" {
@@ -168,33 +169,38 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// exportObserved runs one telemetry-instrumented replication of the
-// Table 1 baseline cell at the selected fidelity, optionally serving it
-// live via srv, and writes the full telemetry export into dir (skipped
-// when dir is empty, for -serve-only invocations).
-func exportObserved(opts exp.Options, dir string, out io.Writer, srv *serve.Server, every int, hold time.Duration) error {
+// exportObserved runs the Table 1 baseline cell with telemetry at the
+// selected fidelity — every replication observed, on all opts.Workers —
+// optionally serving the shards live via srv, and writes the merged
+// telemetry export into dir (skipped when dir is empty, for -serve-only
+// invocations).
+func exportObserved(opts exp.Options, maxSpans int, dir string, out io.Writer, srv *serve.Server, every int, hold time.Duration) error {
 	cfg := exp.BaselineConfig(opts)
-	cfg.Replications = 1
-	cfg.Obs = obs.Options{Enabled: true}
-	sys, err := sim.NewSystem(cfg, cfg.Seed)
+	cfg.Obs = obs.Options{Enabled: true, MaxSpans: maxSpans}
+	info := serve.RunInfo{
+		Label:        cfg.Name(),
+		Replications: cfg.Replications,
+		Horizon:      float64(cfg.Warmup + cfg.Duration),
+	}
+	if srv != nil {
+		hub := srv.Hub()
+		cfg.OnReplication = func(sys *sim.System) {
+			hub.Attach(sys.Telemetry(), info, every)
+		}
+		cfg.OnReplicationDone = func(sys *sim.System) {
+			hub.Publish(sys.Telemetry(), info, float64(sys.Horizon()), true)
+		}
+	}
+	res, err := sim.Run(cfg)
 	if err != nil {
 		return err
 	}
-	info := serve.RunInfo{Label: cfg.Name(), Replication: 1, Replications: 1, Horizon: float64(sys.Horizon())}
 	if srv != nil {
-		srv.Hub().Attach(sys.Telemetry(), info, every)
+		srv.Hub().Finalize(res.Obs, info)
 	}
-	if err := sys.Start(); err != nil {
-		return err
-	}
-	sys.Finish(sys.Horizon())
-	tel := sys.Telemetry()
-	if srv != nil {
-		srv.Hub().Publish(tel, info, info.Horizon, true)
-	}
-	fmt.Fprint(out, tel.Summary())
+	fmt.Fprint(out, res.Obs.Snapshot().Summary())
 	if dir != "" {
-		paths, err := tel.ExportDir(dir)
+		paths, err := res.Obs.ExportDir(dir)
 		if err != nil {
 			return err
 		}

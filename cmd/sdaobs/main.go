@@ -7,10 +7,16 @@
 // never perturbs the run, so the export is bit-identical on every
 // invocation with the same inputs.
 //
-// Two modes:
+// Modes:
 //
 //	sdaobs -scenario testdata/scenarios/baseline_div.json -out obs-out
 //	sdaobs -load 0.6 -psp DIV-1 -duration 20000 -out obs-out
+//	sdaobs -load 0.6 -reps 8 -workers 4 -out obs-out   # cross-replication merge
+//
+// With -reps above 1 every replication runs observed (concurrently under
+// -workers) and the export is the deterministic cross-replication merge:
+// spans, exemplars, metrics, quantile dashboard, summary — bit-identical
+// at any worker count.
 package main
 
 import (
@@ -54,6 +60,8 @@ func run(args []string, w io.Writer) error {
 		dur     = fs.Float64("duration", 20000, "measured simulated time (synthetic mode)")
 		warmup  = fs.Float64("warmup", 1000, "warmup time (synthetic mode)")
 		seed    = fs.Uint64("seed", 1, "random seed (synthetic mode)")
+		reps    = fs.Int("reps", 1, "replications (synthetic mode); above 1 the export is the cross-replication merge")
+		workers = fs.Int("workers", 1, "replications run concurrently (synthetic mode); the merged export is identical at any worker count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,7 +73,10 @@ func run(args []string, w io.Writer) error {
 		MaxSpans:    *maxSpans,
 	}
 
-	var tel *obs.Telemetry
+	var (
+		tel    *obs.Telemetry // single-shard modes: scenario, -reps 1
+		merged *obs.Merged    // multi-replication synthetic mode
+	)
 	if *scenarioFile != "" {
 		sc, err := scenario.Load(*scenarioFile)
 		if err != nil {
@@ -87,7 +98,9 @@ func run(args []string, w io.Writer) error {
 		cfg.Spec.Load = *load
 		cfg.Duration = simtime.Duration(*dur)
 		cfg.Warmup = simtime.Duration(*warmup)
-		cfg.Replications = 1
+		cfg.Replications = *reps
+		cfg.Workers = *workers
+		cfg.Seed = *seed
 		cfg.Obs = o
 		var err error
 		if cfg.SSP, err = sda.ParseSSP(*sspName); err != nil {
@@ -96,26 +109,56 @@ func run(args []string, w io.Writer) error {
 		if cfg.PSP, err = sda.ParsePSP(*pspName); err != nil {
 			return err
 		}
-		sys, err := sim.NewSystem(cfg, *seed)
-		if err != nil {
-			return err
+		if *reps > 1 {
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "synthetic %s load=%g x%d reps: md_local %s  md_global %s  util %s\n",
+				cfg.Name(), *load, *reps, res.MDLocal, res.MDGlobal, res.Utilization)
+			merged = res.Obs
+		} else {
+			sys, err := sim.NewSystem(cfg, *seed)
+			if err != nil {
+				return err
+			}
+			if err := sys.Start(); err != nil {
+				return err
+			}
+			rep := sys.Finish(sys.Horizon())
+			fmt.Fprintf(w, "synthetic %s load=%g: md_local %.4f  md_global %.4f  util %.4f\n",
+				cfg.Name(), *load, rep.MDLocal, rep.MDGlobal, rep.Utilization)
+			tel = sys.Telemetry()
 		}
-		if err := sys.Start(); err != nil {
-			return err
-		}
-		rep := sys.Finish(sys.Horizon())
-		fmt.Fprintf(w, "synthetic %s load=%g: md_local %.4f  md_global %.4f  util %.4f\n",
-			cfg.Name(), *load, rep.MDLocal, rep.MDGlobal, rep.Utilization)
-		tel = sys.Telemetry()
 	}
 
-	paths, err := tel.ExportDir(*outDir)
-	if err != nil {
-		return err
+	// Single-shard exports keep the per-run extras (sampled time series);
+	// the merged export folds every replication's shard in index order.
+	var (
+		paths   []string
+		summary string
+		blamed  []obs.Record
+		err     error
+	)
+	if merged != nil {
+		if paths, err = merged.ExportDir(*outDir); err != nil {
+			return err
+		}
+		snap := merged.Snapshot()
+		summary = snap.Summary()
+		blamed = snap.SpansForAnalysis()
+	} else {
+		if paths, err = tel.ExportDir(*outDir); err != nil {
+			return err
+		}
+		summary = tel.Summary()
+		// Retained spans plus exemplars: under a tight -max-spans budget
+		// the worst and latest spans per kind are still present.
+		blamed = tel.Snapshot(0).SpansForAnalysis()
 	}
 	// The attribution report rides along with the bundle (the obs package
 	// cannot depend on attrib, so the cmd writes it).
-	rpt := attrib.Analyze(tel.Spans())
+	rpt := attrib.Analyze(blamed)
 	mdPath := filepath.Join(*outDir, "blame.md")
 	if err := os.WriteFile(mdPath, []byte(rpt.Markdown()), 0o644); err != nil {
 		return err
@@ -130,7 +173,7 @@ func run(args []string, w io.Writer) error {
 	}
 	paths = append(paths, mdPath, jsonPath)
 	fmt.Fprintln(w)
-	fmt.Fprint(w, tel.Summary())
+	fmt.Fprint(w, summary)
 	fmt.Fprintf(w, "exported: %s\n", strings.Join(paths, " "))
 	return nil
 }

@@ -103,6 +103,47 @@ func TestScenarioExport(t *testing.T) {
 	}
 }
 
+// TestSyntheticMergedExport exercises the multi-replication synthetic
+// mode: the export is the cross-replication merge (exemplars included)
+// and its bytes do not depend on the worker count.
+func TestSyntheticMergedExport(t *testing.T) {
+	export := func(workers string) map[string]string {
+		dir := t.TempDir()
+		var out strings.Builder
+		err := run([]string{
+			"-out", dir,
+			"-load", "0.6",
+			"-duration", "2000",
+			"-warmup", "100",
+			"-reps", "3",
+			"-workers", workers,
+			"-max-spans", "128",
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+		files := map[string]string{}
+		for _, name := range []string{obs.SpansFile, obs.ExemplarsFile, obs.MetricsFile,
+			obs.DashboardFile, obs.SummaryFile, "blame.md", "blame.json"} {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("missing merged export %s: %v", name, err)
+			}
+			if len(b) == 0 {
+				t.Fatalf("merged export %s is empty", name)
+			}
+			files[name] = string(b)
+		}
+		return files
+	}
+	seq, par := export("1"), export("3")
+	for name, want := range seq {
+		if par[name] != want {
+			t.Errorf("%s differs between -workers 1 and -workers 3", name)
+		}
+	}
+}
+
 // TestSyntheticExport exercises the non-scenario mode end to end.
 func TestSyntheticExport(t *testing.T) {
 	dir := t.TempDir()

@@ -44,7 +44,8 @@ func run(args []string, w io.Writer) error {
 		bless   = fs.Bool("bless", false, "rewrite the golden hash registry from this run")
 		list    = fs.Bool("list", false, "list scenarios and exit")
 		verbose = fs.Bool("v", false, "print per-scenario metrics")
-		obsDir  = fs.String("obs", "", "run with telemetry and export spans/metrics/timeseries/dashboard per scenario into this directory")
+		obsDir   = fs.String("obs", "", "run with telemetry and export spans/metrics/timeseries/dashboard per scenario into this directory")
+		obsSpans = fs.Int("obs-max-spans", 0, "per-run span retention budget (0 = default 65536); evicted spans are counted, aggregates stay exact")
 
 		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080); implies telemetry")
 		serveEvry = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
@@ -89,14 +90,11 @@ func run(args []string, w io.Writer) error {
 	}
 
 	// Live observability: one server spans the whole suite; each scenario
-	// attaches the hub to its own telemetry sampler. Snapshots publish
-	// inside existing read-only sampler ticks, so golden hashes are
-	// unaffected by -serve.
-	var (
-		srv      *serve.Server
-		lastTel  *obs.Telemetry
-		lastInfo serve.RunInfo
-	)
+	// attaches the hub to its own telemetry sampler and publishes its
+	// final snapshot when it ends (the hub starts a fresh run for the
+	// next scenario). Snapshots publish inside existing read-only sampler
+	// ticks, so golden hashes are unaffected by -serve.
+	var srv *serve.Server
 	if *serveAddr != "" {
 		s, err := serve.Start(*serveAddr, serve.NewHub(0))
 		if err != nil {
@@ -106,9 +104,6 @@ func run(args []string, w io.Writer) error {
 		defer srv.Close()
 		fmt.Fprintf(w, "live telemetry on http://%s (endpoints: /metrics /progress /spans /blame)\n", srv.Addr())
 		defer func() {
-			if lastTel != nil {
-				srv.Hub().Publish(lastTel, lastInfo, lastInfo.Horizon, true)
-			}
 			if *serveHold > 0 {
 				fmt.Fprintf(w, "holding observability server for %v\n", *serveHold)
 				time.Sleep(*serveHold)
@@ -127,16 +122,17 @@ func run(args []string, w io.Writer) error {
 			// Telemetry never perturbs the run, so golden checks below
 			// still apply unchanged.
 			var onSystem func(*sim.System)
+			info := serve.RunInfo{Label: fmt.Sprintf("%s (%d/%d)", sc.Name, i+1, len(scs)), Replications: 1}
 			if srv != nil {
-				info := serve.RunInfo{Label: sc.Name, Replication: i + 1, Replications: len(scs)}
 				onSystem = func(sys *sim.System) {
 					info.Horizon = float64(sys.Horizon())
-					lastTel = sys.Telemetry()
-					lastInfo = info
-					srv.Hub().Attach(lastTel, info, *serveEvry)
+					srv.Hub().Attach(sys.Telemetry(), info, *serveEvry)
 				}
 			}
-			out, tel, err = scenario.RunObservedWith(sc, obs.Options{}, onSystem)
+			out, tel, err = scenario.RunObservedWith(sc, obs.Options{MaxSpans: *obsSpans}, onSystem)
+			if err == nil && srv != nil && tel != nil {
+				srv.Hub().Publish(tel, info, info.Horizon, true)
+			}
 		} else {
 			out, err = scenario.Run(sc)
 		}

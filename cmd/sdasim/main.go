@@ -56,11 +56,13 @@ func run(args []string) error {
 		duration  = fs.Float64("duration", 50000, "measured simulated time per replication")
 		warmup    = fs.Float64("warmup", 1000, "warmup time (not measured)")
 		reps      = fs.Int("reps", 2, "independent replications")
+		workers   = fs.Int("workers", 1, "replications run concurrently (results and merged telemetry are identical at any worker count)")
 		servers   = fs.Int("servers", 1, "servers per node (M/M/c extension)")
 		seed      = fs.Uint64("seed", 1, "master random seed")
 		recordTo  = fs.String("record-trace", "", "write the synthesized arrival trace to this file and exit")
 		replayOf  = fs.String("replay-trace", "", "drive the simulation from a recorded trace file")
-		obsDir    = fs.String("obs", "", "run one telemetry-instrumented replication and export spans/metrics/timeseries/dashboard into this directory")
+		obsDir    = fs.String("obs", "", "instrument the run with telemetry and export the cross-replication merge (spans/exemplars/metrics/dashboard/summary) into this directory")
+		obsSpans  = fs.Int("obs-max-spans", 0, "per-replication span retention budget (0 = default 65536); the merged export trims to the same budget")
 		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080); implies telemetry")
 		serveEvry = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
 		serveHold = fs.Duration("serve-hold", 0, "keep the observability server up this long after the run")
@@ -80,6 +82,7 @@ func run(args []string) error {
 	cfg.Duration = simtime.Duration(*duration)
 	cfg.Warmup = simtime.Duration(*warmup)
 	cfg.Replications = *reps
+	cfg.Workers = *workers
 	cfg.Seed = *seed
 	cfg.Servers = *servers
 
@@ -137,18 +140,23 @@ func run(args []string) error {
 	}
 	cfg.Policy = pol
 
-	// Live observability: attach a snapshot hub to every replication's
-	// telemetry sampler. Publishing happens inside existing read-only
+	// Telemetry rides on the run itself: it never perturbs results, and
+	// observed replications still execute on all -workers (each owns a
+	// private shard; shards merge deterministically into Result.Obs).
+	if *obsDir != "" || *serveAddr != "" {
+		cfg.Obs = obs.Options{Enabled: true, MaxSpans: *obsSpans}
+	}
+
+	// Live observability: every replication attaches its own sampler hook
+	// and publishes its final snapshot when it finishes, so /metrics,
+	// /progress and /summary aggregate across replications — including
+	// concurrent ones. Publishing happens inside existing read-only
 	// sampler ticks, so results are bit-identical with and without -serve.
 	var (
-		lastTel  *obs.Telemetry
-		lastInfo serve.RunInfo
-		srv      *serve.Server
+		srv  *serve.Server
+		info serve.RunInfo
 	)
 	if *serveAddr != "" {
-		if !cfg.Obs.Enabled {
-			cfg.Obs = obs.Options{Enabled: true}
-		}
 		hub := serve.NewHub(0)
 		s, err := serve.Start(*serveAddr, hub)
 		if err != nil {
@@ -157,22 +165,18 @@ func run(args []string) error {
 		srv = s
 		defer srv.Close()
 		fmt.Printf("live telemetry on http://%s (endpoints: /metrics /progress /spans /blame)\n", srv.Addr())
-		repNo := 0
-		cfg.OnSystem = func(sys *sim.System) {
-			repNo++
-			lastTel = sys.Telemetry()
-			lastInfo = serve.RunInfo{
-				Label:        cfg.Name(),
-				Replication:  repNo,
-				Replications: cfg.Replications,
-				Horizon:      float64(sys.Horizon()),
-			}
-			hub.Attach(lastTel, lastInfo, *serveEvry)
+		info = serve.RunInfo{
+			Label:        cfg.Name(),
+			Replications: cfg.Replications,
+			Horizon:      float64(cfg.Warmup + cfg.Duration),
+		}
+		cfg.OnReplication = func(sys *sim.System) {
+			hub.Attach(sys.Telemetry(), info, *serveEvry)
+		}
+		cfg.OnReplicationDone = func(sys *sim.System) {
+			hub.Publish(sys.Telemetry(), info, float64(sys.Horizon()), true)
 		}
 		defer func() {
-			if lastTel != nil {
-				srv.Hub().Publish(lastTel, lastInfo, lastInfo.Horizon, true)
-			}
 			if *serveHold > 0 {
 				fmt.Printf("holding observability server for %v\n", *serveHold)
 				time.Sleep(*serveHold)
@@ -207,9 +211,21 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		// Replay builds one system directly, so the live hub attaches via
+		// OnSystem and the final snapshot publishes after the replay.
+		var replayTel *obs.Telemetry
+		if srv != nil {
+			cfg.OnSystem = func(sys *sim.System) {
+				replayTel = sys.Telemetry()
+				srv.Hub().Attach(replayTel, info, *serveEvry)
+			}
+		}
 		rep, err := sim.ReplayTrace(cfg, arrivals)
 		if err != nil {
 			return err
+		}
+		if srv != nil && replayTel != nil {
+			srv.Hub().Publish(replayTel, info, info.Horizon, true)
 		}
 		fmt.Printf("replayed %d arrivals from %s\n", len(arrivals), *replayOf)
 		fmt.Printf("tasks counted   %d locals, %d globals\n", rep.Locals, rep.Globals)
@@ -227,37 +243,30 @@ func run(args []string) error {
 	}
 	printReport(cfg, res)
 
+	if srv != nil {
+		// Pin the served artifacts to the exact end-of-run aggregate: from
+		// here /metrics, /summary and /blame match the merged export byte
+		// for byte.
+		srv.Hub().Finalize(res.Obs, info)
+	}
 	if *obsDir != "" {
-		// One extra instrumented replication with the master seed; the
-		// aggregate report above is unaffected (telemetry never perturbs
-		// a run, and this run is separate anyway).
-		if err := exportObserved(cfg, *obsDir); err != nil {
+		if err := exportMerged(res.Obs, *obsDir); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// exportObserved runs a single telemetry-instrumented replication of cfg
-// and writes the full export into dir.
-func exportObserved(cfg sim.Config, dir string) error {
-	cfg.Replications = 1
-	cfg.Obs = obs.Options{Enabled: true}
-	sys, err := sim.NewSystem(cfg, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	if err := sys.Start(); err != nil {
-		return err
-	}
-	sys.Finish(sys.Horizon())
-	tel := sys.Telemetry()
-	paths, err := tel.ExportDir(dir)
+// exportMerged writes the run's cross-replication telemetry merge into
+// dir: every replication's shard folded in index order, bit-identical at
+// any -workers count.
+func exportMerged(m *obs.Merged, dir string) error {
+	paths, err := m.ExportDir(dir)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
-	fmt.Print(tel.Summary())
+	fmt.Print(m.Snapshot().Summary())
 	fmt.Printf("telemetry exported: %s\n", strings.Join(paths, " "))
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestSimRunsQuick(t *testing.T) {
@@ -40,6 +42,38 @@ func TestSimFlagErrors(t *testing.T) {
 	for i, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("case %d: expected error for %v", i, args)
+		}
+	}
+}
+
+// TestSimMergedObsExport checks -obs on a parallel multi-replication
+// run: the export is the cross-replication merge and its bytes do not
+// depend on the worker count.
+func TestSimMergedObsExport(t *testing.T) {
+	export := func(workers string) map[string]string {
+		dir := t.TempDir()
+		err := run([]string{"-duration", "800", "-warmup", "50", "-reps", "2",
+			"-workers", workers, "-obs", dir, "-obs-max-spans", "256"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := map[string]string{}
+		for _, name := range []string{obs.SpansFile, obs.ExemplarsFile, obs.MetricsFile, obs.SummaryFile} {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("missing merged export %s: %v", name, err)
+			}
+			if len(b) == 0 {
+				t.Fatalf("merged export %s is empty", name)
+			}
+			files[name] = string(b)
+		}
+		return files
+	}
+	seq, par := export("1"), export("2")
+	for name, want := range seq {
+		if par[name] != want {
+			t.Errorf("%s differs between -workers 1 and -workers 2", name)
 		}
 	}
 }

@@ -1,0 +1,269 @@
+package obs
+
+import "sort"
+
+// spanKinds is the fixed kind vocabulary, in the order exemplar exports
+// use.
+var spanKinds = []string{"global", "local", "stage", "subtask"}
+
+// exemplarStore keeps a bounded, deterministic selection of closed spans
+// that survives span-ring eviction: for each span kind, the K spans with
+// the latest release instants ("latest") and the K finished spans with
+// the largest lateness ("worst"). Selection is a pure function of the
+// observed span set, the budget K and the tie-break seed — feeding the
+// same spans in any order yields the same exemplars, which is what makes
+// the cross-replication merge order-independent.
+//
+// Ties (equal start instant, equal lateness) are broken by a seeded hash
+// of (rep, id) so the choice is arbitrary but reproducible, then by
+// (rep, id) as the total-order fallback.
+// The candidates are kept as raw spans in arrays preallocated at the
+// budget, and converted to Records only at snapshot time: observeClose
+// sits on the per-task-resolution hot path and must not allocate.
+type exemplarStore struct {
+	k    int
+	seed uint64
+
+	latest map[string][]span // per kind, sorted by latestSpanLess
+	worst  map[string][]span // per kind, sorted by worstSpanLess
+}
+
+func newExemplarStore(k int, seed uint64) *exemplarStore {
+	e := &exemplarStore{
+		k:      k,
+		seed:   seed,
+		latest: make(map[string][]span, len(spanKinds)),
+		worst:  make(map[string][]span, len(spanKinds)),
+	}
+	for _, kind := range spanKinds {
+		e.latest[kind] = make([]span, 0, k)
+		e.worst[kind] = make([]span, 0, k)
+	}
+	return e
+}
+
+// exemplarRank is the seeded tie-break: splitmix64 over (seed, rep, id).
+func exemplarRank(seed uint64, rep int, id uint64) uint64 {
+	x := seed ^ (uint64(rep)+1)*0x9e3779b97f4a7c15 ^ id*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// deref reads an optional Record field, defaulting to 0.
+func deref(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// tieLess is the shared tail of both orders: seeded hash, then the
+// (rep, id) identity as the total-order fallback.
+func tieLess(seed uint64, a, b *Record) bool {
+	ra, rb := exemplarRank(seed, a.Rep, a.ID), exemplarRank(seed, b.Rep, b.ID)
+	if ra != rb {
+		return ra < rb
+	}
+	if a.Rep != b.Rep {
+		return a.Rep < b.Rep
+	}
+	return a.ID < b.ID
+}
+
+// latestLess orders the "latest" class: release instant descending, then
+// the seeded tie-break.
+func latestLess(seed uint64, a, b *Record) bool {
+	if sa, sb := deref(a.Start), deref(b.Start); sa != sb {
+		return sa > sb
+	}
+	return tieLess(seed, a, b)
+}
+
+// worstLess orders the "worst" class: lateness descending, then the
+// seeded tie-break. Only records with a defined lateness enter it.
+func worstLess(seed uint64, a, b *Record) bool {
+	if la, lb := deref(a.Lateness), deref(b.Lateness); la != lb {
+		return la > lb
+	}
+	return tieLess(seed, a, b)
+}
+
+// insertBounded places rec into the sorted bounded list, keeping the
+// best k under less.
+func insertBounded(list []Record, rec Record, k int, less func(a, b *Record) bool) []Record {
+	i := sort.Search(len(list), func(i int) bool { return less(&rec, &list[i]) })
+	if i >= k {
+		return list // worse than everything retained at budget
+	}
+	list = append(list, Record{})
+	copy(list[i+1:], list[i:])
+	list[i] = rec
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}
+
+// tieSpanLess / latestSpanLess / worstSpanLess mirror the Record
+// comparators on the in-memory span form, so the live selection and the
+// merge-time re-selection impose the same order.
+func tieSpanLess(seed uint64, a, b *span) bool {
+	ra, rb := exemplarRank(seed, a.rep, a.id), exemplarRank(seed, b.rep, b.id)
+	if ra != rb {
+		return ra < rb
+	}
+	if a.rep != b.rep {
+		return a.rep < b.rep
+	}
+	return a.id < b.id
+}
+
+func latestSpanLess(seed uint64, a, b *span) bool {
+	if a.start != b.start {
+		return a.start > b.start
+	}
+	return tieSpanLess(seed, a, b)
+}
+
+func worstSpanLess(seed uint64, a, b *span) bool {
+	la, _ := a.lateness()
+	lb, _ := b.lateness()
+	if la != lb {
+		return la > lb
+	}
+	return tieSpanLess(seed, a, b)
+}
+
+// spanLess dispatches to the class comparator with a direct call: an
+// indirect func-value comparator would make every *span argument escape
+// to the heap, and insertBoundedSpan sits on the span-close hot path.
+func spanLess(worst bool, seed uint64, a, b *span) bool {
+	if worst {
+		return worstSpanLess(seed, a, b)
+	}
+	return latestSpanLess(seed, a, b)
+}
+
+// insertBoundedSpan places *sp into the sorted bounded list, keeping the
+// best k under the class order. The list's capacity is preallocated at
+// k and spans are small value copies, so the call never allocates.
+func insertBoundedSpan(list []span, sp *span, k int, seed uint64, worst bool) []span {
+	if len(list) == k && !spanLess(worst, seed, sp, &list[k-1]) {
+		return list // worse than everything retained at budget
+	}
+	i := 0
+	for i < len(list) && !spanLess(worst, seed, sp, &list[i]) {
+		i++
+	}
+	if i >= k {
+		return list
+	}
+	if len(list) < k {
+		list = list[:len(list)+1]
+	}
+	copy(list[i+1:], list[i:])
+	list[i] = *sp
+	list[i].owner = nil // don't pin the task beyond its lifetime
+	return list
+}
+
+// observeClose feeds one just-closed span into both exemplar classes.
+// The span is copied by value, so later ring eviction cannot disturb it.
+func (e *exemplarStore) observeClose(sp *span) {
+	e.latest[sp.kind] = insertBoundedSpan(e.latest[sp.kind], sp, e.k, e.seed, false)
+	if _, ok := sp.lateness(); ok {
+		e.worst[sp.kind] = insertBoundedSpan(e.worst[sp.kind], sp, e.k, e.seed, true)
+	}
+}
+
+// snapshot converts the store into its serializable, mergeable form;
+// kinds with no candidates are omitted.
+func (e *exemplarStore) snapshot() ExemplarSet {
+	s := ExemplarSet{
+		K:      e.k,
+		Seed:   e.seed,
+		Latest: make(map[string][]Record, len(e.latest)),
+		Worst:  make(map[string][]Record, len(e.worst)),
+	}
+	conv := func(list []span) []Record {
+		recs := make([]Record, len(list))
+		for i := range list {
+			recs[i] = list[i].record()
+		}
+		return recs
+	}
+	for kind, list := range e.latest {
+		if len(list) > 0 {
+			s.Latest[kind] = conv(list)
+		}
+	}
+	for kind, list := range e.worst {
+		if len(list) > 0 {
+			s.Worst[kind] = conv(list)
+		}
+	}
+	return s
+}
+
+// ExemplarSet is a shard's exemplar selection in mergeable form: per
+// span kind, the K latest-released and K worst-lateness closed spans in
+// their class sort order. Merging re-selects the top K over the union
+// with the same comparators, so the merged set equals what one store fed
+// every shard's spans would have kept — independent of merge order.
+type ExemplarSet struct {
+	K      int
+	Seed   uint64
+	Latest map[string][]Record
+	Worst  map[string][]Record
+}
+
+// clone deep-copies the set so merging into the copy cannot mutate the
+// original's maps or lists.
+func (s ExemplarSet) clone() ExemplarSet {
+	cp := ExemplarSet{
+		K:      s.K,
+		Seed:   s.Seed,
+		Latest: make(map[string][]Record, len(s.Latest)),
+		Worst:  make(map[string][]Record, len(s.Worst)),
+	}
+	for kind, list := range s.Latest {
+		cp.Latest[kind] = append([]Record(nil), list...)
+	}
+	for kind, list := range s.Worst {
+		cp.Worst[kind] = append([]Record(nil), list...)
+	}
+	return cp
+}
+
+// Merge folds other's exemplars into s.
+func (s *ExemplarSet) Merge(other ExemplarSet) {
+	mergeClass := func(dst map[string][]Record, src map[string][]Record, less func(seed uint64, a, b *Record) bool) {
+		for kind, list := range src {
+			for _, rec := range list {
+				dst[kind] = insertBounded(dst[kind], rec, s.K,
+					func(a, b *Record) bool { return less(s.Seed, a, b) })
+			}
+		}
+	}
+	mergeClass(s.Latest, other.Latest, latestLess)
+	mergeClass(s.Worst, other.Worst, worstLess)
+}
+
+// Records serializes the set in deterministic order: kinds in spanKinds
+// order, the latest class then the worst class, each in its sort order.
+// Spans retained in both classes appear twice; consumers that need
+// uniqueness dedup on (rep, id).
+func (s ExemplarSet) Records() []Record {
+	var out []Record
+	for _, kind := range spanKinds {
+		out = append(out, s.Latest[kind]...)
+	}
+	for _, kind := range spanKinds {
+		out = append(out, s.Worst[kind]...)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// shardSnapshots runs n observed replications sequentially and snapshots
+// each shard.
+func shardSnapshots(t *testing.T, n int, maxSpans int) []*obs.Snapshot {
+	t.Helper()
+	shards := make([]*obs.Snapshot, n)
+	for rep := 0; rep < n; rep++ {
+		cfg := smallConfig()
+		cfg.Obs = obs.Options{Enabled: true, MaxSpans: maxSpans}
+		sys, err := sim.NewSystem(cfg, sim.RepSeed(cfg.Seed, rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Telemetry().SetReplication(rep)
+		if err := sys.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sys.Finish(sys.Horizon())
+		shards[rep] = sys.Telemetry().Snapshot(0)
+	}
+	return shards
+}
+
+func mergeOrder(t *testing.T, shards []*obs.Snapshot, order []int) *obs.Merged {
+	t.Helper()
+	m := obs.NewMerged()
+	for _, i := range order {
+		if err := m.Add(shards[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func exposition(t *testing.T, m *obs.Merged) string {
+	t.Helper()
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestMergedOrderIndependent is the core determinism property: shards
+// submitted in any arrival order fold to bit-identical output, because
+// the fold itself always proceeds in replication-index order.
+func TestMergedOrderIndependent(t *testing.T) {
+	shards := shardSnapshots(t, 4, 1<<16)
+	// Snapshots are value-copied per merge since fold mutates the first
+	// shard's registry copy — regenerate per order.
+	a := mergeOrder(t, shardSnapshots(t, 4, 1<<16), []int{0, 1, 2, 3})
+	b := mergeOrder(t, shards, []int{3, 2, 1, 0})
+	ea, eb := exposition(t, a), exposition(t, b)
+	if ea != eb {
+		t.Fatalf("merged exposition depends on arrival order")
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Summary() != sb.Summary() {
+		t.Fatalf("merged summary depends on arrival order")
+	}
+	if len(sa.SpansForAnalysis()) != len(sb.SpansForAnalysis()) {
+		t.Fatalf("merged analysis spans depend on arrival order")
+	}
+	if a.Shards() != 4 || a.Pending() != 0 {
+		t.Fatalf("shards %d pending %d, want 4, 0", a.Shards(), a.Pending())
+	}
+}
+
+// TestMergedSingleShardMatchesShard checks the degenerate merge: folding
+// one shard reproduces that shard's own exposition byte for byte.
+func TestMergedSingleShardMatchesShard(t *testing.T) {
+	shard := shardSnapshots(t, 1, 1<<16)[0]
+	var direct strings.Builder
+	if err := shard.Registry.WritePrometheus(&direct); err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMerged()
+	if err := m.Add(shardSnapshots(t, 1, 1<<16)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := exposition(t, m); got != direct.String() {
+		t.Fatalf("single-shard merge differs from the shard exposition")
+	}
+}
+
+// TestMergedGlobalSpanBudget checks the global retention budget: merging
+// many shards keeps O(MaxSpans) spans, not O(shards x MaxSpans), with
+// trim accounting.
+func TestMergedGlobalSpanBudget(t *testing.T) {
+	const budget = 64
+	shards := shardSnapshots(t, 4, budget)
+	perShard := 0
+	for _, s := range shards {
+		perShard += len(s.Spans)
+	}
+	if perShard <= budget {
+		t.Fatalf("run too small: %d spans across shards", perShard)
+	}
+	m := mergeOrder(t, shards, []int{0, 1, 2, 3})
+	s := m.Snapshot()
+	// Equal shares can leave slack when a shard has fewer spans than its
+	// share; the bound is budget + (shards-1) from share rounding.
+	if len(s.Spans) > budget+3 {
+		t.Fatalf("merged span log exceeds global budget: %d > %d", len(s.Spans), budget)
+	}
+	if m.Trimmed() == 0 {
+		t.Fatalf("expected trim drops when shard spans exceed the budget")
+	}
+	// Exact aggregate accounting survives the trim.
+	resolved, _ := s.GlobalCounts()
+	wantResolved := 0
+	for _, sh := range shards {
+		r, _ := sh.GlobalCounts()
+		wantResolved += r
+	}
+	if resolved != wantResolved {
+		t.Fatalf("merged resolved globals %d, want %d", resolved, wantResolved)
+	}
+}
+
+// TestMergedDuplicateShardRejected guards the accounting invariant.
+func TestMergedDuplicateShardRejected(t *testing.T) {
+	shards := shardSnapshots(t, 2, 1<<16)
+	m := obs.NewMerged()
+	if err := m.Add(shards[0]); err != nil {
+		t.Fatal(err)
+	}
+	dup := *shards[1]
+	dup.Rep = 0
+	if err := m.Add(&dup); err == nil {
+		t.Fatalf("duplicate replication index must be rejected")
+	}
+}

@@ -53,9 +53,24 @@ type Options struct {
 	// run outlives the ring, the oldest samples are overwritten.
 	MaxSamples int
 
-	// MaxSpans bounds the span store (default 65536). Further spans are
-	// dropped and counted in sda_spans_dropped_total.
+	// MaxSpans bounds the span store (default 65536). The store is a
+	// ring: once full, recording a new span evicts the oldest one, so
+	// the latest spans are always retained and peak span memory is
+	// O(MaxSpans) regardless of run length. Evictions are counted in
+	// sda_spans_dropped_total.
 	MaxSpans int
+
+	// ExemplarK bounds the per-kind exemplar sets (default 8). For each
+	// span kind the telemetry keeps the K latest-released and the K
+	// worst-lateness closed spans independently of ring eviction, so
+	// cause analysis has representative spans even when the ring has
+	// wrapped many times.
+	ExemplarK int
+
+	// ExemplarSeed seeds the deterministic tie-break used by exemplar
+	// selection (default 1). All shards of one run share the seed, so
+	// the merged exemplar set is a pure function of the run.
+	ExemplarSeed uint64
 }
 
 // DefaultOptions returns an enabled telemetry configuration.
@@ -73,6 +88,12 @@ func (o Options) normalized() Options {
 	}
 	if o.MaxSpans <= 0 {
 		o.MaxSpans = 1 << 16
+	}
+	if o.ExemplarK <= 0 {
+		o.ExemplarK = 8
+	}
+	if o.ExemplarSeed == 0 {
+		o.ExemplarSeed = 1
 	}
 	return o
 }
@@ -104,9 +125,30 @@ type Telemetry struct {
 	slackHist    *Histogram // assigned slack at every release
 	latenessHist *Histogram // lateness at span close (end - judging deadline)
 
-	spans  []span
-	open   map[*task.Task]int // task -> index of its open span
-	nextID uint64
+	// Mergeable quantile sketches mirroring the series above plus span
+	// duration; these survive the cross-replication merge losslessly
+	// where the fixed-bucket histograms only survive bucket-wise.
+	slackSk    *SketchInstrument
+	latenessSk *SketchInstrument
+	latencySk  *SketchInstrument
+
+	// The span store is a ring of at most MaxSpans entries: ring[rstart]
+	// is the oldest retained span and indices wrap modulo len(ring).
+	// The backing array grows geometrically up to MaxSpans, so small
+	// runs stay small.
+	ring   []span
+	rstart int
+	rlen   int
+	open   map[*task.Task]int // task -> ring slot of its open span
+	// evicted holds spans pushed out of the ring while still open, so
+	// their eventual close still feeds the lateness series and exemplar
+	// selection — aggregates are exact under any retention budget. It is
+	// bounded by the in-flight task count, not by run length.
+	evicted map[*task.Task]span
+	nextID  uint64 // last span id == total spans ever recorded
+	rep     int    // replication index stamped on spans
+
+	ex *exemplarStore
 
 	// dagShape holds the {depth, width} of an announced precedence-DAG
 	// global task, keyed by its accounting root, until the root span is
@@ -153,12 +195,26 @@ func New(o Options) *Telemetry {
 		latenessHist: reg.Histogram("sda_span_lateness", "",
 			"span end minus judging deadline (negative = early)", -50, 50, 100),
 
-		spans:    make([]span, 0, min(o.MaxSpans, 1024)),
+		slackSk: reg.Sketch("sda_slack_quantiles", "",
+			"assigned slack at release (mergeable quantile sketch)"),
+		latenessSk: reg.Sketch("sda_lateness_quantiles", "",
+			"span end minus judging deadline (mergeable quantile sketch)"),
+		latencySk: reg.Sketch("sda_latency_quantiles", "",
+			"span duration end - start (mergeable quantile sketch)"),
+
+		ring:     make([]span, min(o.MaxSpans, 1024)),
 		open:     make(map[*task.Task]int, 256),
+		evicted:  make(map[*task.Task]span),
 		dagShape: make(map[*task.Task][2]int, 16),
+		ex:       newExemplarStore(o.ExemplarK, o.ExemplarSeed),
 	}
 	return t
 }
+
+// SetReplication stamps rep (0-based replication index) on every span the
+// telemetry records from now on. The simulator calls it before the run
+// starts; standalone uses default to rep 0.
+func (t *Telemetry) SetReplication(rep int) { t.rep = rep }
 
 // min is a tiny helper (the go.mod floor predates the builtin).
 func min(a, b int) int {
@@ -264,6 +320,7 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 	now := t.now()
 	slack := float64(tk.VirtualDeadline) - now - float64(tk.PredictedCriticalPath())
 	t.slackHist.Observe(slack)
+	t.slackSk.Observe(slack)
 
 	if idx, ok := t.open[tk]; ok {
 		// Re-release after a local-scheduler abort: close the failed
@@ -271,13 +328,15 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 		t.resubmits.Inc()
 		t.closeSpan(idx, now, false, true)
 		delete(t.open, tk)
+	} else if t.closeEvicted(tk, now, false, true) {
+		t.resubmits.Inc()
 	}
 
 	var rootID uint64
 	if tk == root {
 		t.inflight++
 	} else if ri, ok := t.open[root]; ok {
-		rootID = t.spans[ri].id
+		rootID = t.ring[ri].id
 	}
 	kind := "stage"
 	nodeID := -1
@@ -311,24 +370,85 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 			sp.depth, sp.width = shape[0], shape[1]
 		}
 	}
-	t.openSpan(tk, sp)
+	t.pushSpan(tk, sp)
 }
 
-// openSpan appends a span and indexes it as open, respecting MaxSpans.
-func (t *Telemetry) openSpan(tk *task.Task, sp span) {
-	if len(t.spans) >= t.opts.MaxSpans {
-		t.droppedSpans.Inc()
-		return
-	}
+// slot translates a logical span position (0 = oldest retained) to its
+// ring index.
+func (t *Telemetry) slot(i int) int { return (t.rstart + i) % len(t.ring) }
+
+// pushSpan records a span in the ring and returns its slot, evicting the
+// oldest retained span when the ring is at the MaxSpans budget. Open
+// spans are indexed by their owner so a later close finds them; an
+// evicted open span simply loses its index and the task's resolution is
+// counted but not spanned.
+func (t *Telemetry) pushSpan(owner *task.Task, sp span) int {
 	t.nextID++
 	sp.id = t.nextID
-	t.spans = append(t.spans, sp)
-	t.open[tk] = len(t.spans) - 1
+	sp.rep = t.rep
+	sp.owner = owner
+	var s int
+	switch {
+	case t.rlen < len(t.ring):
+		s = t.slot(t.rlen)
+		t.rlen++
+	case len(t.ring) < t.opts.MaxSpans:
+		// Grow the backing array geometrically up to the budget,
+		// unwrapping the ring so rstart resets to 0.
+		grown := make([]span, min(2*len(t.ring), t.opts.MaxSpans))
+		for i := 0; i < t.rlen; i++ {
+			grown[i] = t.ring[t.slot(i)]
+		}
+		// Slot indices changed; rebuild the open-span index.
+		t.ring, t.rstart = grown, 0
+		for i := 0; i < t.rlen; i++ {
+			if t.ring[i].open && t.ring[i].owner != nil {
+				t.open[t.ring[i].owner] = i
+			}
+		}
+		s = t.rlen
+		t.rlen++
+	default:
+		s = t.rstart
+		t.rstart = (t.rstart + 1) % len(t.ring)
+		old := &t.ring[s]
+		if old.open && old.owner != nil && t.open[old.owner] == s {
+			delete(t.open, old.owner)
+			// Keep the evicted open span aside so its close still feeds
+			// the lateness series and exemplars; only the log entry is
+			// dropped.
+			t.evicted[old.owner] = *old
+		}
+		t.droppedSpans.Inc()
+	}
+	t.ring[s] = sp
+	if sp.open && owner != nil {
+		t.open[owner] = s
+	}
+	return s
 }
 
-// closeSpan resolves span idx at instant end.
-func (t *Telemetry) closeSpan(idx int, end float64, missed, aborted bool) {
-	sp := &t.spans[idx]
+// closeSpan resolves the span in ring slot s at instant end.
+func (t *Telemetry) closeSpan(s int, end float64, missed, aborted bool) {
+	t.finishSpan(&t.ring[s], end, missed, aborted)
+}
+
+// closeEvicted resolves tk's span when the ring evicted it while still
+// open, reporting whether one existed. The lateness observations and
+// exemplar candidacy land as usual; only the log entry is gone.
+func (t *Telemetry) closeEvicted(tk *task.Task, end float64, missed, aborted bool) bool {
+	sp, ok := t.evicted[tk]
+	if !ok {
+		return false
+	}
+	delete(t.evicted, tk)
+	t.finishSpan(&sp, end, missed, aborted)
+	return true
+}
+
+// finishSpan marks sp resolved at instant end and feeds the lateness
+// series and the exemplar selection.
+func (t *Telemetry) finishSpan(sp *span, end float64, missed, aborted bool) {
 	if !sp.open {
 		return
 	}
@@ -341,6 +461,9 @@ func (t *Telemetry) closeSpan(idx int, end float64, missed, aborted bool) {
 		judge = sp.realDL
 	}
 	t.latenessHist.Observe(end - judge)
+	t.latenessSk.Observe(end - judge)
+	t.latencySk.Observe(end - sp.start)
+	t.ex.observeClose(sp)
 }
 
 // endOf picks the end instant for a resolving task: its finish time, or
@@ -373,6 +496,8 @@ func (t *Telemetry) RecordLocal(tk *task.Task, missed bool) {
 	end := t.endOf(tk)
 	slack := float64(tk.RealDeadline) - float64(tk.Arrival) - float64(tk.Exec)
 	t.latenessHist.Observe(end - float64(tk.RealDeadline))
+	t.latenessSk.Observe(end - float64(tk.RealDeadline))
+	t.latencySk.Observe(end - float64(tk.Arrival))
 	sp := span{
 		kind:   "local",
 		task:   tk.Name,
@@ -389,13 +514,8 @@ func (t *Telemetry) RecordLocal(tk *task.Task, missed bool) {
 		abort:  tk.Aborted,
 		boost:  tk.PriorityBoost,
 	}
-	if len(t.spans) >= t.opts.MaxSpans {
-		t.droppedSpans.Inc()
-		return
-	}
-	t.nextID++
-	sp.id = t.nextID
-	t.spans = append(t.spans, sp)
+	s := t.pushSpan(nil, sp)
+	t.ex.observeClose(&t.ring[s])
 }
 
 // RecordSubtask implements procmgr.Recorder: it closes the subtask's
@@ -408,6 +528,8 @@ func (t *Telemetry) RecordSubtask(tk *task.Task, missed bool) {
 	if idx, ok := t.open[tk]; ok {
 		t.closeSpan(idx, t.endOf(tk), missed, tk.Aborted)
 		delete(t.open, tk)
+	} else {
+		t.closeEvicted(tk, t.endOf(tk), missed, tk.Aborted)
 	}
 }
 
@@ -424,6 +546,15 @@ func (t *Telemetry) RecordGlobal(root *task.Task, missed bool) {
 	root.Walk(func(n *task.Task) {
 		idx, ok := t.open[n]
 		if !ok {
+			if sp, ev := t.evicted[n]; ev {
+				delete(t.evicted, n)
+				end := t.endOf(n)
+				m := missed
+				if n != root {
+					m = end > sp.vdl
+				}
+				t.finishSpan(&sp, end, m, root.Aborted)
+			}
 			return
 		}
 		if n == root {
@@ -433,7 +564,7 @@ func (t *Telemetry) RecordGlobal(root *task.Task, missed bool) {
 			// an abort (or is an interior node whose children resolved
 			// it); judge it by its own virtual deadline.
 			end := t.endOf(n)
-			t.closeSpan(idx, end, end > t.spans[idx].vdl, root.Aborted)
+			t.closeSpan(idx, end, end > t.ring[idx].vdl, root.Aborted)
 		}
 		delete(t.open, n)
 	})
@@ -467,8 +598,8 @@ func (t *Telemetry) Summary() string {
 		t.doneLocal.Value(), t.missedLocal.Value(),
 		t.doneGlobal.Value(), t.missedGlobal.Value(),
 		t.doneSubtask.Value(), t.missedSubtask.Value())
-	fmt.Fprintf(&b, "spans        %d recorded, %d dropped, %d open at horizon\n",
-		len(t.spans), t.droppedSpans.Value(), len(t.open))
+	fmt.Fprintf(&b, "spans        %d recorded, %d retained, %d dropped, %d open at horizon\n",
+		t.nextID, t.rlen, t.droppedSpans.Value(), len(t.open))
 	if t.slackHist.Count() > 0 {
 		q := t.slackHist.Quantiles(0.5, 0.95, 0.99)
 		fmt.Fprintf(&b, "slack        mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f (assigned, per release)\n",

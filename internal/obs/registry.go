@@ -92,6 +92,35 @@ func (h *Histogram) Quantiles(qs ...float64) []float64 { return h.h.Quantiles(qs
 // Name returns the instrument name.
 func (h *Histogram) Name() string { return h.name }
 
+// SketchInstrument is a log-bucketed quantile distribution instrument
+// wrapping Sketch; unlike Histogram its buckets are geometric, so the
+// relative error of any quantile is bounded regardless of range, and two
+// shards' sketches merge losslessly (see Sketch).
+type SketchInstrument struct {
+	name   string
+	labels string
+	help   string
+	s      *Sketch
+}
+
+// Observe records one observation.
+func (k *SketchInstrument) Observe(x float64) { k.s.Add(x) }
+
+// Count returns the number of observations.
+func (k *SketchInstrument) Count() uint64 { return k.s.Count() }
+
+// Mean returns the mean observation.
+func (k *SketchInstrument) Mean() float64 { return k.s.Mean() }
+
+// Quantile returns the approximate q-quantile (see Sketch).
+func (k *SketchInstrument) Quantile(q float64) float64 { return k.s.Quantile(q) }
+
+// Quantiles evaluates several quantiles at once.
+func (k *SketchInstrument) Quantiles(qs ...float64) []float64 { return k.s.Quantiles(qs...) }
+
+// Name returns the instrument name.
+func (k *SketchInstrument) Name() string { return k.name }
+
 // Registry holds named instruments. Registration order is preserved and
 // exports are sorted, so two identical runs produce byte-identical
 // expositions. Instruments are identified by (name, labels); registering
@@ -100,6 +129,7 @@ type Registry struct {
 	counters []*Counter
 	gauges   []*Gauge
 	hists    []*Histogram
+	sketches []*SketchInstrument
 	seen     map[string]struct{}
 }
 
@@ -155,6 +185,212 @@ func (r *Registry) Histogram(name, labels, help string, lo, hi float64, n int) *
 	return h
 }
 
+// Sketch registers a log-bucketed quantile sketch instrument.
+func (r *Registry) Sketch(name, labels, help string) *SketchInstrument {
+	r.claim(name, labels)
+	k := &SketchInstrument{name: name, labels: labels, help: help, s: NewSketch()}
+	r.sketches = append(r.sketches, k)
+	return k
+}
+
+// --- snapshots ---------------------------------------------------------------
+
+// CounterSnap is one counter's state in a RegistrySnapshot.
+type CounterSnap struct {
+	Name, Labels, Help string
+	V                  uint64
+}
+
+// GaugeSnap is one gauge's value at snapshot time.
+type GaugeSnap struct {
+	Name, Labels, Help string
+	V                  float64
+}
+
+// HistSnap is one fixed-bucket histogram's full state.
+type HistSnap struct {
+	Name, Labels, Help string
+	Lo, Width          float64
+	Buckets            []int64
+	Under, Over        int64
+	Count              int64
+	Sum                float64
+}
+
+// SketchBucket is one (key, count) pair of a sketch snapshot.
+type SketchBucket struct {
+	Key   int32
+	Count uint64
+}
+
+// SketchSnap is one quantile sketch's full state, buckets in ascending
+// key order so two snapshots of the same state are deeply equal.
+type SketchSnap struct {
+	Name, Labels, Help string
+	Neg, Pos           []SketchBucket
+	Zero               uint64
+	Count              uint64
+	Sum, Min, Max      float64
+}
+
+// RegistrySnapshot is an immutable copy of a registry's instrument
+// values, in registration order. It is the mergeable unit of the
+// cross-replication telemetry path: Merge folds another shard's snapshot
+// in (counters and buckets add, gauges-at-end add, sketches merge), and
+// WritePrometheus renders the same byte format as Registry.WritePrometheus,
+// so per-shard and merged expositions are directly comparable.
+type RegistrySnapshot struct {
+	Counters []CounterSnap
+	Gauges   []GaugeSnap
+	Hists    []HistSnap
+	Sketches []SketchSnap
+}
+
+// Snapshot copies the registry's current instrument values. Func-backed
+// gauges are read live, so call it on the simulation goroutine.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	rs := RegistrySnapshot{
+		Counters: make([]CounterSnap, len(r.counters)),
+		Gauges:   make([]GaugeSnap, len(r.gauges)),
+		Hists:    make([]HistSnap, len(r.hists)),
+		Sketches: make([]SketchSnap, len(r.sketches)),
+	}
+	for i, c := range r.counters {
+		rs.Counters[i] = CounterSnap{Name: c.name, Labels: c.labels, Help: c.help, V: c.v}
+	}
+	for i, g := range r.gauges {
+		rs.Gauges[i] = GaugeSnap{Name: g.name, Labels: g.labels, Help: g.help, V: g.Value()}
+	}
+	for i, h := range r.hists {
+		under, over := h.h.OutOfRange()
+		rs.Hists[i] = HistSnap{
+			Name: h.name, Labels: h.labels, Help: h.help,
+			Lo: h.h.Lo(), Width: h.h.BucketWidth(),
+			Buckets: h.h.Buckets(), Under: under, Over: over,
+			Count: h.h.Count(), Sum: h.h.Sum(),
+		}
+	}
+	for i, k := range r.sketches {
+		neg, pos, zero := k.s.buckets()
+		rs.Sketches[i] = SketchSnap{
+			Name: k.name, Labels: k.labels, Help: k.help,
+			Neg: neg, Pos: pos, Zero: zero,
+			Count: k.s.Count(), Sum: k.s.Sum(), Min: k.s.Min(), Max: k.s.Max(),
+		}
+	}
+	return rs
+}
+
+// clone deep-copies the snapshot so a Merge into the copy cannot mutate
+// the original's backing arrays.
+func (rs RegistrySnapshot) clone() RegistrySnapshot {
+	cp := RegistrySnapshot{
+		Counters: append([]CounterSnap(nil), rs.Counters...),
+		Gauges:   append([]GaugeSnap(nil), rs.Gauges...),
+		Hists:    append([]HistSnap(nil), rs.Hists...),
+		Sketches: append([]SketchSnap(nil), rs.Sketches...),
+	}
+	for i := range cp.Hists {
+		cp.Hists[i].Buckets = append([]int64(nil), cp.Hists[i].Buckets...)
+	}
+	for i := range cp.Sketches {
+		cp.Sketches[i].Neg = append([]SketchBucket(nil), cp.Sketches[i].Neg...)
+		cp.Sketches[i].Pos = append([]SketchBucket(nil), cp.Sketches[i].Pos...)
+	}
+	return cp
+}
+
+// Merge folds other into rs. Both snapshots must come from identically
+// wired registries (same instruments in the same order — true for the
+// replication shards of one sim.Config); a mismatch is a wiring error and
+// is reported rather than silently misattributed. Counters, histogram
+// buckets and sketches add losslessly; gauges-at-end add too, so per-node
+// depth gauges and the in-flight gauge become fleet totals.
+func (rs *RegistrySnapshot) Merge(other RegistrySnapshot) error {
+	if len(rs.Counters) != len(other.Counters) || len(rs.Gauges) != len(other.Gauges) ||
+		len(rs.Hists) != len(other.Hists) || len(rs.Sketches) != len(other.Sketches) {
+		return fmt.Errorf("obs: merge snapshots from differently wired registries")
+	}
+	for i := range rs.Counters {
+		if rs.Counters[i].Name != other.Counters[i].Name || rs.Counters[i].Labels != other.Counters[i].Labels {
+			return fmt.Errorf("obs: merge counter %d: %s{%s} vs %s{%s}", i,
+				rs.Counters[i].Name, rs.Counters[i].Labels, other.Counters[i].Name, other.Counters[i].Labels)
+		}
+		rs.Counters[i].V += other.Counters[i].V
+	}
+	for i := range rs.Gauges {
+		if rs.Gauges[i].Name != other.Gauges[i].Name || rs.Gauges[i].Labels != other.Gauges[i].Labels {
+			return fmt.Errorf("obs: merge gauge %d: %s{%s} vs %s{%s}", i,
+				rs.Gauges[i].Name, rs.Gauges[i].Labels, other.Gauges[i].Name, other.Gauges[i].Labels)
+		}
+		rs.Gauges[i].V += other.Gauges[i].V
+	}
+	for i := range rs.Hists {
+		a, b := &rs.Hists[i], &other.Hists[i]
+		if a.Name != b.Name || a.Labels != b.Labels || a.Lo != b.Lo || a.Width != b.Width || len(a.Buckets) != len(b.Buckets) {
+			return fmt.Errorf("obs: merge histogram %d: %s{%s} geometry mismatch", i, a.Name, a.Labels)
+		}
+		// Buckets was copied by Snapshot, so adding in place is safe.
+		for j := range a.Buckets {
+			a.Buckets[j] += b.Buckets[j]
+		}
+		a.Under += b.Under
+		a.Over += b.Over
+		a.Count += b.Count
+		a.Sum += b.Sum
+	}
+	for i := range rs.Sketches {
+		a, b := &rs.Sketches[i], &other.Sketches[i]
+		if a.Name != b.Name || a.Labels != b.Labels {
+			return fmt.Errorf("obs: merge sketch %d: %s{%s} vs %s{%s}", i, a.Name, a.Labels, b.Name, b.Labels)
+		}
+		merged := restoreSketch(*a)
+		merged.Merge(restoreSketch(*b))
+		neg, pos, zero := merged.buckets()
+		a.Neg, a.Pos, a.Zero = neg, pos, zero
+		a.Count = merged.Count()
+		a.Sum = merged.Sum()
+		a.Min, a.Max = merged.Min(), merged.Max()
+	}
+	return nil
+}
+
+// counter returns the value of the counter with the given name and label
+// set, or 0 when absent.
+func (rs RegistrySnapshot) counter(name, labels string) uint64 {
+	for i := range rs.Counters {
+		if rs.Counters[i].Name == name && rs.Counters[i].Labels == labels {
+			return rs.Counters[i].V
+		}
+	}
+	return 0
+}
+
+// gauge returns the value of the gauge with the given name and label
+// set, or 0 when absent.
+func (rs RegistrySnapshot) gauge(name, labels string) float64 {
+	for i := range rs.Gauges {
+		if rs.Gauges[i].Name == name && rs.Gauges[i].Labels == labels {
+			return rs.Gauges[i].V
+		}
+	}
+	return 0
+}
+
+// sketch returns the named sketch restored to a queryable form, or nil.
+func (rs RegistrySnapshot) sketch(name string) *Sketch {
+	for i := range rs.Sketches {
+		if rs.Sketches[i].Name == name {
+			return restoreSketch(rs.Sketches[i])
+		}
+	}
+	return nil
+}
+
+// sketchQuantiles is the fixed quantile grid sketches expose in the
+// Prometheus summary rendering.
+var sketchQuantiles = []float64{0.5, 0.9, 0.99}
+
 // family is one exposition group: every sample of one metric name.
 type family struct {
 	name, help, kind string
@@ -162,10 +398,18 @@ type family struct {
 }
 
 // WritePrometheus writes the registry in the Prometheus text exposition
-// format (version 0.0.4): families sorted by name, one HELP/TYPE header
-// per family, samples sorted by label set. Values are formatted with %g
-// at full float64 precision, so identical runs produce identical bytes.
+// format; see RegistrySnapshot.WritePrometheus for the format contract.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE header
+// per family, samples sorted by label set. Sketches render as summaries
+// (one sample per quantile in sketchQuantiles plus _sum and _count).
+// Values are formatted with %g at full float64 precision, so identical
+// snapshots produce identical bytes.
+func (rs RegistrySnapshot) WritePrometheus(w io.Writer) error {
 	fams := make(map[string]*family)
 	add := func(name, help, kind, line string) {
 		f := fams[name]
@@ -175,25 +419,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		f.lines = append(f.lines, line)
 	}
-	for _, c := range r.counters {
-		add(c.name, c.help, "counter", sample(c.name, c.labels, float64(c.v)))
+	for _, c := range rs.Counters {
+		add(c.Name, c.Help, "counter", sample(c.Name, c.Labels, float64(c.V)))
 	}
-	for _, g := range r.gauges {
-		add(g.name, g.help, "gauge", sample(g.name, g.labels, g.Value()))
+	for _, g := range rs.Gauges {
+		add(g.Name, g.Help, "gauge", sample(g.Name, g.Labels, g.V))
 	}
-	for _, h := range r.hists {
-		under, over := h.h.OutOfRange()
-		cum := under
-		for i, b := range h.h.Buckets() {
+	for _, h := range rs.Hists {
+		cum := h.Under
+		for i, b := range h.Buckets {
 			cum += b
-			le := h.h.Lo() + float64(i+1)*h.h.BucketWidth()
-			add(h.name, h.help, "histogram",
-				sample(h.name+"_bucket", joinLabels(h.labels, fmt.Sprintf(`le="%g"`, le)), float64(cum)))
+			le := h.Lo + float64(i+1)*h.Width
+			add(h.Name, h.Help, "histogram",
+				sample(h.Name+"_bucket", joinLabels(h.Labels, fmt.Sprintf(`le="%g"`, le)), float64(cum)))
 		}
-		add(h.name, h.help, "histogram",
-			sample(h.name+"_bucket", joinLabels(h.labels, `le="+Inf"`), float64(cum+over)))
-		add(h.name, h.help, "histogram", sample(h.name+"_sum", h.labels, h.h.Sum()))
-		add(h.name, h.help, "histogram", sample(h.name+"_count", h.labels, float64(h.h.Count())))
+		add(h.Name, h.Help, "histogram",
+			sample(h.Name+"_bucket", joinLabels(h.Labels, `le="+Inf"`), float64(cum+h.Over)))
+		add(h.Name, h.Help, "histogram", sample(h.Name+"_sum", h.Labels, h.Sum))
+		add(h.Name, h.Help, "histogram", sample(h.Name+"_count", h.Labels, float64(h.Count)))
+	}
+	for _, sk := range rs.Sketches {
+		s := restoreSketch(sk)
+		for _, q := range sketchQuantiles {
+			add(sk.Name, sk.Help, "summary",
+				sample(sk.Name, joinLabels(sk.Labels, fmt.Sprintf(`quantile="%g"`, q)), s.Quantile(q)))
+		}
+		add(sk.Name, sk.Help, "summary", sample(sk.Name+"_sum", sk.Labels, sk.Sum))
+		add(sk.Name, sk.Help, "summary", sample(sk.Name+"_count", sk.Labels, float64(sk.Count)))
 	}
 
 	names := make([]string, 0, len(fams))

@@ -3,19 +3,28 @@
 // span tail, and the live miss-cause attribution — without perturbing the
 // run.
 //
-// The design keeps the simulation deterministic. The simulation goroutine
-// never handles HTTP: it only calls Hub.Publish (via the sampler's OnTick
-// hook), which renders immutable snapshots from telemetry state and swaps
-// them in under a mutex. HTTP handlers only ever read the latest
-// snapshot. Publishing happens inside existing sampler ticks — read-only
-// DES events — so attaching a hub cannot reorder the calendar: replication
-// results, exports, and scenario golden trace hashes are bit-identical
-// with and without -serve.
+// The design keeps the simulation deterministic. Simulation goroutines
+// never handle HTTP: they only call Hub.Publish (via the sampler's OnTick
+// hook), which snapshots the calling shard's telemetry and files it under
+// its replication index. HTTP handlers read a lazily-rendered merge of
+// every shard — finished replications folded into an obs.Merged, running
+// ones contributing their latest snapshot — so /metrics, /progress and
+// /summary are cross-replication views even while workers run shards
+// concurrently. Publishing happens inside existing sampler ticks —
+// read-only DES events — so attaching a hub cannot reorder the calendar:
+// replication results, exports, and scenario golden trace hashes are
+// bit-identical with and without -serve.
+//
+// Memory stays bounded for arbitrarily long runs: once a shard's final
+// snapshot folds into the merged prefix its per-shard copy is dropped, so
+// the hub holds the folded aggregate (trimmed to the span budget) plus
+// one snapshot per replication still in flight.
 package serve
 
 import (
 	"bytes"
 	"encoding/json"
+	"sort"
 	"sync"
 
 	"repro/internal/obs"
@@ -31,12 +40,16 @@ const DefaultEvery = 4
 // RunInfo labels the run being served.
 type RunInfo struct {
 	Label        string
-	Replication  int // 1-based
+	Replication  int // 1-based; 0 when shards run concurrently
 	Replications int
 	Horizon      float64
 }
 
-// Progress is the JSON payload of /progress and its SSE stream.
+// Progress is the JSON payload of /progress and its SSE stream. With
+// multiple replications the counters aggregate across shards: Ticks,
+// Spans, Globals and Missed sum finished and in-flight shards, Percent
+// is the mean completion fraction over all replications, and Done flips
+// once every replication has published its final snapshot.
 type Progress struct {
 	Label        string  `json:"label,omitempty"`
 	Replication  int     `json:"replication,omitempty"`
@@ -48,111 +61,241 @@ type Progress struct {
 	Spans        int     `json:"spans"`
 	Globals      int     `json:"globals"`
 	Missed       int     `json:"missed_globals"`
+	ShardsDone   int     `json:"shards_done,omitempty"`
 	Done         bool    `json:"done"`
 }
 
-// Hub holds the latest published snapshot of one (or a sequence of) runs.
-// Publish runs on the simulation goroutine; every accessor is safe for
-// concurrent use by HTTP handlers.
-type Hub struct {
-	ring int // span-tail capacity
+// shardState is one replication's latest published snapshot.
+type shardState struct {
+	snap  *obs.Snapshot
+	now   float64
+	added bool // final snapshot handed to the done-merge
+}
 
-	mu           sync.RWMutex
-	prom         []byte
-	summary      string
-	spans        []obs.Record
-	blame        *attrib.Report
-	blameJSON    []byte
+// Hub aggregates the published shards of one run (or a sequence of runs
+// reusing the hub, e.g. a scenario suite). Publish runs on the shard's
+// simulation goroutine; every accessor is safe for concurrent use by
+// HTTP handlers.
+type Hub struct {
+	ring int // span-tail capacity of the rendered merged view
+
+	mu     sync.Mutex
+	info   RunInfo
+	shards map[int]*shardState // by replication; dropped once folded
+	done   *obs.Merged         // folded prefix of finished shards
+	final  *obs.Snapshot       // exact end-of-run aggregate, via Finalize
+
+	// Running totals over shards already handed to the done-merge, so
+	// progress stays O(in-flight shards) to compute after they are
+	// dropped.
+	doneReps    int
+	doneTicks   uint64
+	doneSpans   int
+	doneGlobals int
+	doneMissed  int
+	maxNow      float64
+	allDone     bool
+
+	// Merged artifacts are rendered lazily on first HTTP read after a
+	// publish — never on a simulation goroutine — and cached by version.
+	version   uint64
+	rendered  uint64
+	prom      []byte
+	summary   string
+	spans     []obs.Record
+	blame     *attrib.Report
+	blameJSON []byte
+
 	progress     Progress
 	progressJSON []byte
 	publishes    uint64
 	subs         map[chan []byte]bool
 }
 
-// NewHub returns a hub retaining at most ringSize spans in its tail
-// (default 512 when ringSize <= 0).
+// NewHub returns a hub retaining at most ringSize spans in its rendered
+// tail (default 512 when ringSize <= 0).
 func NewHub(ringSize int) *Hub {
 	if ringSize <= 0 {
 		ringSize = 512
 	}
-	return &Hub{ring: ringSize, subs: make(map[chan []byte]bool)}
+	return &Hub{
+		ring:     ringSize,
+		shards:   make(map[int]*shardState),
+		done:     obs.NewMerged(),
+		rendered: ^uint64(0),
+		subs:     make(map[chan []byte]bool),
+	}
 }
 
-// Publish renders a fresh snapshot from tel and swaps it in. It must run
-// on the simulation goroutine (telemetry is not concurrency-safe) and
-// only reads model state — it is safe to call from a sampler tick.
+// reset clears all shard state for a new run reusing the hub (the next
+// scenario in a suite). Subscribers and the publish counter survive.
+func (h *Hub) reset() {
+	h.shards = make(map[int]*shardState)
+	h.done = obs.NewMerged()
+	h.final = nil
+	h.doneReps, h.doneTicks, h.doneSpans = 0, 0, 0
+	h.doneGlobals, h.doneMissed = 0, 0
+	h.maxNow, h.allDone = 0, false
+}
+
+// Publish snapshots tel and files it under its replication index. It
+// must run on the goroutine driving that shard (telemetry is not
+// concurrency-safe) and only reads model state — it is safe to call from
+// a sampler tick; different shards may publish concurrently. done marks
+// the shard's final snapshot, which is folded into the merged prefix.
+// Publishing a shard that already finished starts a fresh run.
 func (h *Hub) Publish(tel *obs.Telemetry, info RunInfo, now float64, done bool) {
-	var prom bytes.Buffer
-	_ = tel.WritePrometheus(&prom)
-
-	// Mid-run publishes materialize and attribute only the bounded tail
-	// window, keeping the per-tick cost O(ring) no matter how long the run
-	// gets (the guard is BenchmarkSimulationBlameOn). The final snapshot
-	// analyzes the whole stream, so a completed run's /blame is exact and
-	// matches an offline sdablame pass over the exported spans.
-	spans := tel.SpansTail(h.ring)
-	scope := spans
+	tail := h.ring
 	if done {
-		scope = tel.Spans()
+		tail = 0 // final shard snapshots keep their whole ring for exact blame
 	}
-	rpt := attrib.Analyze(scope)
-
-	// Progress counters stay cumulative even when blame is windowed;
-	// GlobalCounts scans without materializing records.
-	globals, missed := tel.GlobalCounts()
-
-	pct := 0.0
-	if info.Horizon > 0 {
-		pct = 100 * now / info.Horizon
-		if pct > 100 {
-			pct = 100
-		}
-	}
-	pr := Progress{
-		Label:        info.Label,
-		Replication:  info.Replication,
-		Replications: info.Replications,
-		Now:          now,
-		Horizon:      info.Horizon,
-		Percent:      pct,
-		Ticks:        tel.Ticks(),
-		Spans:        tel.SpanCount(),
-		Globals:      globals,
-		Missed:       missed,
-		Done:         done,
-	}
-	progressJSON, _ := json.Marshal(pr)
-	summary := tel.Summary()
+	snap := tel.Snapshot(tail)
 
 	h.mu.Lock()
-	h.prom = prom.Bytes()
-	h.summary = summary
-	h.spans = spans
-	h.blame = rpt
-	h.blameJSON = nil // rendered lazily by BlameJSON, off the sim goroutine
+	rep := snap.Rep
+	st := h.shards[rep]
+	if (st != nil && st.added) || rep < h.done.Shards() {
+		h.reset()
+		st = nil
+	}
+	if st == nil {
+		st = &shardState{}
+		h.shards[rep] = st
+	}
+	st.snap, st.now = snap, now
+	h.info = info
+	if now > h.maxNow {
+		h.maxNow = now
+	}
+	if done && !st.added {
+		st.added = true
+		h.doneReps++
+		h.doneTicks += snap.SamplerTicks
+		h.doneSpans += snap.Retained
+		g, ms := snap.GlobalCounts()
+		h.doneGlobals += g
+		h.doneMissed += ms
+		// Fold eagerly; out-of-order finishers stay buffered inside the
+		// merge (and in h.shards, for rendering) until their predecessors
+		// arrive.
+		_ = h.done.Add(snap)
+		folded := h.done.Shards()
+		for r, s := range h.shards {
+			if s.added && r < folded {
+				delete(h.shards, r)
+			}
+		}
+	}
+	h.version++
+	pr := h.progressLocked()
+	progressJSON, _ := json.Marshal(pr)
 	h.progress = pr
 	h.progressJSON = progressJSON
 	h.publishes++
-	subs := make([]chan []byte, 0, len(h.subs))
-	for ch := range h.subs {
-		subs = append(subs, ch)
-	}
+	subs := h.collectSubsLocked()
 	h.mu.Unlock()
 
-	// Fan the progress event out to SSE subscribers without ever blocking
-	// the simulation goroutine: a full subscriber just skips a beat.
-	for _, ch := range subs {
-		select {
-		case ch <- progressJSON:
-		default:
+	h.fanout(subs, progressJSON)
+}
+
+// Finalize installs the exact end-of-run aggregate produced by the
+// simulation's own merge (sim.Result.Obs), making the served /metrics,
+// /summary, /spans and /blame byte-identical to the run's offline
+// exports. Call once after the run completes; safe from any goroutine.
+func (h *Hub) Finalize(m *obs.Merged, info RunInfo) {
+	if m == nil {
+		return
+	}
+	snap := m.Snapshot()
+	if snap == nil {
+		return
+	}
+	h.mu.Lock()
+	h.info = info
+	h.final = snap
+	h.allDone = true
+	h.version++
+	pr := Progress{
+		Label:        info.Label,
+		Replication:  info.Replications,
+		Replications: info.Replications,
+		Now:          info.Horizon,
+		Horizon:      info.Horizon,
+		Percent:      100,
+		Ticks:        snap.SamplerTicks,
+		Spans:        len(snap.Spans),
+		ShardsDone:   info.Replications,
+		Done:         true,
+	}
+	pr.Globals, pr.Missed = snap.GlobalCounts()
+	progressJSON, _ := json.Marshal(pr)
+	h.progress = pr
+	h.progressJSON = progressJSON
+	h.publishes++
+	subs := h.collectSubsLocked()
+	h.mu.Unlock()
+
+	h.fanout(subs, progressJSON)
+}
+
+// progressLocked aggregates run progress across every shard; callers
+// hold the lock.
+func (h *Hub) progressLocked() Progress {
+	ticks, spans := h.doneTicks, h.doneSpans
+	globals, missed := h.doneGlobals, h.doneMissed
+	frac := float64(h.doneReps)
+	inflight := 0
+	for _, st := range h.shards {
+		if st.added {
+			continue // already counted in the done totals
 		}
+		inflight++
+		ticks += st.snap.SamplerTicks
+		spans += st.snap.Retained
+		g, ms := st.snap.GlobalCounts()
+		globals += g
+		missed += ms
+		if h.info.Horizon > 0 {
+			f := st.now / h.info.Horizon
+			if f > 1 {
+				f = 1
+			}
+			frac += f
+		}
+	}
+	reps := h.info.Replications
+	if reps <= 0 {
+		reps = h.doneReps + inflight
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	pct := 100 * frac / float64(reps)
+	if pct > 100 {
+		pct = 100
+	}
+	h.allDone = h.doneReps >= reps
+	return Progress{
+		Label:        h.info.Label,
+		Replication:  h.info.Replication,
+		Replications: h.info.Replications,
+		Now:          h.maxNow,
+		Horizon:      h.info.Horizon,
+		Percent:      pct,
+		Ticks:        ticks,
+		Spans:        spans,
+		Globals:      globals,
+		Missed:       missed,
+		ShardsDone:   h.doneReps,
+		Done:         h.allDone,
 	}
 }
 
 // Attach hooks the hub onto tel's sampler so every `every`-th tick
-// publishes a snapshot. Call after the system is built (the sampler
-// exists once telemetry is bound) and before the run starts. The final
-// state still needs an explicit Publish(..., done=true) after the run.
+// publishes a snapshot. Call per shard after the system is built (the
+// sampler exists once telemetry is bound) and before the run starts. The
+// final state still needs an explicit Publish(..., done=true) per shard,
+// or one Finalize with the run's merged telemetry.
 func (h *Hub) Attach(tel *obs.Telemetry, info RunInfo, every int) {
 	if every <= 0 {
 		every = 1
@@ -170,44 +313,128 @@ func (h *Hub) Attach(tel *obs.Telemetry, info RunInfo, every int) {
 	})
 }
 
-// Metrics returns the latest Prometheus exposition (nil before the first
-// publish).
+// renderLocked materializes the merged artifacts for the current
+// version; callers hold the lock. It runs on the HTTP goroutine doing
+// the first read after a publish, never on a simulation goroutine.
+func (h *Hub) renderLocked() {
+	if h.rendered == h.version {
+		return
+	}
+	h.rendered = h.version
+	snap := h.final
+	if snap == nil {
+		var list []*obs.Snapshot
+		if ds := h.done.Snapshot(); ds != nil {
+			list = append(list, ds)
+		}
+		reps := make([]int, 0, len(h.shards))
+		for r := range h.shards {
+			reps = append(reps, r)
+		}
+		sort.Ints(reps)
+		for _, r := range reps {
+			list = append(list, h.shards[r].snap)
+		}
+		switch len(list) {
+		case 0:
+			h.prom, h.summary, h.spans = nil, "", nil
+			h.blame, h.blameJSON = nil, nil
+			return
+		case 1:
+			snap = list[0] // single shard: serve it verbatim, no merged header
+		default:
+			var err error
+			if snap, err = obs.MergeSnapshots(list...); err != nil {
+				snap = list[0] // mismatched catalogs cannot happen within a run
+			}
+		}
+	}
+
+	var prom bytes.Buffer
+	_ = snap.Registry.WritePrometheus(&prom)
+	h.prom = prom.Bytes()
+	h.summary = snap.Summary()
+	tail := snap.Spans
+	if len(tail) > h.ring {
+		tail = tail[len(tail)-h.ring:]
+	}
+	h.spans = tail
+
+	// Mid-run blame covers the bounded merged tail, keeping a read
+	// O(ring) no matter how long the run gets. Once the run is done the
+	// report analyzes the full retained-plus-exemplar span set, so a
+	// completed run's /blame is exact and matches an offline sdablame
+	// pass over the exported spans.
+	scope := tail
+	if h.final != nil || h.allDone {
+		scope = snap.SpansForAnalysis()
+	}
+	h.blame = attrib.Analyze(scope)
+	h.blameJSON = nil // rendered lazily by BlameJSON
+}
+
+// collectSubsLocked copies the subscriber set; callers hold the lock.
+func (h *Hub) collectSubsLocked() []chan []byte {
+	subs := make([]chan []byte, 0, len(h.subs))
+	for ch := range h.subs {
+		subs = append(subs, ch)
+	}
+	return subs
+}
+
+// fanout sends the progress event to SSE subscribers without ever
+// blocking the publishing goroutine: a full subscriber just skips a
+// beat.
+func (h *Hub) fanout(subs []chan []byte, payload []byte) {
+	for _, ch := range subs {
+		select {
+		case ch <- payload:
+		default:
+		}
+	}
+}
+
+// Metrics returns the latest merged Prometheus exposition (nil before
+// the first publish).
 func (h *Hub) Metrics() []byte {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.renderLocked()
 	return h.prom
 }
 
-// Summary returns the latest telemetry digest.
+// Summary returns the latest merged telemetry digest.
 func (h *Hub) Summary() string {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.renderLocked()
 	return h.summary
 }
 
-// SpansTail returns the latest span tail (do not mutate).
+// SpansTail returns the latest merged span tail (do not mutate).
 func (h *Hub) SpansTail() []obs.Record {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.renderLocked()
 	return h.spans
 }
 
 // Blame returns the latest attribution report (nil before the first
-// publish; immutable once published). Mid-run it covers the span-tail
-// window; after the final done-publish it covers the whole run.
+// publish; immutable once rendered). Mid-run it covers the merged
+// span-tail window; after the run completes it covers the whole run.
 func (h *Hub) Blame() *attrib.Report {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.renderLocked()
 	return h.blame
 }
 
 // BlameJSON returns the latest attribution report as JSON (nil before
-// the first publish). Rendering happens here — on the caller's
-// goroutine, not the simulation's — and is cached until the next
-// publish; the report itself is immutable once published.
+// the first publish), cached until the next publish.
 func (h *Hub) BlameJSON() []byte {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.renderLocked()
 	if h.blameJSON == nil && h.blame != nil {
 		h.blameJSON, _ = h.blame.JSON()
 	}
@@ -216,15 +443,15 @@ func (h *Hub) BlameJSON() []byte {
 
 // ProgressJSON returns the latest progress payload.
 func (h *Hub) ProgressJSON() []byte {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.progressJSON
 }
 
 // Publishes returns how many snapshots have been published.
 func (h *Hub) Publishes() uint64 {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.publishes
 }
 

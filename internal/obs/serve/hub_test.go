@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestFanoutDropsSlowSubscriber pins the SSE backpressure contract: a
+// subscriber that stops reading fills its buffered channel and then
+// silently misses events, while publishing never blocks and fast
+// subscribers keep receiving every beat.
+func TestFanoutDropsSlowSubscriber(t *testing.T) {
+	h := NewHub(0)
+	tel := obs.New(obs.Options{Enabled: true})
+	info := RunInfo{Label: "drop", Replications: 1, Horizon: 100}
+
+	slow := h.subscribe()
+	fast := h.subscribe()
+	defer h.unsubscribe(slow)
+	defer h.unsubscribe(fast)
+
+	n := 3 * cap(slow)
+	for i := 0; i < n; i++ {
+		h.Publish(tel, info, float64(i), false)
+		select {
+		case <-fast: // drained every publish: never misses
+		default:
+			t.Fatalf("fast subscriber missed publish %d", i)
+		}
+	}
+	if got := h.Publishes(); got != uint64(n) {
+		t.Fatalf("publishes = %d, want %d (a slow subscriber must not block)", got, n)
+	}
+	if len(slow) != cap(slow) {
+		t.Fatalf("slow subscriber buffered %d events, want a full channel of %d with the rest dropped",
+			len(slow), cap(slow))
+	}
+	// Draining one slot makes room for exactly the next event again.
+	var pr Progress
+	if err := json.Unmarshal(<-slow, &pr); err != nil {
+		t.Fatalf("buffered event not progress JSON: %v", err)
+	}
+	h.Publish(tel, info, float64(n), false)
+	if len(slow) != cap(slow) {
+		t.Fatalf("slow subscriber did not refill after draining: %d", len(slow))
+	}
+}
+
+// TestHubResetOnReuse checks that publishing a shard that already
+// finished starts a fresh run — the sdascen suite reuses one hub across
+// scenarios this way.
+func TestHubResetOnReuse(t *testing.T) {
+	h := NewHub(0)
+	tel := obs.New(obs.Options{Enabled: true})
+	info := RunInfo{Label: "reuse", Replications: 1, Horizon: 100}
+
+	h.Publish(tel, info, 100, true)
+	if p := h.progress; !p.Done || p.ShardsDone != 1 || p.Percent != 100 {
+		t.Fatalf("first run not done: %+v", p)
+	}
+	h.Publish(tel, info, 10, false)
+	if p := h.progress; p.Done || p.ShardsDone != 0 {
+		t.Fatalf("hub did not reset for the next run: %+v", p)
+	}
+	if p := h.progress; p.Percent != 10 {
+		t.Fatalf("fresh run percent = %v, want 10", p.Percent)
+	}
+}

@@ -149,6 +149,69 @@ func TestLiveBlameMatchesOffline(t *testing.T) {
 	}
 }
 
+// TestShardedHubMergesReplications publishes every shard of a
+// multi-worker observed run into one hub and checks the served artifacts
+// are the cross-replication merge: progress aggregates all shards and
+// the exposition is byte-identical to the run's own merged export.
+func TestShardedHubMergesReplications(t *testing.T) {
+	cfg := sim.Default()
+	cfg.Duration = 1500
+	cfg.Warmup = 100
+	cfg.Replications = 4
+	cfg.Workers = 2
+	cfg.Obs = obs.Options{Enabled: true, SampleEvery: 25}
+
+	hub := serve.NewHub(0)
+	info := serve.RunInfo{Label: "sharded", Replications: 4, Horizon: float64(cfg.Warmup + cfg.Duration)}
+	cfg.OnReplication = func(sys *sim.System) {
+		hub.Attach(sys.Telemetry(), info, 2)
+	}
+	cfg.OnReplicationDone = func(sys *sim.System) {
+		hub.Publish(sys.Telemetry(), info, float64(sys.Horizon()), true)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pr serve.Progress
+	if err := json.Unmarshal(hub.ProgressJSON(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Done || pr.ShardsDone != 4 || pr.Percent != 100 {
+		t.Fatalf("final sharded progress wrong: %+v", pr)
+	}
+	snap := res.Obs.Snapshot()
+	g, ms := snap.GlobalCounts()
+	if pr.Globals != g || pr.Missed != ms {
+		t.Fatalf("progress globals %d/%d, merged run has %d/%d", pr.Globals, pr.Missed, g, ms)
+	}
+
+	var want strings.Builder
+	if err := res.Obs.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	if string(hub.Metrics()) != want.String() {
+		t.Fatalf("served exposition differs from the run's merged export")
+	}
+	if hub.Summary() != snap.Summary() {
+		t.Fatalf("served summary differs from the run's merged summary")
+	}
+	if hub.Blame() == nil || hub.Blame().Globals == 0 {
+		t.Fatalf("sharded blame saw no globals")
+	}
+
+	// Finalize installs the exact end-of-run aggregate; here it must be a
+	// no-op on the bytes since every shard already folded.
+	hub.Finalize(res.Obs, info)
+	if string(hub.Metrics()) != want.String() {
+		t.Fatalf("Finalize changed the served exposition")
+	}
+	if b := hub.BlameJSON(); b == nil {
+		t.Fatalf("no blame after Finalize")
+	}
+}
+
 func TestProgressSSE(t *testing.T) {
 	srv, _ := runServed(t)
 	client := &http.Client{Timeout: 5 * time.Second}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Sketch is a mergeable log-bucketed quantile sketch in the DDSketch
+// mold: observations are counted in geometrically sized buckets, so any
+// quantile is recovered with a bounded *relative* error (about
+// sketchAlpha) regardless of the value range — unlike the fixed-bucket
+// stats.Histogram, whose absolute bucket width clips long tails.
+//
+// The sketch exists for cross-replication aggregation: two sketches fed
+// from different shards merge by adding bucket counts, and the merged
+// quantiles are exactly the quantiles the union of observations would
+// have produced (merge is lossless, associative and commutative on the
+// integer bucket counts). Slack and lateness can be negative, so the
+// sketch keeps mirrored bucket maps for the two signs plus an exact zero
+// band around ±sketchMinValue.
+//
+// All mutation happens on the simulation goroutine; reads happen at
+// export time. The zero value is not ready — construct with NewSketch.
+type Sketch struct {
+	gamma    float64 // bucket growth factor (1+alpha)/(1-alpha)
+	logGamma float64
+
+	pos  map[int32]uint64 // buckets for x >= sketchMinValue
+	neg  map[int32]uint64 // buckets for x <= -sketchMinValue (keyed on |x|)
+	zero uint64           // |x| < sketchMinValue
+
+	count uint64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+const (
+	// sketchAlpha is the relative accuracy target: a reported quantile q̂
+	// satisfies |q̂ - q| <= sketchAlpha * |q|.
+	sketchAlpha = 0.01
+	// sketchMinValue is the key-space floor: magnitudes below it land in
+	// the exact zero band, keeping bucket indices small.
+	sketchMinValue = 1e-9
+)
+
+// NewSketch returns an empty sketch at the package accuracy (1% relative
+// error).
+func NewSketch() *Sketch {
+	gamma := (1 + sketchAlpha) / (1 - sketchAlpha)
+	return &Sketch{
+		gamma:    gamma,
+		logGamma: math.Log(gamma),
+		pos:      make(map[int32]uint64),
+		neg:      make(map[int32]uint64),
+		min:      math.Inf(1),
+		max:      math.Inf(-1),
+	}
+}
+
+// key maps a magnitude (>= sketchMinValue) to its bucket index.
+func (s *Sketch) key(mag float64) int32 {
+	return int32(math.Ceil(math.Log(mag) / s.logGamma))
+}
+
+// valueOf returns the representative magnitude of bucket k (the
+// geometric midpoint, which bounds the relative error by sketchAlpha).
+func (s *Sketch) valueOf(k int32) float64 {
+	return 2 * math.Pow(s.gamma, float64(k)) / (1 + s.gamma)
+}
+
+// Add folds one observation into the sketch. NaN is ignored (it has no
+// place on the value axis and would poison sum/min/max).
+func (s *Sketch) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.count++
+	s.sum += x
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	switch {
+	case x >= sketchMinValue:
+		s.pos[s.key(x)]++
+	case x <= -sketchMinValue:
+		s.neg[s.key(-x)]++
+	default:
+		s.zero++
+	}
+}
+
+// Merge folds other into s. Bucket counts add, so merging shards in any
+// grouping or order yields identical bucket contents; min/max/count are
+// exact, and sum is folded in the caller's order (Merged adds shards in
+// replication-index order, making merged sums bit-stable too).
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for k, c := range other.pos {
+		s.pos[k] += c
+	}
+	for k, c := range other.neg {
+		s.neg[k] += c
+	}
+	s.zero += other.zero
+	s.count += other.count
+	s.sum += other.sum
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the exact sum of observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns the exact mean, or 0 when empty.
+func (s *Sketch) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile returns the q-quantile (q clamped to [0, 1]) with relative
+// error bounded by the sketch accuracy; q=0 and q=1 return the exact min
+// and max. An empty sketch reports 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	// Walk the value axis left to right: negative buckets from the most
+	// negative magnitude down, the zero band, then positive buckets up.
+	rank := q * float64(s.count-1)
+	cum := float64(0)
+	for _, k := range sortedKeysDesc(s.neg) {
+		cum += float64(s.neg[k])
+		if rank < cum {
+			return -s.valueOf(k)
+		}
+	}
+	cum += float64(s.zero)
+	if rank < cum {
+		return 0
+	}
+	keys := sortedKeysAsc(s.pos)
+	for _, k := range keys {
+		cum += float64(s.pos[k])
+		if rank < cum {
+			return s.valueOf(k)
+		}
+	}
+	return s.Max()
+}
+
+// Quantiles evaluates Quantile at each q in qs.
+func (s *Sketch) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}
+
+// buckets returns the sketch's bucket contents in deterministic key
+// order, for snapshots: negative keys first (value-axis order), then the
+// zero band via the separate return, then positive keys.
+func (s *Sketch) buckets() (neg, pos []SketchBucket, zero uint64) {
+	neg = make([]SketchBucket, 0, len(s.neg))
+	for _, k := range sortedKeysAsc(s.neg) {
+		neg = append(neg, SketchBucket{Key: k, Count: s.neg[k]})
+	}
+	pos = make([]SketchBucket, 0, len(s.pos))
+	for _, k := range sortedKeysAsc(s.pos) {
+		pos = append(pos, SketchBucket{Key: k, Count: s.pos[k]})
+	}
+	return neg, pos, s.zero
+}
+
+// restore rebuilds a sketch from snapshot bucket lists.
+func restoreSketch(snap SketchSnap) *Sketch {
+	s := NewSketch()
+	for _, b := range snap.Neg {
+		s.neg[b.Key] = b.Count
+	}
+	for _, b := range snap.Pos {
+		s.pos[b.Key] = b.Count
+	}
+	s.zero = snap.Zero
+	s.count = snap.Count
+	s.sum = snap.Sum
+	if s.count > 0 {
+		s.min = snap.Min
+		s.max = snap.Max
+	}
+	return s
+}
+
+func sortedKeysAsc(m map[int32]uint64) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortedKeysDesc(m map[int32]uint64) []int32 {
+	keys := sortedKeysAsc(m)
+	for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	return keys
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSketch()
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mix signs and magnitudes across several decades, like lateness.
+		v := rng.ExpFloat64() * 100
+		if rng.Intn(3) == 0 {
+			v = -v
+		}
+		s.Add(v)
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := s.Quantile(q)
+		relErr := math.Abs(got-exact) / math.Max(math.Abs(exact), 1e-12)
+		if relErr > 3*sketchAlpha {
+			t.Errorf("q=%g: got %g want ~%g (rel err %g)", q, got, exact, relErr)
+		}
+	}
+	if s.Quantile(0) != vals[0] {
+		t.Errorf("q=0: got %g want exact min %g", s.Quantile(0), vals[0])
+	}
+	if s.Quantile(1) != vals[len(vals)-1] {
+		t.Errorf("q=1: got %g want exact max %g", s.Quantile(1), vals[len(vals)-1])
+	}
+}
+
+func TestSketchEmptyAndNaN(t *testing.T) {
+	s := NewSketch()
+	if s.Quantile(0.5) != 0 || s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty sketch should report zeros")
+	}
+	s.Add(math.NaN())
+	if s.Count() != 0 {
+		t.Errorf("NaN should be ignored, count=%d", s.Count())
+	}
+	s.Add(0)
+	if s.Count() != 1 || s.Quantile(0.5) != 0 {
+		t.Errorf("zero band: count=%d q50=%g", s.Count(), s.Quantile(0.5))
+	}
+}
+
+// TestSketchMergeMatchesUnion is the load-bearing property for the
+// cross-replication merge: sharding a stream and merging the shard
+// sketches must produce the identical bucket state (hence identical
+// quantiles) as one sketch fed the whole stream, in any shard order.
+func TestSketchMergeMatchesUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole := NewSketch()
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = NewSketch()
+	}
+	for i := 0; i < 8000; i++ {
+		v := (rng.Float64() - 0.3) * 500
+		whole.Add(v)
+		shards[i%len(shards)].Add(v)
+	}
+	mergeOrder := func(order []int) *Sketch {
+		m := NewSketch()
+		for _, i := range order {
+			m.Merge(shards[i])
+		}
+		return m
+	}
+	a := mergeOrder([]int{0, 1, 2, 3})
+	b := mergeOrder([]int{3, 1, 0, 2})
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%g: merge order changed quantile: %g vs %g", q, a.Quantile(q), b.Quantile(q))
+		}
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%g: merged %g != union %g", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged count/min/max diverge from union")
+	}
+}
+
+func TestSketchSnapshotRoundTrip(t *testing.T) {
+	s := NewSketch()
+	for _, v := range []float64{-3, -0.5, 0, 1e-12, 2, 2, 40, 1e6} {
+		s.Add(v)
+	}
+	neg, pos, zero := s.buckets()
+	snap := SketchSnap{Neg: neg, Pos: pos, Zero: zero, Count: s.Count(), Sum: s.Sum(), Min: s.Min(), Max: s.Max()}
+	r := restoreSketch(snap)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if r.Quantile(q) != s.Quantile(q) {
+			t.Errorf("q=%g: restored %g != original %g", q, r.Quantile(q), s.Quantile(q))
+		}
+	}
+	if r.Count() != s.Count() || r.Sum() != s.Sum() {
+		t.Errorf("restored count/sum diverge")
+	}
+}
+
+func TestRegistrySnapshotMerge(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		c := r.Counter("sda_done_total", "", "done")
+		g := r.Gauge("sda_inflight", "", "inflight")
+		h := r.Histogram("sda_slack", "", "slack", -10, 10, 4)
+		k := r.Sketch("sda_latency", "", "latency")
+		c.Add(3)
+		g.Set(2)
+		h.Observe(-5)
+		h.Observe(5)
+		k.Observe(1.5)
+		return r
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Counters[0].V != 6 {
+		t.Errorf("counter merged to %d, want 6", a.Counters[0].V)
+	}
+	if a.Gauges[0].V != 4 {
+		t.Errorf("gauge merged to %g, want 4", a.Gauges[0].V)
+	}
+	if a.Hists[0].Count != 4 || a.Hists[0].Sum != 0 {
+		t.Errorf("hist merged count=%d sum=%g, want 4, 0", a.Hists[0].Count, a.Hists[0].Sum)
+	}
+	if a.Sketches[0].Count != 2 || a.Sketches[0].Sum != 3 {
+		t.Errorf("sketch merged count=%d sum=%g, want 2, 3", a.Sketches[0].Count, a.Sketches[0].Sum)
+	}
+
+	// Mismatched wiring is an error, not silent misattribution.
+	other := NewRegistry()
+	other.Counter("sda_other_total", "", "other")
+	snap := other.Snapshot()
+	if err := snap.Merge(build().Snapshot()); err == nil {
+		t.Errorf("merging differently wired registries should fail")
+	}
+}
+
+func TestRegistrySnapshotPrometheusMatchesLive(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sda_x_total", `node="0"`, "x").Add(7)
+	r.Gauge("sda_y", "", "y").Set(1.25)
+	r.Histogram("sda_z", "", "z", 0, 8, 4).Observe(3)
+	r.Sketch("sda_w", "", "w").Observe(2)
+
+	var live, snap strings.Builder
+	if err := r.WritePrometheus(&live); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePrometheus(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if live.String() != snap.String() {
+		t.Errorf("live and snapshot expositions differ:\n%s\n--- vs ---\n%s", live.String(), snap.String())
+	}
+	if !strings.Contains(snap.String(), `sda_w{quantile="0.5"}`) {
+		t.Errorf("sketch should render as summary quantiles:\n%s", snap.String())
+	}
+	if !strings.Contains(snap.String(), "# TYPE sda_w summary") {
+		t.Errorf("sketch family should be TYPE summary")
+	}
+}

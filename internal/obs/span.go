@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/task"
 )
 
 // JSONL schema versions. Version 1 is the original (unversioned) format:
@@ -43,8 +45,9 @@ type Record struct {
 	Kind   string `json:"kind"`             // span: local|global|stage|subtask; event: enqueue|...
 	Task   string `json:"task"`             // task name (or generated label)
 	Node   int    `json:"node"`             // execution node; -1 for composite stages
-	ID     uint64 `json:"id,omitempty"`     // span id, unique per run, in release order
+	ID     uint64 `json:"id,omitempty"`     // span id, unique per replication, in release order
 	Root   uint64 `json:"root,omitempty"`   // id of the owning global root span
+	Rep    int    `json:"rep,omitempty"`    // replication index (merged multi-rep logs)
 
 	Start    *float64 `json:"start,omitempty"`
 	End      *float64 `json:"end,omitempty"`
@@ -132,6 +135,8 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 type span struct {
 	id     uint64
 	root   uint64
+	rep    int        // replication index, stamped at record time
+	owner  *task.Task // open spans only: the key in Telemetry.open
 	kind   string
 	task   string
 	node   int
@@ -163,6 +168,7 @@ func (s *span) record() Record {
 		Node:    s.node,
 		ID:      s.id,
 		Root:    s.root,
+		Rep:     s.rep,
 		Start:   F(s.start),
 		VDL:     F(s.vdl),
 		Slack:   F(s.slack),
@@ -190,59 +196,75 @@ func (s *span) record() Record {
 	return rec
 }
 
-// WriteSpans writes every recorded span, in release order, as JSONL.
+// lateness returns the span's lateness (end minus judging deadline) and
+// whether it is defined: only finished spans have one — open spans have
+// no end, and an abort instant is a withdrawal, not a completion.
+func (s *span) lateness() (float64, bool) {
+	if s.open || s.abort {
+		return 0, false
+	}
+	judge := s.vdl
+	if s.hasRDL {
+		judge = s.realDL
+	}
+	return s.end - judge, true
+}
+
+// WriteSpans writes every retained span, in release order, as JSONL.
 // Spans still open at export time (tasks in flight at the horizon) are
-// written without End/Lateness.
+// written without End/Lateness. When the ring has wrapped, only the
+// latest MaxSpans spans remain; DroppedSpans counts the evicted ones.
 func (t *Telemetry) WriteSpans(w io.Writer) error {
-	for i := range t.spans {
-		if err := WriteRecord(w, t.spans[i].record()); err != nil {
+	for i := 0; i < t.rlen; i++ {
+		if err := WriteRecord(w, t.ring[t.slot(i)].record()); err != nil {
 			return fmt.Errorf("obs: write span %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-// Spans returns the serialized span log (for tests and summaries).
+// Spans returns the retained span log (for tests and summaries), oldest
+// first.
 func (t *Telemetry) Spans() []Record {
-	out := make([]Record, len(t.spans))
-	for i := range t.spans {
-		out[i] = t.spans[i].record()
+	return t.SpansTail(0)
+}
+
+// SpanCount returns how many spans are currently retained in the ring.
+func (t *Telemetry) SpanCount() int { return t.rlen }
+
+// TotalSpans returns how many spans were ever recorded, retained or not.
+func (t *Telemetry) TotalSpans() uint64 { return t.nextID }
+
+// SpansTail materializes the most recent n retained spans, in release
+// order (all of them when n <= 0 or n >= SpanCount). The live
+// observability hub uses it so a per-tick snapshot costs O(n) in the
+// ring size rather than O(total spans recorded).
+func (t *Telemetry) SpansTail(n int) []Record {
+	start := 0
+	if n > 0 && n < t.rlen {
+		start = t.rlen - n
+	}
+	out := make([]Record, 0, t.rlen-start)
+	for i := start; i < t.rlen; i++ {
+		out = append(out, t.ring[t.slot(i)].record())
 	}
 	return out
 }
 
-// SpanCount returns how many spans have been recorded so far.
-func (t *Telemetry) SpanCount() int { return len(t.spans) }
-
-// SpansTail materializes the most recent n spans, in release order (all
-// of them when n <= 0 or n >= SpanCount). The live observability hub
-// uses it so a per-tick snapshot costs O(n) in the ring size rather than
-// O(total spans recorded).
-func (t *Telemetry) SpansTail(n int) []Record {
-	s := t.spans
-	if n > 0 && n < len(s) {
-		s = s[len(s)-n:]
-	}
-	out := make([]Record, len(s))
-	for i := range s {
-		out[i] = s[i].record()
-	}
-	return out
+// Exemplars returns the retained exemplar spans — for each span kind the
+// K latest-released and K worst-lateness closed spans — in a
+// deterministic order. Exemplars survive ring eviction, so they remain
+// representative under tight MaxSpans budgets.
+func (t *Telemetry) Exemplars() []Record {
+	return t.ex.snapshot().Records()
 }
 
 // GlobalCounts returns how many global spans have resolved (finished or
-// aborted) and how many of those missed, without materializing records.
+// aborted) and how many of those missed. It reads the outcome counters,
+// so it is exact even when the span ring has evicted the spans
+// themselves.
 func (t *Telemetry) GlobalCounts() (resolved, missed int) {
-	for i := range t.spans {
-		s := &t.spans[i]
-		if s.kind == "global" && !s.open {
-			resolved++
-			if s.missed {
-				missed++
-			}
-		}
-	}
-	return resolved, missed
+	return int(t.doneGlobal.Value()), int(t.missedGlobal.Value())
 }
 
 // DroppedSpans returns how many spans were discarded because the span

@@ -18,12 +18,12 @@ type BlameCell struct {
 	Report   *attrib.Report
 }
 
-// BlameCheck runs one telemetry-instrumented replication of the UD and
-// DIV-1 baseline cells at fidelity o and attributes every missed global
-// deadline. It complements the anchors: they say *how often* each
-// strategy misses, this says *why* — the paper's argument that DIV-1
-// trades local interference for tighter stage budgets becomes directly
-// inspectable.
+// BlameCheck runs the UD and DIV-1 baseline cells at fidelity o with
+// every replication telemetry-instrumented (on all o.Workers) and
+// attributes every missed global deadline over the merged span set. It
+// complements the anchors: they say *how often* each strategy misses,
+// this says *why* — the paper's argument that DIV-1 trades local
+// interference for tighter stage budgets becomes directly inspectable.
 func BlameCheck(o exp.Options) ([]BlameCell, error) {
 	cells := []struct {
 		name string
@@ -37,19 +37,19 @@ func BlameCheck(o exp.Options) ([]BlameCell, error) {
 		cfg := sim.Default()
 		cfg.Duration = o.Duration
 		cfg.Warmup = o.Warmup
-		cfg.Replications = 1
+		cfg.Replications = o.Replications
+		cfg.Workers = o.Workers
 		cfg.Seed = o.Seed
 		cfg.PSP = c.psp
 		cfg.Obs = obs.Options{Enabled: true}
-		sys, err := sim.NewSystem(cfg, cfg.Seed)
+		res, err := sim.Run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("blame %s: %w", c.name, err)
 		}
-		if err := sys.Start(); err != nil {
-			return nil, fmt.Errorf("blame %s: %w", c.name, err)
-		}
-		sys.Finish(sys.Horizon())
-		out[i] = BlameCell{Strategy: c.name, Report: attrib.Analyze(sys.Telemetry().Spans())}
+		// Retained spans plus exemplars across every replication, merged
+		// deterministically — the same input an offline sdablame pass over
+		// the run's exported spans would analyze.
+		out[i] = BlameCell{Strategy: c.name, Report: attrib.Analyze(res.Obs.Snapshot().SpansForAnalysis())}
 	}
 	return out, nil
 }
@@ -59,7 +59,7 @@ func BlameCheck(o exp.Options) ([]BlameCell, error) {
 // identical inputs.
 func BlameMarkdown(cells []BlameCell) string {
 	var b strings.Builder
-	b.WriteString("\n## Miss-cause mix (baseline cell, one instrumented replication)\n\n")
+	b.WriteString("\n## Miss-cause mix (baseline cell, merged across instrumented replications)\n\n")
 	b.WriteString("| strategy | globals | missed | cause | share | mean wait | mean overrun | mean deficit |\n")
 	b.WriteString("|---|---:|---:|---|---:|---:|---:|---:|\n")
 	for _, c := range cells {

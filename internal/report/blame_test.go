@@ -9,7 +9,7 @@ import (
 )
 
 func TestBlameCheckAtTinyFidelity(t *testing.T) {
-	o := exp.Options{Duration: 2000, Warmup: 200, Replications: 1, Seed: 11}
+	o := exp.Options{Duration: 2000, Warmup: 200, Replications: 2, Seed: 11, Workers: 1}
 	cells, err := BlameCheck(o)
 	if err != nil {
 		t.Fatal(err)
@@ -38,6 +38,17 @@ func TestBlameCheckAtTinyFidelity(t *testing.T) {
 	}
 	if md2 := BlameMarkdown(cells2); md1 != md2 {
 		t.Fatalf("blame section differs across identical runs")
+	}
+	// The merged span set is worker-count independent, so running the
+	// replications concurrently must render the same section.
+	par := o
+	par.Workers = 2
+	cellsPar, err := BlameCheck(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdPar := BlameMarkdown(cellsPar); md1 != mdPar {
+		t.Fatalf("blame section depends on the worker count")
 	}
 	for _, want := range []string{"## Miss-cause mix", "| UD |", "| DIV-1 |"} {
 		if !strings.Contains(md1, want) {

@@ -91,17 +91,38 @@ type Config struct {
 	// Obs configures the unified telemetry layer (see internal/obs). The
 	// zero value is disabled: nothing is constructed and the hot path is
 	// untouched. When enabled, each replication gets its own Telemetry
-	// (read it via System.Telemetry on single-system runs); telemetry
-	// never mutates model state, so results and trace hashes are
-	// identical with it on or off.
+	// shard (read it via System.Telemetry on single-system runs) and
+	// Run folds the shards into Result.Obs in replication-index order.
+	// Telemetry never mutates model state and does not force the run
+	// sequential: observed replications execute on all Workers, and the
+	// merged output is bit-identical at every worker count.
 	Obs obs.Options
 
 	// OnSystem, when non-nil, runs once per wired system after nodes,
-	// manager, and telemetry exist but before any event fires. The live
-	// observability server uses it to attach its snapshot hub to the
-	// telemetry sampler. The callback must not mutate model state; like
-	// Observer/ReleaseHook it forces replications sequential.
+	// manager, and telemetry exist but before any event fires. The
+	// callback must not mutate model state; like Observer/ReleaseHook it
+	// forces replications sequential, because it receives systems with
+	// no synchronization between them. Prefer OnReplication for hooks
+	// that are safe to call concurrently.
 	OnSystem func(*System)
+
+	// OnReplication, when non-nil, runs once per wired replication —
+	// after nodes, manager, telemetry, and the replication index
+	// (System.Replication) exist, before any event fires. Unlike
+	// OnSystem it does NOT force the run sequential: with Workers > 1 it
+	// is invoked concurrently from several goroutines, so the callback
+	// must be safe for concurrent use and must not mutate model state.
+	// The live observability server attaches its per-shard publisher
+	// here.
+	OnReplication func(*System)
+
+	// OnReplicationDone, when non-nil, runs once per replication right
+	// after it finishes (telemetry is in its final state) and before the
+	// shard is folded into Result.Obs. Like OnReplication it runs
+	// concurrently with Workers > 1 and must not mutate model state. The
+	// live observability server publishes each shard's final snapshot
+	// here.
+	OnReplicationDone func(*System)
 
 	Duration     simtime.Duration // measured portion of each replication
 	Warmup       simtime.Duration // tasks arriving before this are not counted
@@ -113,8 +134,10 @@ type Config struct {
 	// worker count yields bit-identical aggregates; workers are drawn from
 	// the same bounded process-wide pool as cell-level parallelism (see
 	// internal/par), so sweeps can enable both without multiplying
-	// goroutines. When an Observer or ReleaseHook is attached the run is
-	// forced sequential, because those callbacks are not synchronized.
+	// goroutines. Telemetry (Obs) runs on all workers — each replication
+	// owns a private shard and the shards merge deterministically. Only
+	// the unsynchronized callbacks (Observer, ReleaseHook, Recorder,
+	// OnSystem) force the run sequential.
 	Workers int
 }
 
@@ -241,11 +264,28 @@ type Result struct {
 
 	Locals, Globals int64 // totals across replications
 	Reps            []RepResult
+
+	// Obs holds the cross-replication telemetry merge when Config.Obs is
+	// enabled (nil otherwise): every shard folded in replication-index
+	// order, bit-identical at any Workers count.
+	Obs *obs.Merged
 }
 
 // ErrNoTasks is returned when a replication observed no tasks at all —
 // usually a sign of a zero load or a horizon shorter than the warmup.
 var ErrNoTasks = errors.New("sim: no tasks observed")
+
+// RepSeed returns the derived seed replication rep (0-based) uses under
+// the given master seed — the same sequence Run derives up front, so
+// tools can re-create any single replication of a multi-replication run.
+func RepSeed(master uint64, rep int) uint64 {
+	sp := rng.NewSplitter(master)
+	var s uint64
+	for i := 0; i <= rep; i++ {
+		s = sp.Seed()
+	}
+	return s
+}
 
 // Run executes the configured number of replications and aggregates them.
 // Replications run on up to cfg.Workers goroutines; seeds are derived from
@@ -266,20 +306,45 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Observer != nil || cfg.ReleaseHook != nil || cfg.OnSystem != nil || cfg.Recorder != nil {
 		workers = 1 // callbacks are not synchronized across replications
 	}
+	var merged *obs.Merged
+	if cfg.Obs.Enabled {
+		merged = obs.NewMerged()
+	}
 	reps := make([]RepResult, cfg.Replications)
 	err := par.Map(workers, cfg.Replications, func(r int) error {
-		rep, err := RunOne(cfg, seeds[r])
+		sys, err := NewSystem(cfg, seeds[r])
 		if err != nil {
 			return fmt.Errorf("replication %d: %w", r, err)
 		}
-		reps[r] = rep
+		sys.Replication, sys.Replications = r, cfg.Replications
+		if sys.tel != nil {
+			sys.tel.SetReplication(r)
+		}
+		if cfg.OnReplication != nil {
+			cfg.OnReplication(sys)
+		}
+		if err := sys.Start(); err != nil {
+			return fmt.Errorf("replication %d: %w", r, err)
+		}
+		reps[r] = sys.Finish(sys.Horizon())
+		if cfg.OnReplicationDone != nil {
+			cfg.OnReplicationDone(sys)
+		}
+		if merged != nil {
+			// Snapshot on this worker's goroutine (Telemetry is single-
+			// goroutine); Merged.Add is concurrency-safe and folds shards
+			// in replication-index order regardless of arrival order.
+			if err := merged.Add(sys.tel.Snapshot(0)); err != nil {
+				return fmt.Errorf("replication %d: %w", r, err)
+			}
+		}
 		return nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
 
-	res := Result{Config: cfg, Reps: reps}
+	res := Result{Config: cfg, Reps: reps, Obs: merged}
 	var (
 		mdLocal, mdSub, mdGlob, missedWork, util []float64
 		respL, respG, respLP, respGP, qlen       []float64
@@ -329,6 +394,12 @@ type System struct {
 	Nodes  []*node.Node
 	Mgr    *procmgr.Manager
 	Driver *workload.Driver // nil for replay systems
+
+	// Replication and Replications locate this system in a
+	// multi-replication run: the 0-based index and the total count.
+	// Standalone systems (NewSystem callers outside Run) are 0 of 1.
+	Replication  int
+	Replications int
 
 	cfg Config
 	rec *collector
@@ -405,6 +476,7 @@ func NewSystem(cfg Config, seed uint64) (*System, error) {
 		return nil, err
 	}
 	sys := build(cfg)
+	sys.Replications = 1
 	driver, err := workload.NewDriver(sys.Eng, sys.Mgr, cfg.Spec, seed)
 	if err != nil {
 		return nil, err

@@ -217,9 +217,15 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Quantile returns an approximate q-quantile (0 <= q <= 1) assuming
-// observations are uniform within a bucket. Out-of-range mass is pinned to
-// the bounds.
+// Quantile returns an approximate q-quantile of the recorded
+// observations. The interpolation rule: the target rank q*count is
+// located in the cumulative bucket counts, and the estimate is the
+// bucket's lower edge plus a linear fraction of its width — i.e.
+// observations are assumed uniform within a bucket, so the estimate is
+// exact at bucket edges and at most one bucket width off inside.
+// Underflow mass is pinned to Lo, overflow mass to Hi; q outside [0, 1]
+// is clamped to the nearest bound, so Quantile(0) is never below Lo and
+// Quantile(1) never above Hi. An empty histogram returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0

@@ -262,11 +262,53 @@ func TestHistogramErrors(t *testing.T) {
 
 func TestHistogramEmptyQuantile(t *testing.T) {
 	h, _ := NewHistogram(0, 1, 4)
-	if q := h.Quantile(0.5); q != 0 {
-		t.Errorf("empty quantile = %v, want 0", q)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %v, want 0", q, got)
+		}
 	}
 	if h.Mean() != 0 {
 		t.Errorf("empty mean = %v, want 0", h.Mean())
+	}
+}
+
+// TestHistogramQuantileEdges pins the documented boundary behavior:
+// q=0 lands on the lower bound, q=1 on the upper bound, q outside
+// [0, 1] clamps, and out-of-range mass pins to the bounds.
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, err := NewHistogram(10, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{11, 13, 15, 17, 19} {
+		h.Add(x)
+	}
+	if q := h.Quantile(0); q != 10 {
+		t.Errorf("Quantile(0) = %v, want lower bound 10", q)
+	}
+	if q := h.Quantile(1); q != 20 {
+		t.Errorf("Quantile(1) = %v, want upper bound 20", q)
+	}
+	// Out-of-domain q clamps rather than extrapolating.
+	if q := h.Quantile(-0.5); q != h.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %v, want Quantile(0) = %v", q, h.Quantile(0))
+	}
+	if q := h.Quantile(1.5); q != h.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %v, want Quantile(1) = %v", q, h.Quantile(1))
+	}
+	// All mass below range: mid quantiles sit at the lower bound.
+	lo, _ := NewHistogram(10, 20, 5)
+	lo.Add(-1)
+	lo.Add(-2)
+	if q := lo.Quantile(0.5); q != 10 {
+		t.Errorf("underflow-only Quantile(0.5) = %v, want 10", q)
+	}
+	// All mass above range: quantiles pin to the upper bound.
+	hi, _ := NewHistogram(10, 20, 5)
+	hi.Add(25)
+	hi.Add(30)
+	if q := hi.Quantile(0.5); q != 20 {
+		t.Errorf("overflow-only Quantile(0.5) = %v, want 20", q)
 	}
 }
 
