@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs blame
+.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs blame stress stress-smoke
 
 # check runs exactly what CI runs.
 check: vet build race scenarios
@@ -20,6 +20,22 @@ race:
 # scenarios runs the fault-injection suite against the golden hashes.
 scenarios:
 	$(GO) run ./cmd/sdascen -v
+
+# stress runs the full-size stress scenarios (10k/5k/1k-node fleets
+# under seeded chaos) with per-replication metrics. No golden hashes:
+# stress runs are judged by invariants, the oracle and the Assert bands.
+stress:
+	$(GO) run ./cmd/sdascen -v stress-fleet-10k stress-zone-5k stress-coldstart-1k
+
+# stress-smoke is the CI determinism gate: run the 5k-node zone-failure
+# scenario twice — sequentially and on 4 replication workers — and
+# require the deterministic outcome summaries to be byte-identical.
+stress-smoke:
+	$(GO) run ./cmd/sdascen -stress-workers 1 -summary stress-smoke-a.txt stress-zone-5k
+	$(GO) run ./cmd/sdascen -stress-workers 4 -summary stress-smoke-b.txt stress-zone-5k
+	cmp stress-smoke-a.txt stress-smoke-b.txt
+	@rm -f stress-smoke-a.txt stress-smoke-b.txt
+	@echo "stress-smoke: summaries byte-identical at Workers=1 and Workers=4"
 
 # bless re-records the golden trace hashes after a deliberate behaviour
 # change. Inspect and commit the golden.txt diff.

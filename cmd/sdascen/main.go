@@ -11,6 +11,15 @@
 //	sdascen -v                  # include per-scenario metrics
 //	sdascen -bless              # re-bless golden hashes after a deliberate
 //	                            # behaviour change (commit the diff!)
+//	sdascen -stress-scale 2 -summary out.txt stress-zone-5k
+//	                            # stress smoke run at half fleet size,
+//	                            # deterministic summary written for cmp
+//
+// Stress scenarios (fleet template generator + seeded chaos engine, see
+// docs/STRESS.md) have no golden hash; they are judged by the always-on
+// invariants, the analytic oracle and the scenario's assertion bands, and
+// their outcome summaries are byte-identical across runs and worker
+// counts.
 //
 // Exit status is non-zero when any scenario fails an assertion, violates
 // an invariant, or drifts from its golden hash.
@@ -50,6 +59,10 @@ func run(args []string, w io.Writer) error {
 		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080); implies telemetry")
 		serveEvry = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
 		serveHold = fs.Duration("serve-hold", 0, "keep the observability server up this long after the suite")
+
+		stressScale   = fs.Int("stress-scale", 1, "divide stress-scenario fleet sizes by this factor (smoke runs; band assertions are skipped when > 1)")
+		stressWorkers = fs.Int("stress-workers", 0, "replication workers for stress scenarios (0 = GOMAXPROCS); results are identical at every count")
+		summaryPath   = fs.String("summary", "", "append each stress scenario's deterministic outcome summary to this file (\"-\" = stdout), for cmp-based determinism checks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,9 +91,25 @@ func run(args []string, w io.Writer) error {
 	}
 	if *list {
 		for _, sc := range scs {
-			fmt.Fprintf(w, "%-24s %s\n", sc.Name, sc.Description)
+			kind := ""
+			if sc.IsStress() {
+				kind = fmt.Sprintf("[stress %d nodes] ", sc.Stress.Fleet.Nodes)
+			}
+			fmt.Fprintf(w, "%-24s %s%s\n", sc.Name, kind, sc.Description)
 		}
 		return nil
+	}
+
+	var summary io.Writer
+	if *summaryPath == "-" {
+		summary = w
+	} else if *summaryPath != "" {
+		f, err := os.Create(*summaryPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		summary = f
 	}
 
 	goldenPath := filepath.Join(*dir, scenario.GoldenFile)
@@ -113,6 +142,38 @@ func run(args []string, w io.Writer) error {
 
 	failed := 0
 	for i, sc := range scs {
+		if sc.IsStress() {
+			// Stress scenarios: templated fleet + seeded chaos, no golden
+			// hash (judged by invariants, the oracle and the Assert bands).
+			sc.ApplyStressScale(*stressScale)
+			out, err := scenario.RunStress(sc, *stressWorkers)
+			if err != nil {
+				return fmt.Errorf("%s: %w", sc.Name, err)
+			}
+			status := "PASS"
+			if len(out.Failures) > 0 {
+				status = "FAIL"
+				failed++
+			}
+			st := out.Stress
+			fmt.Fprintf(w, "%s %-24s stress: %d nodes, %d servers, %d reps, %d timeline events, %d crashes\n",
+				status, sc.Name, st.Nodes, st.TotalServers, st.Replications, st.Timeline, st.Chaos.Crashes)
+			if *verbose {
+				for r, rep := range out.Reps {
+					fmt.Fprintf(w, "     rep %d: md_local %.4f  md_global %.4f  missed_work %.4f  util %.4f  locals %d  globals %d\n",
+						r, rep.MDLocal, rep.MDGlobal, rep.MissedWork, rep.Utilization, rep.Locals, rep.Globals)
+				}
+			}
+			for _, f := range out.Failures {
+				fmt.Fprintf(w, "     FAIL: %s\n", f)
+			}
+			if summary != nil {
+				if _, err := io.WriteString(summary, out.Summary()); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		var (
 			out *scenario.Outcome
 			tel *obs.Telemetry
@@ -178,7 +239,7 @@ func run(args []string, w io.Writer) error {
 		if err := scenario.WriteGolden(goldenPath, golden); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "blessed %d hashes into %s\n", len(scs), goldenPath)
+		fmt.Fprintf(w, "blessed %d hashes into %s\n", len(golden), goldenPath)
 		return nil
 	}
 	if failed > 0 {

@@ -338,6 +338,14 @@ func WithServers(c int) Option {
 	return func(n *Node) { n.servers = c }
 }
 
+// WithRate sets the node's baseline service rate (work units per time
+// unit; default 1, the paper's homogeneous model). Heterogeneous fleets
+// give each node its own baseline; SetRate still changes the rate
+// mid-run for fault injection.
+func WithRate(r float64) Option {
+	return func(n *Node) { n.rate = r }
+}
+
 // New returns a node attached to the simulation engine. It panics on an
 // invalid option combination (a programming error, caught at setup).
 func New(id int, eng *des.Engine, opts ...Option) *Node {
@@ -348,6 +356,9 @@ func New(id int, eng *des.Engine, opts ...Option) *Node {
 	n.pkind = kindOf(n.policy)
 	if n.servers < 1 {
 		panic(fmt.Sprintf("node: invalid server count %d", n.servers))
+	}
+	if n.rate <= 0 {
+		panic(fmt.Sprintf("node: invalid service rate %v", n.rate))
 	}
 	if n.preemptive && n.servers > 1 {
 		panic("node: preemption is only supported for single-server nodes")

@@ -23,9 +23,16 @@ const burstSeedSalt = 0x6275727374 // "burst"
 type Outcome struct {
 	Scenario *Scenario
 
-	Rep         sim.RepResult // replication statistics
-	TraceHash   string        // canonical hash of the full event trace
+	Rep         sim.RepResult // replication statistics (first replication)
+	TraceHash   string        // canonical hash of the full event trace ("" on stress runs)
 	TraceEvents int           // recorded node scheduling events
+
+	// Reps holds every replication of a stress run (Rep == Reps[0]);
+	// regular scenarios run exactly once and leave it nil.
+	Reps []sim.RepResult
+	// Stress summarizes the expanded fleet and compiled chaos profile of
+	// a stress run; nil for regular scenarios.
+	Stress *StressInfo
 
 	Violations []string // invariant violations (always part of Failures)
 	Failures   []string // failed assertions; empty = scenario passed
@@ -42,8 +49,13 @@ func (o *Outcome) Passed() bool { return len(o.Failures) == 0 }
 // the injection timeline, runs to the horizon with the invariant checker
 // and tracer attached, drains, and evaluates the assertions. The run is
 // deterministic: the same scenario produces the same Outcome (including
-// TraceHash) on every call.
+// TraceHash) on every call. Stress scenarios are dispatched to RunStress
+// with sequential replications; call RunStress directly for parallel
+// replication workers.
 func Run(sc *Scenario) (*Outcome, error) {
+	if sc.IsStress() {
+		return RunStress(sc, 1)
+	}
 	out, _, err := runWith(sc, obs.Options{}, nil)
 	return out, err
 }
@@ -69,6 +81,9 @@ func RunObservedWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*
 
 // runWith is the shared engine behind Run and RunObserved.
 func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome, *obs.Telemetry, error) {
+	if sc.IsStress() {
+		return nil, nil, fmt.Errorf("%w: %s: stress scenarios have no telemetry/trace path; use RunStress", ErrBadScenario, sc.Name)
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -84,16 +99,11 @@ func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome,
 	cfg.OnSystem = onSystem
 	// Always-on analytic oracle: every completion is checked against the
 	// response-time lower bound R >= len(G)/maxRate, which holds on every
-	// sample path. set_rate events can speed nodes up, so the oracle gets
-	// the fastest rate the timeline ever sets.
+	// sample path. Baseline node rates and set_rate events can both put
+	// nodes above rate 1, so the oracle gets the fastest rate any node
+	// can ever reach.
 	oracle := analysis.NewOracle()
-	maxRate := 1.0
-	for _, ev := range sc.Events {
-		if ev.Action == ActionSetRate && ev.Rate > maxRate {
-			maxRate = ev.Rate
-		}
-	}
-	oracle.SetMaxRate(maxRate)
+	oracle.SetMaxRate(oracleMaxRate(cfg.NodeRates, sc.Events))
 	cfg.Recorder = oracle
 
 	sys, err := sim.NewSystem(cfg, sc.Seed)
@@ -101,7 +111,7 @@ func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome,
 		return nil, nil, err
 	}
 	chk.Bind(sys.Nodes)
-	if err := armTimeline(sys, sc, cfg.Spec); err != nil {
+	if err := armTimeline(sys, sc.Name, sc.Seed, sc.Events, cfg.Spec); err != nil {
 		return nil, nil, err
 	}
 	if err := sys.Start(); err != nil {
@@ -131,15 +141,37 @@ func runWith(sc *Scenario, o obs.Options, onSystem func(*sim.System)) (*Outcome,
 	return out, sys.Telemetry(), nil
 }
 
+// oracleMaxRate derives the fastest service rate any node can ever run
+// at: the max over the per-node baseline rates (1 when unset) and every
+// rate the timeline sets. The analytic oracle's response-time lower
+// bound R >= len(G)/maxRate divides by it, so under-estimating would
+// produce false oracle violations on heterogeneous fleets.
+func oracleMaxRate(baseRates []float64, events []Event) float64 {
+	maxRate := 1.0
+	for _, r := range baseRates {
+		if r > maxRate {
+			maxRate = r
+		}
+	}
+	for _, ev := range events {
+		if ev.Action == ActionSetRate && ev.Rate > maxRate {
+			maxRate = ev.Rate
+		}
+	}
+	return maxRate
+}
+
 // armTimeline schedules every injected event on the simulation engine.
 // Injections are scheduled before arrivals start, so events landing on
 // the same instant as an arrival fire in a fixed, documented order:
-// injections first.
-func armTimeline(sys *sim.System, sc *Scenario, spec workload.Spec) error {
-	burst := rng.NewSplitter(sc.Seed + burstSeedSalt)
-	batch := make([]des.BatchEntry, 0, len(sc.Events))
-	for i := range sc.Events {
-		ev := sc.Events[i]
+// injections first. seed feeds the burst generator's substreams (stress
+// replications pass their per-replication seed so every replication
+// draws independent bursts).
+func armTimeline(sys *sim.System, name string, seed uint64, events []Event, spec workload.Spec) error {
+	burst := rng.NewSplitter(seed + burstSeedSalt)
+	batch := make([]des.BatchEntry, 0, len(events))
+	for i := range events {
+		ev := events[i]
 		var apply func()
 		switch ev.Action {
 		case ActionCrash:
@@ -206,14 +238,14 @@ func armTimeline(sys *sim.System, sc *Scenario, spec workload.Spec) error {
 				}
 			}
 		default:
-			return fmt.Errorf("%w: %s: unknown action %q", ErrBadScenario, sc.Name, ev.Action)
+			return fmt.Errorf("%w: %s: unknown action %q", ErrBadScenario, name, ev.Action)
 		}
 		batch = append(batch, des.BatchEntry{At: simtime.Time(ev.At), Fn: apply})
 	}
 	// One batch insert; entries keep timeline order, so same-instant
 	// injections still fire in declaration order.
 	if err := sys.Eng.ScheduleBatch(batch); err != nil {
-		return fmt.Errorf("%w: %s: schedule timeline: %v", ErrBadScenario, sc.Name, err)
+		return fmt.Errorf("%w: %s: schedule timeline: %v", ErrBadScenario, name, err)
 	}
 	return nil
 }

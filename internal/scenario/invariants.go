@@ -41,6 +41,12 @@ type Checker struct {
 	serving map[*node.Item]int // item -> node id, while in service
 	perNode map[int]int        // node id -> in-service count
 
+	// waitAt indexes the waiting set by node, so the queue-policy check in
+	// OnStart scans one node's queue instead of every waiting item in the
+	// fleet — the difference between O(queue) and O(fleet) per dispatch,
+	// which is what lets the checker stay always-on at 10k+ nodes.
+	waitAt map[int]map[*node.Item]struct{}
+
 	last       simtime.Time
 	violations []string
 	dropped    int // violations beyond maxViolations
@@ -56,7 +62,30 @@ func NewChecker(allowEarlyVDL bool) *Checker {
 		waiting:       make(map[*node.Item]int),
 		serving:       make(map[*node.Item]int),
 		perNode:       make(map[int]int),
+		waitAt:        make(map[int]map[*node.Item]struct{}),
 	}
+}
+
+// wait records it as waiting at node id in both the flat map and the
+// per-node index.
+func (c *Checker) wait(it *node.Item, id int) {
+	c.waiting[it] = id
+	q := c.waitAt[id]
+	if q == nil {
+		q = make(map[*node.Item]struct{})
+		c.waitAt[id] = q
+	}
+	q[it] = struct{}{}
+}
+
+// unwait removes it from the waiting set; a no-op if it was not waiting.
+func (c *Checker) unwait(it *node.Item) {
+	id, ok := c.waiting[it]
+	if !ok {
+		return
+	}
+	delete(c.waiting, it)
+	delete(c.waitAt[id], it)
 }
 
 // Bind attaches the nodes under observation; needed only for the final
@@ -101,7 +130,7 @@ func (c *Checker) OnEnqueue(n *node.Node, it *node.Item, at simtime.Time) {
 	if it.Task.VirtualDeadline.IsNever() {
 		c.violate("t=%v node%d: item %q enqueued without a virtual deadline", at, n.ID(), it.Task.Name)
 	}
-	c.waiting[it] = n.ID()
+	c.wait(it, n.ID())
 }
 
 // OnStart implements node.Observer.
@@ -113,12 +142,12 @@ func (c *Checker) OnStart(n *node.Node, it *node.Item, at simtime.Time) {
 	if _, ok := c.waiting[it]; !ok {
 		c.violate("t=%v node%d: item %q started without being enqueued", at, n.ID(), it.Task.Name)
 	}
-	delete(c.waiting, it)
+	c.unwait(it)
 	// Queue-policy order: nothing left waiting at this node may strictly
 	// outrank the item just chosen.
 	pol := n.Policy()
-	for w, id := range c.waiting {
-		if id == n.ID() && pol.Less(w, it) {
+	for w := range c.waitAt[n.ID()] {
+		if pol.Less(w, it) {
 			c.violate("t=%v node%d: started %q but waiting %q outranks it under %s",
 				at, n.ID(), it.Task.Name, w.Task.Name, pol.Name())
 		}
@@ -151,7 +180,7 @@ func (c *Checker) OnAbort(n *node.Node, it *node.Item, at simtime.Time) {
 		return
 	}
 	if _, ok := c.waiting[it]; ok {
-		delete(c.waiting, it)
+		c.unwait(it)
 		return
 	}
 	c.violate("t=%v node%d: item %q aborted but was neither waiting nor in service", at, n.ID(), it.Task.Name)
@@ -166,7 +195,7 @@ func (c *Checker) OnPreempt(n *node.Node, it *node.Item, at simtime.Time) {
 	}
 	delete(c.serving, it)
 	c.perNode[n.ID()]--
-	c.waiting[it] = n.ID()
+	c.wait(it, n.ID())
 }
 
 // OnRelease is a procmgr.ReleaseHook checking every deadline assignment:

@@ -20,6 +20,9 @@ func TestObservedRunsMatchGolden(t *testing.T) {
 	}
 	for _, sc := range scs {
 		sc := sc
+		if sc.IsStress() {
+			continue // no trace/telemetry path for stress scenarios
+		}
 		t.Run(sc.Name, func(t *testing.T) {
 			plain, err := Run(sc)
 			if err != nil {

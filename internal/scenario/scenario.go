@@ -127,13 +127,48 @@ type Scenario struct {
 	Warmup      float64    `json:"warmup,omitempty"`
 	Events      []Event    `json:"events,omitempty"`
 	Assert      Assertions `json:"assert"`
+
+	// Stress turns the scenario into a fleet-scale stress run: the fleet
+	// template generator expands Stress.Fleet into a heterogeneous fleet
+	// (Workload.K is derived from it) and the seeded chaos engine compiles
+	// Stress.Chaos into the injection timeline. Stress scenarios skip the
+	// golden trace hash and are judged by the always-on invariants, the
+	// analytic oracle, and the Assert bands alone (see docs/STRESS.md).
+	Stress *Stress `json:"stress,omitempty"`
 }
+
+// IsStress reports whether this is a fleet-scale stress scenario.
+func (s *Scenario) IsStress() bool { return s.Stress != nil }
+
+// Horizon returns the end of the simulated measurement window; timeline
+// events must fire at or before it (later events would hit the
+// post-horizon drain and perturb results invisibly).
+func (s *Scenario) Horizon() float64 { return s.Warmup + s.Duration }
 
 // withDefaults returns a copy with zero-valued optional fields filled in.
 func (s Scenario) withDefaults() Scenario {
 	w := &s.Workload
-	if w.SlackMin == 0 && w.SlackMax == 0 {
-		w.SlackMin, w.SlackMax = 1.25, 5.0
+	if s.Stress != nil && w.K == 0 {
+		w.K = s.Stress.Fleet.Nodes
+	}
+	// Zero means "unset" per bound: a one-sided range gets the Table 1
+	// default for the missing side (an inverted result is rejected by
+	// Spec.Validate, loudly).
+	if w.SlackMin == 0 {
+		w.SlackMin = 1.25
+	}
+	if w.SlackMax == 0 {
+		w.SlackMax = 5.0
+	}
+	// The global pair defaults jointly to "use the local range"; a
+	// one-sided global range borrows the missing side from the resolved
+	// local range instead of silently becoming zero.
+	if (w.GlobalSlackMin == 0) != (w.GlobalSlackMax == 0) {
+		if w.GlobalSlackMin == 0 {
+			w.GlobalSlackMin = w.SlackMin
+		} else {
+			w.GlobalSlackMax = w.SlackMax
+		}
 	}
 	if w.MeanLocalExec == 0 {
 		w.MeanLocalExec = 1.0
@@ -271,6 +306,18 @@ func (s *Scenario) Validate() error {
 	if s.Warmup < 0 {
 		return fmt.Errorf("%w: %s: negative warmup", ErrBadScenario, s.Name)
 	}
+	// Stress validation runs before the workload config check so fleet
+	// errors surface as such (a bad fleet size would otherwise be
+	// reported as the derived workload's "K = 0").
+	sc := s.withDefaults()
+	if s.Stress != nil {
+		if s.Servers != 0 {
+			return fmt.Errorf("%w: %s: field \"servers\" is meaningless for a stress scenario (templates define per-node server counts)", ErrBadScenario, s.Name)
+		}
+		if err := s.Stress.validate(&sc); err != nil {
+			return err
+		}
+	}
 	cfg, err := s.Config()
 	if err != nil {
 		return err
@@ -278,17 +325,23 @@ func (s *Scenario) Validate() error {
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("%w: %s: %v", ErrBadScenario, s.Name, err)
 	}
-	sc := s.withDefaults()
 	k := sc.Workload.K
 	for i, ev := range s.Events {
 		where := fmt.Sprintf("%s: event %d (%s)", s.Name, i, ev.Action)
 		if ev.At < 0 {
 			return fmt.Errorf("%w: %s: negative time %v", ErrBadScenario, where, ev.At)
 		}
+		if ev.At > s.Horizon() {
+			return fmt.Errorf("%w: %s: time %v past the horizon %v (warmup %v + duration %v); it would fire during the post-horizon drain",
+				ErrBadScenario, where, ev.At, s.Horizon(), s.Warmup, s.Duration)
+		}
 		switch ev.Action {
 		case ActionCrash, ActionRestart:
 			if ev.Node < 0 || ev.Node >= k {
 				return fmt.Errorf("%w: %s: node %d out of range [0, %d)", ErrBadScenario, where, ev.Node, k)
+			}
+			if err := rejectFields(where, ev, false, true, true, true, true); err != nil {
+				return err
 			}
 		case ActionSetRate:
 			if ev.Node < 0 || ev.Node >= k {
@@ -297,9 +350,15 @@ func (s *Scenario) Validate() error {
 			if ev.Rate <= 0 {
 				return fmt.Errorf("%w: %s: rate %v must be positive", ErrBadScenario, where, ev.Rate)
 			}
+			if err := rejectFields(where, ev, false, false, true, true, true); err != nil {
+				return err
+			}
 		case ActionBurst:
 			if ev.Count < 1 {
 				return fmt.Errorf("%w: %s: count %d must be >= 1", ErrBadScenario, where, ev.Count)
+			}
+			if err := rejectFields(where, ev, false, true, false, false, true); err != nil {
+				return err
 			}
 			switch ev.Kind {
 			case "local":
@@ -310,12 +369,18 @@ func (s *Scenario) Validate() error {
 				if cfg.Spec.Factory == nil && cfg.Spec.DagFactory == nil {
 					return fmt.Errorf("%w: %s: global burst needs a factory (frac_local < 1)", ErrBadScenario, where)
 				}
+				if ev.Node != 0 {
+					return fmt.Errorf("%w: %s: field \"node\" is meaningless for a global burst", ErrBadScenario, where)
+				}
 			default:
 				return fmt.Errorf("%w: %s: unknown burst kind %q", ErrBadScenario, where, ev.Kind)
 			}
 		case ActionSwap:
 			if ev.SSP == "" && ev.PSP == "" {
 				return fmt.Errorf("%w: %s: swap changes nothing", ErrBadScenario, where)
+			}
+			if err := rejectFields(where, ev, true, true, true, true, false); err != nil {
+				return err
 			}
 			if ev.SSP != "" {
 				if _, err := sda.ParseSSP(ev.SSP); err != nil {
@@ -330,6 +395,30 @@ func (s *Scenario) Validate() error {
 		default:
 			return fmt.Errorf("%w: %s: unknown action", ErrBadScenario, where)
 		}
+	}
+	return nil
+}
+
+// rejectFields rejects event fields that have no meaning for the event's
+// action — a "rate" on a crash, a "count" on a swap — so scenario typos
+// fail loudly at load time, matching the DisallowUnknownFields posture of
+// Load. Each flag names a field that is meaningless for this action.
+func rejectFields(where string, ev Event, node, rate, count, kind, swap bool) error {
+	bad := ""
+	switch {
+	case node && ev.Node != 0:
+		bad = "node"
+	case rate && ev.Rate != 0:
+		bad = "rate"
+	case count && ev.Count != 0:
+		bad = "count"
+	case kind && ev.Kind != "":
+		bad = "kind"
+	case swap && (ev.SSP != "" || ev.PSP != ""):
+		bad = "ssp/psp"
+	}
+	if bad != "" {
+		return fmt.Errorf("%w: %s: field %q is meaningless for action %q", ErrBadScenario, where, bad, ev.Action)
 	}
 	return nil
 }

@@ -38,6 +38,14 @@ func TestGoldenScenarios(t *testing.T) {
 	for _, sc := range scs {
 		names[sc.Name] = true
 		sc := sc
+		if sc.IsStress() {
+			// Stress scenarios have no golden hash by design; they are run
+			// (scaled down) by TestShippedStressScenarios instead.
+			if h, ok := golden[sc.Name]; ok {
+				t.Errorf("stress scenario %q must not have a golden hash (found %s)", sc.Name, h)
+			}
+			continue
+		}
 		t.Run(sc.Name, func(t *testing.T) {
 			out, err := Run(sc)
 			if err != nil {
@@ -172,6 +180,14 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 		}},
 		{"unknown action", func(s *Scenario) { s.Events = []Event{{At: 1, Action: "meteor"}} }},
 		{"negative event time", func(s *Scenario) { s.Events = []Event{{At: -1, Action: ActionCrash}} }},
+		{"event past horizon", func(s *Scenario) { s.Events = []Event{{At: 101, Action: ActionCrash}} }},
+		{"crash with rate", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionCrash, Rate: 2}} }},
+		{"crash with swap fields", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionCrash, SSP: "UD"}} }},
+		{"restart with count", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionRestart, Count: 3}} }},
+		{"set_rate with kind", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionSetRate, Rate: 2, Kind: "local"}} }},
+		{"burst with rate", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionBurst, Count: 1, Kind: "local", Rate: 2}} }},
+		{"global burst with node", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionBurst, Count: 1, Kind: "global", Node: 2}} }},
+		{"swap with count", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionSwap, SSP: "DIV", Count: 3}} }},
 		{"crash node out of range", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionCrash, Node: 4}} }},
 		{"restart node negative", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionRestart, Node: -1}} }},
 		{"zero rate", func(s *Scenario) { s.Events = []Event{{At: 1, Action: ActionSetRate, Node: 0}} }},
@@ -196,6 +212,94 @@ func TestValidateRejectsBadScenarios(t *testing.T) {
 	}
 	if err := base().Validate(); err != nil {
 		t.Fatalf("base scenario must be valid: %v", err)
+	}
+}
+
+// TestPostHorizonEventRejected is the regression test for silently-armed
+// post-horizon events: an event past warmup+duration would fire during
+// the drain and perturb results invisibly, so Validate must reject it —
+// and accept one landing exactly on the horizon.
+func TestPostHorizonEventRejected(t *testing.T) {
+	mk := func(at float64) *Scenario {
+		return &Scenario{
+			Name:     "h",
+			Seed:     1,
+			Workload: Workload{K: 2, Load: 0.5, FracLocal: 1},
+			Duration: 50,
+			Warmup:   10,
+			Events:   []Event{{At: at, Action: ActionCrash, Node: 1}},
+		}
+	}
+	if err := mk(60).Validate(); err != nil {
+		t.Errorf("event exactly at the horizon must be accepted: %v", err)
+	}
+	err := mk(60.001).Validate()
+	if err == nil {
+		t.Fatal("event past the horizon accepted")
+	}
+	if !strings.Contains(err.Error(), "drain") {
+		t.Errorf("error should explain the post-horizon drain, got: %v", err)
+	}
+}
+
+// TestSlackDefaults pins the one-sided slack-range fix: each bound
+// defaults independently (1.25 / 5.0), the global pair borrows missing
+// sides from the resolved local range, and ranges that end up inverted
+// are rejected loudly instead of silently becoming [x, 0).
+func TestSlackDefaults(t *testing.T) {
+	mk := func(mut func(*Workload)) *Scenario {
+		s := &Scenario{
+			Name:     "slack",
+			Seed:     1,
+			Workload: Workload{K: 4, Load: 0.5, FracLocal: 0.5},
+			Duration: 50,
+		}
+		mut(&s.Workload)
+		return s
+	}
+	cases := []struct {
+		label                string
+		mut                  func(*Workload)
+		min, max, gmin, gmax float64
+	}{
+		{"both unset", func(w *Workload) {}, 1.25, 5.0, 0, 0},
+		{"only min set", func(w *Workload) { w.SlackMin = 2 }, 2, 5.0, 0, 0},
+		{"only max set", func(w *Workload) { w.SlackMax = 3 }, 1.25, 3, 0, 0},
+		{"both set", func(w *Workload) { w.SlackMin = 2; w.SlackMax = 3 }, 2, 3, 0, 0},
+		{"only global min set", func(w *Workload) { w.GlobalSlackMin = 2 }, 1.25, 5.0, 2, 5.0},
+		{"only global max set", func(w *Workload) { w.GlobalSlackMax = 4 }, 1.25, 5.0, 1.25, 4},
+		{"global pair set", func(w *Workload) { w.GlobalSlackMin = 2; w.GlobalSlackMax = 4 }, 1.25, 5.0, 2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			s := mk(tc.mut)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			w := s.withDefaults().Workload
+			got := [4]float64{w.SlackMin, w.SlackMax, w.GlobalSlackMin, w.GlobalSlackMax}
+			want := [4]float64{tc.min, tc.max, tc.gmin, tc.gmax}
+			if got != want {
+				t.Errorf("resolved slack %v, want %v", got, want)
+			}
+		})
+	}
+	// One-sided ranges that conflict with the filled default must fail
+	// loudly (Spec.Validate rejects inverted ranges).
+	for _, tc := range []struct {
+		label string
+		mut   func(*Workload)
+	}{
+		{"min above default max", func(w *Workload) { w.SlackMin = 6 }},
+		{"max below default min", func(w *Workload) { w.SlackMax = 1 }},
+		{"global min above borrowed max", func(w *Workload) { w.GlobalSlackMin = 6 }},
+		{"global max below borrowed min", func(w *Workload) { w.GlobalSlackMax = 1 }},
+	} {
+		t.Run(tc.label, func(t *testing.T) {
+			if err := mk(tc.mut).Validate(); err == nil {
+				t.Errorf("Validate accepted an inverted slack range (%s)", tc.label)
+			}
+		})
 	}
 }
 

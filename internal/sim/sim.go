@@ -70,6 +70,17 @@ type Config struct {
 	// paper's model; larger values model pooled resources, M/M/c).
 	Servers int
 
+	// NodeServers, when non-empty, must have length Spec.K and gives node
+	// i its own server count, overriding Servers. The scenario harness's
+	// fleet template generator uses this to build heterogeneous fleets.
+	NodeServers []int
+
+	// NodeRates, when non-empty, must have length Spec.K and gives node i
+	// its baseline service rate (work units per time unit; 1 = nominal).
+	// Empty means every node starts at rate 1. Rates can still change
+	// mid-run through node.SetRate (fault injection, cold-start ramps).
+	NodeRates []float64
+
 	// Observer, when non-nil, receives every node scheduling event (see
 	// internal/trace). Intended for small demonstration runs and the
 	// scenario harness.
@@ -210,7 +221,44 @@ func (c Config) Validate() error {
 	if c.Preemptive && c.Servers > 1 {
 		return fmt.Errorf("sim: preemption requires single-server nodes")
 	}
+	if len(c.NodeServers) > 0 {
+		if len(c.NodeServers) != c.Spec.K {
+			return fmt.Errorf("sim: NodeServers has %d entries for %d nodes", len(c.NodeServers), c.Spec.K)
+		}
+		for i, s := range c.NodeServers {
+			if s < 1 {
+				return fmt.Errorf("sim: node %d server count %d must be >= 1", i, s)
+			}
+			if c.Preemptive && s > 1 {
+				return fmt.Errorf("sim: preemption requires single-server nodes (node %d has %d)", i, s)
+			}
+		}
+	}
+	if len(c.NodeRates) > 0 {
+		if len(c.NodeRates) != c.Spec.K {
+			return fmt.Errorf("sim: NodeRates has %d entries for %d nodes", len(c.NodeRates), c.Spec.K)
+		}
+		for i, r := range c.NodeRates {
+			if r <= 0 {
+				return fmt.Errorf("sim: node %d baseline rate %v must be positive", i, r)
+			}
+		}
+	}
 	return nil
+}
+
+// TotalServers returns the fleet-wide server count: the sum of the
+// per-node overrides when set, K x Servers otherwise.
+func (c Config) TotalServers() int {
+	c = c.normalized()
+	if len(c.NodeServers) > 0 {
+		total := 0
+		for _, s := range c.NodeServers {
+			total += s
+		}
+		return total
+	}
+	return c.Spec.K * c.Servers
 }
 
 // Name renders the strategy combination, e.g. "UD-DIV-1" (SSP-PSP).
@@ -436,8 +484,22 @@ func build(cfg Config) *System {
 		nodeOpts = append(nodeOpts, node.WithServers(cfg.Servers))
 	}
 	nodes := make([]*node.Node, cfg.Spec.K)
+	perNode := len(cfg.NodeServers) > 0 || len(cfg.NodeRates) > 0
 	for i := range nodes {
-		nodes[i] = node.New(i, eng, nodeOpts...)
+		opts := nodeOpts
+		if perNode {
+			// Per-node overrides append to a copy; options apply in order,
+			// so a NodeServers entry wins over the fleet-wide Servers.
+			opts = make([]node.Option, len(nodeOpts), len(nodeOpts)+2)
+			copy(opts, nodeOpts)
+			if len(cfg.NodeServers) > 0 {
+				opts = append(opts, node.WithServers(cfg.NodeServers[i]))
+			}
+			if len(cfg.NodeRates) > 0 {
+				opts = append(opts, node.WithRate(cfg.NodeRates[i]))
+			}
+		}
+		nodes[i] = node.New(i, eng, opts...)
 	}
 
 	rec := newCollector(simtime.Time(cfg.Warmup))
@@ -531,7 +593,7 @@ func (s *System) Finish(horizon simtime.Time) RepResult {
 	// Utilization over the measured horizon (warmup included in busy time
 	// keeps the estimator simple; the horizon dwarfs the warmup).
 	if horizon > 0 {
-		capacity := float64(horizon) * float64(s.cfg.Spec.K) * float64(s.cfg.Servers)
+		capacity := float64(horizon) * float64(s.cfg.TotalServers())
 		rep.Utilization = float64(measuredBusy) / capacity
 	}
 	rep.MeanQueueLen = qlenSum / float64(s.cfg.Spec.K)
