@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs blame stress stress-smoke
+.PHONY: check vet build test race scenarios bless bench bench-record bench-compare profile obs blame stress stress-smoke trace flight
 
 # check runs exactly what CI runs.
 check: vet build race scenarios
@@ -72,3 +72,17 @@ obs:
 blame:
 	$(GO) run ./cmd/sdaobs -scenario testdata/scenarios/dag_forkjoin.json -out blame-out
 	$(GO) run ./cmd/sdablame blame-out/spans.jsonl
+
+# trace assembles the causal trace of the dag-forkjoin scenario (trees
+# as JSONL plus a Chrome trace-event file) and a synthetic sdatrace run.
+# Load trace-out/trace.chrome.json in https://ui.perfetto.dev.
+trace:
+	@mkdir -p trace-out
+	$(GO) run ./cmd/sdaobs -scenario testdata/scenarios/dag_forkjoin.json -out trace-out
+	$(GO) run ./cmd/sdatrace -psp DIV-1 -until 2000 -chrome trace-out/sdatrace.chrome.json -tree trace-out/sdatrace.trees.jsonl
+
+# flight runs the full-size stress scenarios with the DES-kernel flight
+# recorder attached and writes each lookahead-feasibility report
+# (<name>.flight.md + .prom) into flight-out/.
+flight:
+	$(GO) run ./cmd/sdascen -flight flight-out stress-fleet-10k stress-zone-5k stress-coldstart-1k

@@ -136,6 +136,39 @@ func BenchmarkSimulationObsOn(b *testing.B) {
 	benchSimulationObs(b, obs.Options{Enabled: true})
 }
 
+// benchSimulationFlight measures end-to-end throughput with the kernel
+// flight recorder detached or attached. Off must be alloc-identical to
+// BenchmarkSimulationBaseline (a nil tap is two predictable branches on
+// the hot path); On stays well inside the documented 2x observability
+// budget — the recorder only bumps fixed-size counters and histograms.
+func benchSimulationFlight(b *testing.B, on bool) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Default()
+		cfg.Duration = 5000
+		cfg.Warmup = 0
+		cfg.Replications = 1
+		cfg.Seed = uint64(i + 1)
+		cfg.Flight = on
+		rep, err := sim.RunOne(cfg, cfg.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulationFlightOff guards the detached-recorder path.
+func BenchmarkSimulationFlightOff(b *testing.B) { benchSimulationFlight(b, false) }
+
+// BenchmarkSimulationFlightOn runs with the flight recorder attached:
+// every schedule/fire/cancel tick updates the calendar-depth, event-mix
+// and scheduling-distance statistics.
+func BenchmarkSimulationFlightOn(b *testing.B) { benchSimulationFlight(b, true) }
+
 // benchSimulationObsReps runs an 8-replication observed batch through
 // sim.Run at the given worker count and equal retention budget. The
 // Sequential/Parallel pair measures the speedup unlocked by sharded

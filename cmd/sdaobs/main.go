@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/attrib"
+	"repro/internal/obs/tracetree"
 	"repro/internal/scenario"
 	"repro/internal/sda"
 	"repro/internal/sim"
@@ -138,6 +139,7 @@ func run(args []string, w io.Writer) error {
 		paths   []string
 		summary string
 		blamed  []obs.Record
+		traced  []obs.Record // spans + causal edges, for the trace trees
 		err     error
 	)
 	if merged != nil {
@@ -147,6 +149,7 @@ func run(args []string, w io.Writer) error {
 		snap := merged.Snapshot()
 		summary = snap.Summary()
 		blamed = snap.SpansForAnalysis()
+		traced = append(append(traced, snap.Spans...), snap.Edges...)
 	} else {
 		if paths, err = tel.ExportDir(*outDir); err != nil {
 			return err
@@ -154,7 +157,9 @@ func run(args []string, w io.Writer) error {
 		summary = tel.Summary()
 		// Retained spans plus exemplars: under a tight -max-spans budget
 		// the worst and latest spans per kind are still present.
-		blamed = tel.Snapshot(0).SpansForAnalysis()
+		snap := tel.Snapshot(0)
+		blamed = snap.SpansForAnalysis()
+		traced = append(append(traced, snap.Spans...), snap.Edges...)
 	}
 	// The attribution report rides along with the bundle (the obs package
 	// cannot depend on attrib, so the cmd writes it).
@@ -172,6 +177,30 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	paths = append(paths, mdPath, jsonPath)
+	// The causal trace rides along the same way (obs cannot depend on
+	// tracetree's consumers): trees as deterministic JSONL plus the
+	// Perfetto-loadable Chrome trace, both bit-identical at any worker
+	// count.
+	forest := tracetree.Build(traced)
+	treePath := filepath.Join(*outDir, "tracetree.jsonl")
+	chromePath := filepath.Join(*outDir, "trace.chrome.json")
+	for _, exp := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{{treePath, forest.WriteTrees}, {chromePath, forest.WriteChrome}} {
+		f, err := os.Create(exp.path)
+		if err != nil {
+			return err
+		}
+		if err := exp.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, exp.path)
+	}
 	fmt.Fprintln(w)
 	fmt.Fprint(w, summary)
 	fmt.Fprintf(w, "exported: %s\n", strings.Join(paths, " "))

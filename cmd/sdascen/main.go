@@ -31,8 +31,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/des"
 	"repro/internal/obs"
 	"repro/internal/obs/serve"
 	"repro/internal/scenario"
@@ -55,6 +57,8 @@ func run(args []string, w io.Writer) error {
 		verbose = fs.Bool("v", false, "print per-scenario metrics")
 		obsDir   = fs.String("obs", "", "run with telemetry and export spans/metrics/timeseries/dashboard per scenario into this directory")
 		obsSpans = fs.Int("obs-max-spans", 0, "per-run span retention budget (0 = default 65536); evicted spans are counted, aggregates stay exact")
+
+		flightDir = fs.String("flight", "", "attach the kernel flight recorder and write each scenario's lookahead-feasibility report (<name>.flight.md + .prom) into this directory")
 
 		serveAddr = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :8080); implies telemetry")
 		serveEvry = fs.Int("serve-every", serve.DefaultEvery, "publish a live snapshot every N sampler ticks")
@@ -112,6 +116,30 @@ func run(args []string, w io.Writer) error {
 		summary = f
 	}
 
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			return err
+		}
+	}
+	// writeFlight exports one scenario's flight-recorder findings: the
+	// markdown lookahead-feasibility report and the Prometheus exposition.
+	writeFlight := func(name string, fl *des.Flight) error {
+		md := filepath.Join(*flightDir, name+".flight.md")
+		if err := os.WriteFile(md, []byte(fl.Report(name)), 0o644); err != nil {
+			return err
+		}
+		var buf strings.Builder
+		if err := fl.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		prom := filepath.Join(*flightDir, name+".flight.prom")
+		if err := os.WriteFile(prom, []byte(buf.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "     flight report: %s\n", md)
+		return nil
+	}
+
 	goldenPath := filepath.Join(*dir, scenario.GoldenFile)
 	golden, err := scenario.ReadGolden(goldenPath)
 	if err != nil {
@@ -146,7 +174,16 @@ func run(args []string, w io.Writer) error {
 			// Stress scenarios: templated fleet + seeded chaos, no golden
 			// hash (judged by invariants, the oracle and the Assert bands).
 			sc.ApplyStressScale(*stressScale)
-			out, err := scenario.RunStress(sc, *stressWorkers)
+			var (
+				out *scenario.Outcome
+				fl  *des.Flight
+				err error
+			)
+			if *flightDir != "" {
+				out, fl, err = scenario.RunStressFlight(sc, *stressWorkers)
+			} else {
+				out, err = scenario.RunStress(sc, *stressWorkers)
+			}
 			if err != nil {
 				return fmt.Errorf("%s: %w", sc.Name, err)
 			}
@@ -158,6 +195,11 @@ func run(args []string, w io.Writer) error {
 			st := out.Stress
 			fmt.Fprintf(w, "%s %-24s stress: %d nodes, %d servers, %d reps, %d timeline events, %d crashes\n",
 				status, sc.Name, st.Nodes, st.TotalServers, st.Replications, st.Timeline, st.Chaos.Crashes)
+			if fl != nil {
+				if err := writeFlight(sc.Name, fl); err != nil {
+					return err
+				}
+			}
 			if *verbose {
 				for r, rep := range out.Reps {
 					fmt.Fprintf(w, "     rep %d: md_local %.4f  md_global %.4f  missed_work %.4f  util %.4f  locals %d  globals %d\n",
@@ -177,17 +219,24 @@ func run(args []string, w io.Writer) error {
 		var (
 			out *scenario.Outcome
 			tel *obs.Telemetry
+			fl  *des.Flight
 			err error
 		)
-		if *obsDir != "" || srv != nil {
-			// Telemetry never perturbs the run, so golden checks below
-			// still apply unchanged.
+		if *obsDir != "" || srv != nil || *flightDir != "" {
+			// Telemetry and the flight recorder never perturb the run, so
+			// the golden checks below still apply unchanged.
 			var onSystem func(*sim.System)
 			info := serve.RunInfo{Label: fmt.Sprintf("%s (%d/%d)", sc.Name, i+1, len(scs)), Replications: 1}
-			if srv != nil {
+			if srv != nil || *flightDir != "" {
 				onSystem = func(sys *sim.System) {
-					info.Horizon = float64(sys.Horizon())
-					srv.Hub().Attach(sys.Telemetry(), info, *serveEvry)
+					if *flightDir != "" {
+						fl = des.NewFlight(len(sys.Nodes))
+						sys.Eng.AttachFlight(fl)
+					}
+					if srv != nil {
+						info.Horizon = float64(sys.Horizon())
+						srv.Hub().Attach(sys.Telemetry(), info, *serveEvry)
+					}
 				}
 			}
 			out, tel, err = scenario.RunObservedWith(sc, obs.Options{MaxSpans: *obsSpans}, onSystem)
@@ -215,6 +264,11 @@ func run(args []string, w io.Writer) error {
 			failed++
 		}
 		fmt.Fprintf(w, "%s %-24s %d events, hash %s\n", status, sc.Name, out.TraceEvents, out.TraceHash)
+		if fl != nil {
+			if err := writeFlight(sc.Name, fl); err != nil {
+				return err
+			}
+		}
 		if tel != nil && *obsDir != "" {
 			exportDir := filepath.Join(*obsDir, sc.Name)
 			if _, err := tel.ExportDir(exportDir); err != nil {

@@ -5,18 +5,31 @@
 // assignment strategy visible at the level of individual subtasks cutting
 // in line.
 //
+// With -chrome or -tree the run is telemetry-instrumented instead and the
+// causal trace — spans plus the predecessor/abort/retry/inject edge
+// stream, assembled into per-global-task trees — is exported as a
+// Perfetto-loadable Chrome trace-event file and/or deterministic JSONL
+// (see internal/obs/tracetree and docs/OBSERVABILITY.md). The four output
+// modes are mutually exclusive pairs: -log/-jsonl render the scheduling
+// event log, -chrome/-tree render the causal trace.
+//
 // Example:
 //
 //	sdatrace -load 0.7 -psp GF -until 30 -width 100
 //	sdatrace -psp DIV-1 -log | head -50
 //	sdatrace -psp DIV-1 -jsonl | head -50
+//	sdatrace -psp DIV-1 -until 2000 -chrome trace.json -tree trees.jsonl
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/obs"
+	"repro/internal/obs/tracetree"
 	"repro/internal/sda"
 	"repro/internal/sim"
 	"repro/internal/simtime"
@@ -25,13 +38,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sdatrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sdatrace", flag.ContinueOnError)
 	var (
 		k       = fs.Int("k", 3, "number of nodes")
@@ -44,12 +57,19 @@ func run(args []string) error {
 		showLog = fs.Bool("log", false, "print the raw event log instead of the chart")
 		jsonl   = fs.Bool("jsonl", false, "print the event log as JSON lines (shared telemetry record schema)")
 		seed    = fs.Uint64("seed", 7, "random seed")
+
+		chromePath = fs.String("chrome", "", "assemble the causal trace and write it as a Chrome trace-event JSON file (load in Perfetto)")
+		treePath   = fs.String("tree", "", "assemble the causal trace and write the trace trees as JSONL")
+		maxSpans   = fs.Int("obs-max-spans", 0, "span retention budget for -chrome/-tree (0 = default); eviction degrades the trace deterministically")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	wantTrace := *chromePath != "" || *treePath != ""
+	if wantTrace && (*showLog || *jsonl) {
+		return errors.New("-chrome/-tree conflict with -log/-jsonl: the causal trace replaces the event log")
+	}
 
-	tr := trace.New()
 	cfg := sim.Default()
 	cfg.Spec.K = *k
 	cfg.Spec.Load = *load
@@ -57,7 +77,6 @@ func run(args []string) error {
 	cfg.Duration = simtime.Duration(*until)
 	cfg.Warmup = 0
 	cfg.Replications = 1
-	cfg.Observer = tr
 
 	var err error
 	if cfg.PSP, err = sda.ParsePSP(*pspName); err != nil {
@@ -66,19 +85,84 @@ func run(args []string) error {
 	if cfg.SSP, err = sda.ParseSSP(*sspName); err != nil {
 		return err
 	}
+
+	if wantTrace {
+		return runTrace(cfg, *seed, *maxSpans, *chromePath, *treePath, w)
+	}
+
+	tr := trace.New()
+	cfg.Observer = tr
 	if _, err := sim.RunOne(cfg, *seed); err != nil {
 		return err
 	}
-
 	if *jsonl {
-		return tr.WriteJSONL(os.Stdout)
+		return tr.WriteJSONL(w)
 	}
 	if *showLog {
-		fmt.Print(tr.Log())
+		fmt.Fprint(w, tr.Log())
 		return nil
 	}
-	fmt.Printf("strategy %s-%s, load %g, k=%d, n=%d (seed %d)\n\n",
+	fmt.Fprintf(w, "strategy %s-%s, load %g, k=%d, n=%d (seed %d)\n\n",
 		cfg.SSP.Name(), cfg.PSP.Name(), *load, *k, *n, *seed)
-	fmt.Print(tr.Gantt(0, simtime.Time(*until), *width))
+	fmt.Fprint(w, tr.Gantt(0, simtime.Time(*until), *width))
+	return nil
+}
+
+// runTrace runs one telemetry-instrumented replication and exports the
+// assembled causal trace.
+func runTrace(cfg sim.Config, seed uint64, maxSpans int, chromePath, treePath string, w io.Writer) error {
+	cfg.Obs = obs.Options{Enabled: true, MaxSpans: maxSpans}
+	sys, err := sim.NewSystem(cfg, seed)
+	if err != nil {
+		return err
+	}
+	if err := sys.Start(); err != nil {
+		return err
+	}
+	sys.Finish(sys.Horizon())
+	tel := sys.Telemetry()
+
+	spans := tel.Spans()
+	recs := make([]obs.Record, 0, len(spans))
+	recs = append(recs, spans...)
+	recs = append(recs, tel.Edges()...)
+	forest := tracetree.Build(recs)
+	if len(forest.Trees) == 0 {
+		return fmt.Errorf("empty run: no global-task spans to assemble (until=%v, load=%g)", cfg.Duration, cfg.Spec.Load)
+	}
+
+	export := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if treePath != "" {
+		if err := export(treePath, forest.WriteTrees); err != nil {
+			return err
+		}
+	}
+	if chromePath != "" {
+		if err := export(chromePath, forest.WriteChrome); err != nil {
+			return err
+		}
+	}
+	links := 0
+	for _, t := range forest.Trees {
+		links += len(t.Links)
+	}
+	fmt.Fprintf(w, "causal trace: %d trees, %d spans, %d links (%d orphan spans, %d dropped edges, %d evicted spans)\n",
+		len(forest.Trees), len(spans), links, forest.Orphans, forest.Dropped, tel.DroppedSpans())
+	if treePath != "" {
+		fmt.Fprintf(w, "trees:  %s\n", treePath)
+	}
+	if chromePath != "" {
+		fmt.Fprintf(w, "chrome: %s (open in https://ui.perfetto.dev)\n", chromePath)
+	}
 	return nil
 }

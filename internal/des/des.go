@@ -106,6 +106,7 @@ type record struct {
 	ctx   any
 	gen   uint32
 	state uint8
+	dom   int32 // node domain the event was tagged with at schedule time
 }
 
 // slot is one calendar entry: the ordering key plus the record index. Keys
@@ -136,11 +137,21 @@ type Engine struct {
 	heap []slot   // inline 4-ary min-heap of calendar slots
 	pool []record // event records addressed by slot.idx
 	free []int32  // recycled record indexes
+
+	// Flight-recorder state (see flight.go). curDom is the domain of the
+	// event currently firing, schedDom the tag stamped onto newly
+	// scheduled events; both are DomainNone outside node callbacks. The
+	// tags are maintained unconditionally (two int32 stores per fire) so
+	// attaching a recorder never changes what is measured; the recorder
+	// itself costs one nil check per schedule/fire when detached.
+	flight   *Flight
+	curDom   int32
+	schedDom int32
 }
 
 // New returns an engine with the clock at zero and an empty calendar.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{curDom: DomainNone, schedDom: DomainNone}
 }
 
 // Now returns the current simulated instant.
@@ -168,9 +179,15 @@ func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
 		idx = e.free[n-1]
 		e.free = e.free[:n-1]
+		if e.flight != nil {
+			e.flight.poolHits++
+		}
 	} else {
 		e.pool = append(e.pool, record{})
 		idx = int32(len(e.pool) - 1)
+		if e.flight != nil {
+			e.flight.poolGrowth++
+		}
 	}
 	e.pool[idx].gen++
 	return idx
@@ -196,6 +213,11 @@ func (e *Engine) At(at simtime.Time, fn func()) (Event, error) {
 	r := &e.pool[idx]
 	r.fn = fn
 	r.state = statePending
+	r.dom = e.schedDom
+	if e.flight != nil {
+		e.flight.closures++
+		e.flight.onSchedule(e.curDom, e.schedDom, float64(at-e.now), false)
+	}
 	s := slot{at: at, seq: e.seq, idx: idx}
 	e.seq++
 	e.live++
@@ -225,6 +247,11 @@ func (e *Engine) AtCall(at simtime.Time, fn func(any), ctx any) (Event, error) {
 	r.fnc = fn
 	r.ctx = ctx
 	r.state = statePending
+	r.dom = e.schedDom
+	if e.flight != nil {
+		e.flight.calls++
+		e.flight.onSchedule(e.curDom, e.schedDom, float64(at-e.now), false)
+	}
 	s := slot{at: at, seq: e.seq, idx: idx}
 	e.seq++
 	e.live++
@@ -281,6 +308,15 @@ func (e *Engine) ScheduleBatch(entries []BatchEntry) error {
 		r.fnc = ent.Call
 		r.ctx = ent.Ctx
 		r.state = statePending
+		r.dom = e.schedDom
+		if e.flight != nil {
+			if ent.Fn != nil {
+				e.flight.closures++
+			} else {
+				e.flight.calls++
+			}
+			e.flight.onSchedule(e.curDom, e.schedDom, float64(ent.At-e.now), true)
+		}
 		s := slot{at: ent.At, seq: e.seq, idx: idx}
 		e.seq++
 		e.live++
@@ -347,6 +383,9 @@ func (e *Engine) Cancel(ev Event) bool {
 	r.state = stateCancelled
 	r.fn = nil
 	e.live--
+	if e.flight != nil {
+		e.flight.cancelled++
+	}
 	return true
 }
 
@@ -373,10 +412,17 @@ func (e *Engine) Step() bool {
 	s := e.heap[0]
 	e.popMin()
 	r := &e.pool[s.idx]
-	fn, fnc, ctx := r.fn, r.fnc, r.ctx
+	fn, fnc, ctx, dom := r.fn, r.fnc, r.ctx, r.dom
 	// Recycle before firing so the callback's own scheduling can reuse the
 	// record: a steady schedule-fire loop then touches no allocator at all.
 	e.release(s.idx)
+	if e.flight != nil {
+		e.flight.onFire(dom, s.at, e.live)
+	}
+	// The firing event's domain becomes both the current domain and the
+	// inherited tag for whatever the callback schedules (see SetDomain).
+	e.curDom = dom
+	e.schedDom = dom
 	e.now = s.at
 	e.live--
 	e.fired++

@@ -1,0 +1,251 @@
+package des
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// runFlightModel drives a tiny two-domain model: domain 0 fires a chain
+// of events that each schedule a same-domain successor and a cross-domain
+// event on domain 1, plus one untagged timer that gets cancelled.
+func runFlightModel(eng *Engine) {
+	hops := 0
+	var tick func()
+	tick = func() {
+		if hops >= 4 {
+			return
+		}
+		hops++
+		eng.SetDomain(0)
+		if _, err := eng.After(1, tick); err != nil {
+			panic(err)
+		}
+		eng.SetDomain(1)
+		if _, err := eng.After(0.25, func() {}); err != nil {
+			panic(err)
+		}
+	}
+	eng.SetDomain(0)
+	if _, err := eng.After(1, tick); err != nil {
+		panic(err)
+	}
+	eng.SetDomain(DomainNone)
+	ev, err := eng.After(100, func() {})
+	if err != nil {
+		panic(err)
+	}
+	eng.Cancel(ev)
+	eng.Run()
+}
+
+func TestFlightRecordsLocalityAndSpacing(t *testing.T) {
+	eng := New()
+	f := NewFlight(2)
+	eng.AttachFlight(f)
+	runFlightModel(eng)
+
+	// 1 initial + 4 chain hops + 4 cross events + 1 cancelled timer.
+	if got, want := f.Scheduled(), uint64(10); got != want {
+		t.Fatalf("scheduled = %d, want %d", got, want)
+	}
+	if got, want := f.Fired(), uint64(9); got != want {
+		t.Fatalf("fired = %d, want %d", got, want)
+	}
+	if got, want := f.Cancelled(), uint64(1); got != want {
+		t.Fatalf("cancelled = %d, want %d", got, want)
+	}
+	same, cross, ext := f.Locality()
+	// Each of the 4 chain hops schedules one domain-0 successor from a
+	// domain-0 event (same) and one domain-1 event (cross). The initial
+	// arm and the cancelled timer happen outside any firing event, so
+	// their origin is DomainNone (external).
+	if same != 4 || cross != 4 || ext != 2 {
+		t.Fatalf("locality = (%d, %d, %d), want (4, 4, 2)", same, cross, ext)
+	}
+	g, ok := f.CrossMinGap()
+	if !ok || g != 0.25 {
+		t.Fatalf("cross min gap = (%v, %v), want (0.25, true)", g, ok)
+	}
+	if got := f.CrossBelow(0.25); got != 4 {
+		t.Fatalf("CrossBelow(0.25) = %d, want 4", got)
+	}
+	if got := f.CrossBelow(0.01); got != 0 {
+		t.Fatalf("CrossBelow(0.01) = %d, want 0", got)
+	}
+	sp, ok := f.MinSpacing()
+	if !ok {
+		t.Fatal("no min spacing observed")
+	}
+	// Domain 1 fires at 1.25, 2.25, ...: spacing 1. Domain 0 fires at
+	// 1, 2, 3, 4: spacing 1. Floating-point subtraction of instants built
+	// by repeated addition can wobble below 1 by an ulp at most.
+	if sp <= 0 || math.Abs(sp-1) > 1e-9 {
+		t.Fatalf("min spacing = %v, want ~1", sp)
+	}
+	if f.PoolHitRate() <= 0 {
+		t.Fatalf("pool hit rate = %v, want > 0 (chain reuses records)", f.PoolHitRate())
+	}
+}
+
+func TestFlightMergeOrderIndependent(t *testing.T) {
+	mk := func(salt simtime.Duration) *Flight {
+		eng := New()
+		f := NewFlight(2)
+		eng.AttachFlight(f)
+		eng.SetDomain(0)
+		if _, err := eng.After(salt, func() {
+			eng.SetDomain(1)
+			if _, err := eng.After(salt/2, func() {}); err != nil {
+				panic(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		return f
+	}
+	ab, ba := NewFlight(2), NewFlight(2)
+	a1, b1 := mk(1), mk(3)
+	a2, b2 := mk(1), mk(3)
+	if err := ab.Merge(a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.Merge(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Merge(b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Merge(a2); err != nil {
+		t.Fatal(err)
+	}
+	var w1, w2 strings.Builder
+	if err := ab.WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatalf("merge is order-dependent:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+	if ab.Report("x") != ba.Report("x") {
+		t.Fatal("merged reports differ by merge order")
+	}
+	if err := ab.Merge(NewFlight(3)); err == nil {
+		t.Fatal("merging mismatched domain counts should fail")
+	}
+}
+
+// TestFlightScheduleFireAllocFree proves the recording path allocates
+// nothing: steady-state schedule/fire cycles stay at zero allocations
+// with a recorder attached, exactly as without one.
+func TestFlightScheduleFireAllocFree(t *testing.T) {
+	for _, attached := range []bool{false, true} {
+		eng := New()
+		if attached {
+			eng.AttachFlight(NewFlight(4))
+		}
+		ctx := new(int)
+		var hop func(any)
+		hop = func(x any) {
+			eng.SetDomain(*x.(*int) % 4)
+			if _, err := eng.AfterCall(1, hop, x); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := eng.AfterCall(1, hop, ctx); err != nil {
+			t.Fatal(err)
+		}
+		// Warm the pool and the calendar.
+		for i := 0; i < 64; i++ {
+			eng.Step()
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			eng.Step()
+		})
+		if allocs != 0 {
+			t.Fatalf("attached=%v: %v allocs per schedule/fire cycle, want 0", attached, allocs)
+		}
+	}
+}
+
+// TestFlightNonPerturbing pins the observational contract: the event
+// sequence is bit-identical with and without a recorder attached.
+func TestFlightNonPerturbing(t *testing.T) {
+	trace := func(attach bool) []simtime.Time {
+		eng := New()
+		if attach {
+			eng.AttachFlight(NewFlight(2))
+		}
+		var out []simtime.Time
+		runFlightModelTraced(eng, &out)
+		return out
+	}
+	a, b := trace(false), trace(true)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d fired at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func runFlightModelTraced(eng *Engine, out *[]simtime.Time) {
+	hops := 0
+	var tick func()
+	tick = func() {
+		*out = append(*out, eng.Now())
+		if hops >= 6 {
+			return
+		}
+		hops++
+		eng.SetDomain(hops % 2)
+		if _, err := eng.After(simtime.Duration(0.5+float64(hops)), tick); err != nil {
+			panic(err)
+		}
+	}
+	eng.SetDomain(DomainNone)
+	if _, err := eng.After(1, tick); err != nil {
+		panic(err)
+	}
+	eng.Run()
+}
+
+func TestFlightReportAndPrometheus(t *testing.T) {
+	eng := New()
+	f := NewFlight(2)
+	eng.AttachFlight(f)
+	runFlightModel(eng)
+
+	rpt := f.Report("unit")
+	for _, want := range []string{
+		"## Flight report — unit",
+		"Scheduling distance (lookahead feasibility)",
+		"Smallest cross-node lead time: **0.25**",
+		"Per-node minimum event spacing",
+	} {
+		if !strings.Contains(rpt, want) {
+			t.Fatalf("report missing %q:\n%s", want, rpt)
+		}
+	}
+	var prom strings.Builder
+	if err := f.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`sda_flight_events_total{kind="scheduled"} 10`,
+		`sda_flight_schedule_locality_total{class="cross"} 4`,
+		"sda_flight_cross_lead_time_min 0.25",
+		"sda_flight_node_min_spacing",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, prom.String())
+		}
+	}
+}

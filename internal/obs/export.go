@@ -9,6 +9,7 @@ import (
 // Export file names written by ExportDir.
 const (
 	SpansFile      = "spans.jsonl"
+	EdgesFile      = "edges.jsonl"
 	MetricsFile    = "metrics.prom"
 	TimeSeriesFile = "timeseries.csv"
 	DashboardFile  = "dashboard.svg"
@@ -43,6 +44,9 @@ func (t *Telemetry) ExportDir(dir string) ([]string, error) {
 		return nil
 	}
 	if err := write(SpansFile, func(f *os.File) error { return t.WriteSpans(f) }); err != nil {
+		return paths, err
+	}
+	if err := write(EdgesFile, func(f *os.File) error { return t.WriteEdges(f) }); err != nil {
 		return paths, err
 	}
 	if err := write(MetricsFile, func(f *os.File) error { return t.WritePrometheus(f) }); err != nil {

@@ -30,6 +30,9 @@ type Snapshot struct {
 	// mid-run snapshots), in release order.
 	Spans []Record
 
+	// Edges is the shard's retained causal-edge log, oldest first.
+	Edges []Record
+
 	// Exemplars is the shard's bounded exemplar selection.
 	Exemplars ExemplarSet
 
@@ -58,6 +61,7 @@ func (t *Telemetry) Snapshot(tailSpans int) *Snapshot {
 		Rep:          t.rep,
 		Registry:     t.reg.Snapshot(),
 		Spans:        t.SpansTail(tailSpans),
+		Edges:        t.Edges(),
 		Exemplars:    t.ex.snapshot(),
 		OpenSpans:    len(t.open) + len(t.evicted),
 		Retained:     t.rlen,
@@ -73,6 +77,7 @@ func (s *Snapshot) clone() *Snapshot {
 	cp := *s
 	cp.Registry = s.Registry.clone()
 	cp.Spans = append([]Record(nil), s.Spans...)
+	cp.Edges = append([]Record(nil), s.Edges...)
 	cp.Exemplars = s.Exemplars.clone()
 	return &cp
 }
@@ -84,6 +89,7 @@ func (a *Snapshot) accumulate(s *Snapshot) error {
 		return err
 	}
 	a.Spans = append(a.Spans, s.Spans...)
+	a.Edges = append(a.Edges, s.Edges...)
 	a.Exemplars.Merge(s.Exemplars)
 	a.OpenSpans += s.OpenSpans
 	a.Retained += s.Retained
@@ -187,35 +193,48 @@ func (m *Merged) fold(s *Snapshot) error {
 	return nil
 }
 
-// trimSpans enforces the global span budget over the merged log: each
-// folded shard keeps an equal share of the budget (its latest spans), so
-// a 10k-replication run retains O(MaxSpans) spans total, not O(shards x
-// MaxSpans). The trim depends only on the shard contents and the fold
-// count — both deterministic — so the retained set is a pure function of
-// the run.
+// trimSpans enforces the global span budget over the merged span and
+// edge logs: each folded shard keeps an equal share of the budget (its
+// latest records), so a 10k-replication run retains O(MaxSpans) records
+// total, not O(shards x MaxSpans). The trim depends only on the shard
+// contents and the fold count — both deterministic — so the retained set
+// is a pure function of the run.
 func (m *Merged) trimSpans() {
 	a := m.agg
-	if a.MaxSpans <= 0 || len(a.Spans) <= a.MaxSpans {
+	if a.MaxSpans <= 0 {
 		return
 	}
 	share := (a.MaxSpans + m.shards - 1) / m.shards
-	kept := a.Spans[:0]
-	// Spans are appended in fold order and each shard's run is already in
-	// release order, so one pass per rep boundary suffices.
-	for i := 0; i < len(a.Spans); {
+	var cut uint64
+	a.Spans, cut = trimRecords(a.Spans, a.MaxSpans, share)
+	m.trimmed += cut
+	a.Edges, cut = trimRecords(a.Edges, a.MaxSpans, share)
+	m.trimmed += cut
+}
+
+// trimRecords keeps the latest share records of every replication run in
+// recs (which is in fold order, each run already ordered) once the total
+// exceeds budget, returning the kept slice and how many were dropped.
+func trimRecords(recs []Record, budget, share int) ([]Record, uint64) {
+	if len(recs) <= budget {
+		return recs, 0
+	}
+	var cut uint64
+	kept := recs[:0]
+	for i := 0; i < len(recs); {
 		j := i
-		for j < len(a.Spans) && a.Spans[j].Rep == a.Spans[i].Rep {
+		for j < len(recs) && recs[j].Rep == recs[i].Rep {
 			j++
 		}
 		runStart := i
 		if j-i > share {
 			runStart = j - share
 		}
-		m.trimmed += uint64(runStart - i)
-		kept = append(kept, a.Spans[runStart:j]...)
+		cut += uint64(runStart - i)
+		kept = append(kept, recs[runStart:j]...)
 		i = j
 	}
-	a.Spans = kept
+	return kept, cut
 }
 
 // Shards returns how many shards have been folded so far; Pending how
@@ -252,6 +271,7 @@ func (m *Merged) Snapshot() *Snapshot {
 	}
 	cp := *m.agg
 	cp.Spans = append([]Record(nil), m.agg.Spans...)
+	cp.Edges = append([]Record(nil), m.agg.Edges...)
 	return &cp
 }
 
@@ -280,6 +300,21 @@ func (m *Merged) WriteSpans(w io.Writer) error {
 	for i := range s.Spans {
 		if err := WriteRecord(w, s.Spans[i]); err != nil {
 			return fmt.Errorf("obs: write merged span %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteEdges writes the merged causal-edge log as JSONL, in
+// (replication, firing) order.
+func (m *Merged) WriteEdges(w io.Writer) error {
+	s := m.Snapshot()
+	if s == nil {
+		return fmt.Errorf("obs: merged edges before any shard folded")
+	}
+	for i := range s.Edges {
+		if err := WriteRecord(w, s.Edges[i]); err != nil {
+			return fmt.Errorf("obs: write merged edge %d: %w", i, err)
 		}
 	}
 	return nil
@@ -363,6 +398,9 @@ func (s *Snapshot) Summary() string {
 		rs.counter("sda_outcomes_total", `class="subtask"`), rs.counter("sda_missed_total", `class="subtask"`))
 	fmt.Fprintf(&b, "spans        %d recorded, %d retained, %d dropped, %d open at horizon\n",
 		s.TotalSpans, len(s.Spans), rs.counter("sda_spans_dropped_total", ""), s.OpenSpans)
+	fmt.Fprintf(&b, "edges        %d retained, %d dropped\n", len(s.Edges),
+		rs.counter("sda_edges_dropped_total", `reason="unspanned"`)+
+			rs.counter("sda_edges_dropped_total", `reason="evicted"`))
 	quant := func(label, name, note string) {
 		sk := rs.sketch(name)
 		if sk == nil || sk.Count() == 0 {
@@ -454,6 +492,9 @@ func (m *Merged) ExportDir(dir string) ([]string, error) {
 		return nil
 	}
 	if err := write(SpansFile, func(f *os.File) error { return m.WriteSpans(f) }); err != nil {
+		return paths, err
+	}
+	if err := write(EdgesFile, func(f *os.File) error { return m.WriteEdges(f) }); err != nil {
 		return paths, err
 	}
 	if err := write(ExemplarsFile, func(f *os.File) error { return m.WriteExemplars(f) }); err != nil {

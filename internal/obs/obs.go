@@ -148,6 +148,19 @@ type Telemetry struct {
 	nextID  uint64 // last span id == total spans ever recorded
 	rep     int    // replication index stamped on spans
 
+	// Causal-edge capture (procmgr.CausalRecorder). lastSpan maps a task
+	// to the id of its most recent span — unlike the open index it
+	// survives span close and ring eviction, so an edge from a finished
+	// predecessor still resolves; entries retire when the owning global
+	// task does. edges is a ring bounded by MaxSpans. injectID marks an
+	// open chaos-burst window (see BeginInject).
+	lastSpan     map[*task.Task]uint64
+	edges        []Record
+	estart       int
+	injectID     uint64
+	edgeUnspan   *Counter // edges dropped: endpoint task never spanned
+	edgeEvicted  *Counter // edges dropped: ring at the MaxSpans budget
+
 	ex *exemplarStore
 
 	// dagShape holds the {depth, width} of an announced precedence-DAG
@@ -190,6 +203,11 @@ func New(o Options) *Telemetry {
 
 		droppedSpans: reg.Counter("sda_spans_dropped_total", "", "spans discarded after MaxSpans"),
 
+		edgeUnspan: reg.Counter("sda_edges_dropped_total", `reason="unspanned"`,
+			"causal edges discarded by reason"),
+		edgeEvicted: reg.Counter("sda_edges_dropped_total", `reason="evicted"`,
+			"causal edges discarded by reason"),
+
 		slackHist: reg.Histogram("sda_assigned_slack", "",
 			"assigned slack at release: vdl - release - predicted work", -20, 80, 100),
 		latenessHist: reg.Histogram("sda_span_lateness", "",
@@ -205,6 +223,7 @@ func New(o Options) *Telemetry {
 		ring:     make([]span, min(o.MaxSpans, 1024)),
 		open:     make(map[*task.Task]int, 256),
 		evicted:  make(map[*task.Task]span),
+		lastSpan: make(map[*task.Task]uint64, 256),
 		dagShape: make(map[*task.Task][2]int, 16),
 		ex:       newExemplarStore(o.ExemplarK, o.ExemplarSeed),
 	}
@@ -322,15 +341,21 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 	t.slackHist.Observe(slack)
 	t.slackSk.Observe(slack)
 
+	retry := false
 	if idx, ok := t.open[tk]; ok {
 		// Re-release after a local-scheduler abort: close the failed
 		// trial as aborted and open a fresh span for the retry.
 		t.resubmits.Inc()
+		retry = true
 		t.closeSpan(idx, now, false, true)
 		delete(t.open, tk)
 	} else if t.closeEvicted(tk, now, false, true) {
 		t.resubmits.Inc()
+		retry = true
 	}
+	// The failed trial's span id, whether its span is still retained or
+	// was evicted — the source of the retry edge below.
+	retryFrom := t.lastSpan[tk]
 
 	var rootID uint64
 	if tk == root {
@@ -371,6 +396,86 @@ func (t *Telemetry) OnRelease(tk, root *task.Task, budget simtime.Time) {
 		}
 	}
 	t.pushSpan(tk, sp)
+	newID := t.lastSpan[tk]
+	if retry && retryFrom != 0 {
+		t.addEdge("retry", retryFrom, newID, t.lastSpan[root], now, tk.Name)
+	}
+	if tk == root && t.injectID != 0 {
+		t.addEdge("inject", t.injectID, newID, newID, now, tk.Name)
+	}
+}
+
+// BeginInject opens a fault-injection window: a zero-length marker span
+// labels the burst instant, and every global root released before
+// EndInject gets an "inject" edge from it, so assembled trace trees show
+// which tasks a chaos burst caused. Windows do not nest; the latest
+// Begin wins.
+func (t *Telemetry) BeginInject(label string) {
+	now := t.now()
+	t.pushSpan(nil, span{kind: "inject", task: label, node: -1, start: now, end: now, vdl: now})
+	t.injectID = t.nextID
+}
+
+// EndInject closes the window opened by BeginInject.
+func (t *Telemetry) EndInject() { t.injectID = 0 }
+
+// RecordCause implements procmgr.CausalRecorder: one causal edge of the
+// precedence protocol, serialized against the span ids of its endpoint
+// tasks. Edges whose endpoint never opened a span (an abort cascade
+// reaching a never-released DAG vertex, or a span lost before telemetry
+// saw the task) are dropped and counted — the surviving stream stays
+// deterministic because span ids outlive ring eviction.
+func (t *Telemetry) RecordCause(kind string, from, to, root *task.Task) {
+	fid, ok := t.lastSpan[from]
+	if !ok {
+		t.edgeUnspan.Inc()
+		return
+	}
+	tid, ok := t.lastSpan[to]
+	if !ok {
+		t.edgeUnspan.Inc()
+		return
+	}
+	t.addEdge(kind, fid, tid, t.lastSpan[root], t.now(), to.Name)
+}
+
+// addEdge appends one edge record to the bounded edge ring, evicting the
+// oldest edge once the MaxSpans budget is reached.
+func (t *Telemetry) addEdge(kind string, from, to, root uint64, at float64, label string) {
+	rec := Record{
+		Schema: SchemaVersion,
+		Type:   "edge",
+		Kind:   kind,
+		Task:   label,
+		Node:   -1,
+		ID:     to,
+		Root:   root,
+		Rep:    t.rep,
+		At:     F(at),
+		From:   from,
+	}
+	if len(t.edges) < t.opts.MaxSpans {
+		t.edges = append(t.edges, rec)
+		return
+	}
+	t.edges[t.estart] = rec
+	t.estart = (t.estart + 1) % len(t.edges)
+	t.edgeEvicted.Inc()
+}
+
+// Edges returns the retained causal-edge records, oldest first.
+func (t *Telemetry) Edges() []Record {
+	out := make([]Record, 0, len(t.edges))
+	for i := 0; i < len(t.edges); i++ {
+		out = append(out, t.edges[(t.estart+i)%len(t.edges)])
+	}
+	return out
+}
+
+// DroppedEdges returns how many causal edges were discarded, for any
+// reason.
+func (t *Telemetry) DroppedEdges() uint64 {
+	return t.edgeUnspan.Value() + t.edgeEvicted.Value()
 }
 
 // slot translates a logical span position (0 = oldest retained) to its
@@ -387,6 +492,9 @@ func (t *Telemetry) pushSpan(owner *task.Task, sp span) int {
 	sp.id = t.nextID
 	sp.rep = t.rep
 	sp.owner = owner
+	if owner != nil {
+		t.lastSpan[owner] = sp.id
+	}
 	var s int
 	switch {
 	case t.rlen < len(t.ring):
@@ -485,6 +593,16 @@ func (t *Telemetry) RecordDagSubmit(d *task.Dag, root *task.Task) {
 	t.dagShape[root] = [2]int{d.Depth(), d.Width()}
 }
 
+// RecordDagOutcome implements procmgr.DagOutcomeRecorder: DAG vertices
+// are not reachable from the accounting root's Walk, so their causal
+// bookkeeping retires here instead of in RecordGlobal. Every edge of the
+// run has fired by the time the outcome is reported.
+func (t *Telemetry) RecordDagOutcome(d *task.Dag, root *task.Task, missed bool) {
+	for _, n := range d.Nodes() {
+		delete(t.lastSpan, n.Task)
+	}
+}
+
 // RecordLocal implements procmgr.Recorder: local tasks never pass
 // through the release hook, so their whole span is synthesized at
 // resolution from the task's own attributes.
@@ -544,6 +662,7 @@ func (t *Telemetry) RecordGlobal(root *task.Task, missed bool) {
 	t.inflight--
 	delete(t.dagShape, root)
 	root.Walk(func(n *task.Task) {
+		delete(t.lastSpan, n)
 		idx, ok := t.open[n]
 		if !ok {
 			if sp, ev := t.evicted[n]; ev {
@@ -600,6 +719,7 @@ func (t *Telemetry) Summary() string {
 		t.doneSubtask.Value(), t.missedSubtask.Value())
 	fmt.Fprintf(&b, "spans        %d recorded, %d retained, %d dropped, %d open at horizon\n",
 		t.nextID, t.rlen, t.droppedSpans.Value(), len(t.open))
+	fmt.Fprintf(&b, "edges        %d retained, %d dropped\n", len(t.edges), t.DroppedEdges())
 	if t.slackHist.Count() > 0 {
 		q := t.slackHist.Quantiles(0.5, 0.95, 0.99)
 		fmt.Fprintf(&b, "slack        mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f (assigned, per release)\n",

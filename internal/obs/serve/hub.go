@@ -24,11 +24,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"sort"
 	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/obs/attrib"
+	"repro/internal/obs/tracetree"
 	"repro/internal/simtime"
 )
 
@@ -105,6 +107,11 @@ type Hub struct {
 	spans     []obs.Record
 	blame     *attrib.Report
 	blameJSON []byte
+
+	// The latest rendered snapshot backs /trace; the forest assembles
+	// lazily on the first trace read after a publish.
+	snapCur *obs.Snapshot
+	forest  *tracetree.Forest
 
 	progress     Progress
 	progressJSON []byte
@@ -339,6 +346,7 @@ func (h *Hub) renderLocked() {
 		case 0:
 			h.prom, h.summary, h.spans = nil, "", nil
 			h.blame, h.blameJSON = nil, nil
+			h.snapCur, h.forest = nil, nil
 			return
 		case 1:
 			snap = list[0] // single shard: serve it verbatim, no merged header
@@ -349,6 +357,8 @@ func (h *Hub) renderLocked() {
 			}
 		}
 	}
+
+	h.snapCur, h.forest = snap, nil
 
 	var prom bytes.Buffer
 	_ = snap.Registry.WritePrometheus(&prom)
@@ -439,6 +449,36 @@ func (h *Hub) BlameJSON() []byte {
 		h.blameJSON, _ = h.blame.JSON()
 	}
 	return h.blameJSON
+}
+
+// Trace assembles the latest snapshot's spans and causal edges into
+// trace trees and writes them as JSONL: every tree when task is empty,
+// otherwise only the trees containing a span with that task name. The
+// forest is cached until the next publish, so repeated reads are cheap.
+// It returns the number of trees written.
+func (h *Hub) Trace(w io.Writer, task string) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.renderLocked()
+	if h.snapCur == nil {
+		return 0, nil
+	}
+	if h.forest == nil {
+		recs := make([]obs.Record, 0, len(h.snapCur.Spans)+len(h.snapCur.Edges))
+		recs = append(recs, h.snapCur.Spans...)
+		recs = append(recs, h.snapCur.Edges...)
+		h.forest = tracetree.Build(recs)
+	}
+	trees := h.forest.Trees
+	if task != "" {
+		trees = h.forest.TreesForTask(task)
+	}
+	for _, t := range trees {
+		if err := tracetree.WriteTree(w, t); err != nil {
+			return 0, err
+		}
+	}
+	return len(trees), nil
 }
 
 // ProgressJSON returns the latest progress payload.

@@ -32,6 +32,7 @@ func Start(addr string, hub *Hub) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/blame", s.handleBlame)
 	mux.HandleFunc("/summary", s.handleSummary)
 	// pprof is registered explicitly on this mux (not the default one) so
@@ -66,6 +67,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics       Prometheus text exposition (0.0.4)
   /progress      run progress JSON; ?sse=1 for a live SSE stream
   /spans         span tail as NDJSON; ?n=100 limits lines
+  /trace         causal trace trees as NDJSON; ?task=NAME filters by task
   /blame         live miss-cause attribution JSON; ?format=md for markdown
   /summary       human-readable telemetry digest
   /debug/pprof/  runtime profiles
@@ -141,6 +143,14 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 		if err := obs.WriteRecord(w, tail[i]); err != nil {
 			return
 		}
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if _, err := s.hub.Trace(w, r.URL.Query().Get("task")); err != nil {
+		// Headers are gone; all we can do is stop writing.
+		return
 	}
 }
 

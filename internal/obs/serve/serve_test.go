@@ -102,6 +102,32 @@ func TestEndpoints(t *testing.T) {
 		}
 	}
 
+	code, body = get(t, base+"/trace")
+	if code != 200 {
+		t.Fatalf("/trace: %d", code)
+	}
+	traceLines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(traceLines) == 0 || traceLines[0] == "" {
+		t.Fatalf("/trace returned no trees")
+	}
+	for i, ln := range traceLines {
+		var tree struct {
+			Root  uint64          `json:"root"`
+			Spans int             `json:"spans"`
+			Tree  json.RawMessage `json:"tree"`
+		}
+		if err := json.Unmarshal([]byte(ln), &tree); err != nil {
+			t.Fatalf("/trace line %d: %v", i+1, err)
+		}
+		if tree.Root == 0 || tree.Spans < 1 || len(tree.Tree) == 0 {
+			t.Fatalf("/trace line %d: root=%d spans=%d", i+1, tree.Root, tree.Spans)
+		}
+	}
+	// Filtering by a task name that never occurs yields an empty body.
+	if code, body := get(t, base+"/trace?task=no-such-task"); code != 200 || strings.TrimSpace(body) != "" {
+		t.Fatalf("/trace?task=no-such-task: %d %.80q", code, body)
+	}
+
 	code, body = get(t, base+"/blame")
 	if code != 200 {
 		t.Fatalf("/blame: %d", code)

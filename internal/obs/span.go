@@ -15,9 +15,13 @@ import (
 // (Exec/Pex), and restricts Lateness to finished spans: an abort instant
 // is a withdrawal, not a completion, so "end - deadline" is not a
 // lateness there (attribution treats such spans as censored instead).
+// Version 3 adds causal-edge records (Type "edge") and the From field
+// linking an edge's source span; span records are unchanged, so a v2
+// reader only breaks on streams that actually contain edges.
 const (
 	SchemaV1      = 1
-	SchemaVersion = 2
+	SchemaV2      = 2
+	SchemaVersion = 3
 )
 
 // Record is one line of the JSONL telemetry log — the schema shared by
@@ -39,15 +43,25 @@ const (
 //
 // Event records: At is the event instant and Kind one of
 // enqueue/start/finish/abort/preempt.
+//
+// Edge records (Type "edge"): one causal edge of the precedence
+// protocol, pointing From the span id of the cause to ID, the span id of
+// the effect. Kind is parent (structural release), pred
+// (predecessor-finish release), retry (local-abort resubmission), abort
+// (deadline cascade) or inject (chaos-burst parent); At is the instant
+// the edge fired, Task the effect task's name, Root the owning global
+// root span. The trace-tree assembler folds edges and spans into causal
+// timelines.
 type Record struct {
 	Schema int    `json:"schema,omitempty"` // SchemaVersion; 0 on decode = v1 input
-	Type   string `json:"type"`             // "span" | "event"
-	Kind   string `json:"kind"`             // span: local|global|stage|subtask; event: enqueue|...
+	Type   string `json:"type"`             // "span" | "event" | "edge"
+	Kind   string `json:"kind"`             // span: local|global|stage|subtask; event: enqueue|...; edge: parent|pred|retry|abort|inject
 	Task   string `json:"task"`             // task name (or generated label)
 	Node   int    `json:"node"`             // execution node; -1 for composite stages
 	ID     uint64 `json:"id,omitempty"`     // span id, unique per replication, in release order
 	Root   uint64 `json:"root,omitempty"`   // id of the owning global root span
 	Rep    int    `json:"rep,omitempty"`    // replication index (merged multi-rep logs)
+	From   uint64 `json:"from,omitempty"`   // edge records: span id of the causing span
 
 	Start    *float64 `json:"start,omitempty"`
 	End      *float64 `json:"end,omitempty"`
@@ -218,6 +232,17 @@ func (t *Telemetry) WriteSpans(w io.Writer) error {
 	for i := 0; i < t.rlen; i++ {
 		if err := WriteRecord(w, t.ring[t.slot(i)].record()); err != nil {
 			return fmt.Errorf("obs: write span %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteEdges writes the retained causal-edge log, oldest first, as
+// JSONL.
+func (t *Telemetry) WriteEdges(w io.Writer) error {
+	for i := 0; i < len(t.edges); i++ {
+		if err := WriteRecord(w, t.edges[(t.estart+i)%len(t.edges)]); err != nil {
+			return fmt.Errorf("obs: write edge %d: %w", i, err)
 		}
 	}
 	return nil

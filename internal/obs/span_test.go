@@ -26,7 +26,7 @@ func TestSpanRecordEncoding(t *testing.T) {
 				vdl: 20, slack: 4, exec: 6, pex: 6,
 				missed: true, abort: true,
 			},
-			want: `{"schema":2,"type":"span","kind":"subtask","task":"G1.s2","node":2,"id":7,"root":3,"start":10,"end":15,"vdl":20,"slack":4,"exec":6,"pex":6,"missed":true,"aborted":true}`,
+			want: `{"schema":3,"type":"span","kind":"subtask","task":"G1.s2","node":2,"id":7,"root":3,"start":10,"end":15,"vdl":20,"slack":4,"exec":6,"pex":6,"missed":true,"aborted":true}`,
 		},
 		{
 			name: "still-open-at-horizon",
@@ -35,7 +35,7 @@ func TestSpanRecordEncoding(t *testing.T) {
 				start: 10, open: true,
 				vdl: 30, realDL: 32, hasRDL: true, slack: 4, exec: 6, pex: 6,
 			},
-			want: `{"schema":2,"type":"span","kind":"global","task":"G1","node":-1,"id":3,"start":10,"vdl":30,"real_dl":32,"slack":4,"exec":6,"pex":6}`,
+			want: `{"schema":3,"type":"span","kind":"global","task":"G1","node":-1,"id":3,"start":10,"vdl":30,"real_dl":32,"slack":4,"exec":6,"pex":6}`,
 		},
 		{
 			name: "finished",
@@ -45,7 +45,7 @@ func TestSpanRecordEncoding(t *testing.T) {
 				vdl: 20, slack: 4, exec: 6, pex: 6,
 				missed: true,
 			},
-			want: `{"schema":2,"type":"span","kind":"subtask","task":"G1.s2","node":2,"id":7,"root":3,"start":10,"end":22.5,"vdl":20,"slack":4,"exec":6,"pex":6,"lateness":2.5,"missed":true}`,
+			want: `{"schema":3,"type":"span","kind":"subtask","task":"G1.s2","node":2,"id":7,"root":3,"start":10,"end":22.5,"vdl":20,"slack":4,"exec":6,"pex":6,"lateness":2.5,"missed":true}`,
 		},
 	}
 	for _, tc := range cases {
@@ -77,14 +77,50 @@ func TestSpanRecordEncoding(t *testing.T) {
 }
 
 // TestWriteRecordStampsSchema proves WriteRecord versions unversioned
-// records, so every JSONL writer (spans, traces) emits schema 2.
+// records, so every JSONL writer (spans, edges, traces) emits the
+// current schema.
 func TestWriteRecordStampsSchema(t *testing.T) {
 	var b strings.Builder
 	if err := WriteRecord(&b, Record{Type: "event", Kind: "start", Task: "L1", Node: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(b.String(), `{"schema":2,`) {
+	if !strings.HasPrefix(b.String(), `{"schema":3,`) {
 		t.Fatalf("record not stamped with schema: %s", b.String())
+	}
+}
+
+// TestEdgeRecordEncoding pins the exact JSONL encoding of a causal-edge
+// record: the v3 addition the trace-tree assembler consumes. From is the
+// causing span, ID the effect span; edges carry no span timing fields.
+func TestEdgeRecordEncoding(t *testing.T) {
+	rec := Record{
+		Schema: SchemaVersion, Type: "edge", Kind: "pred",
+		Task: "G1.s2", Node: -1, ID: 9, Root: 3, From: 7, At: F(12.5),
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":3,"type":"edge","kind":"pred","task":"G1.s2","node":-1,"id":9,"root":3,"from":7,"at":12.5}`
+	if string(b) != want {
+		t.Errorf("encoding drifted:\ngot:  %s\nwant: %s", b, want)
+	}
+	back, err := DecodeRecord(b)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if back.From != 7 || back.ID != 9 || back.Type != "edge" {
+		t.Errorf("round-trip lost edge fields: %+v", back)
+	}
+	// A v2 reader's fields are a strict subset, so v2 span input decodes
+	// unchanged and keeps its version.
+	v2 := `{"schema":2,"type":"span","kind":"local","task":"x","node":0,"start":1}`
+	rec2, err := DecodeRecord([]byte(v2))
+	if err != nil {
+		t.Fatalf("v2 input rejected: %v", err)
+	}
+	if rec2.Schema != SchemaV2 || rec2.From != 0 {
+		t.Errorf("v2 input mangled: %+v", rec2)
 	}
 }
 
@@ -129,8 +165,8 @@ func TestReadRecords(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("decoded %d records, want 2", len(recs))
 	}
-	if recs[0].Schema != SchemaV1 || recs[1].Schema != SchemaVersion {
-		t.Errorf("schemas = %d, %d; want %d, %d", recs[0].Schema, recs[1].Schema, SchemaV1, SchemaVersion)
+	if recs[0].Schema != SchemaV1 || recs[1].Schema != SchemaV2 {
+		t.Errorf("schemas = %d, %d; want %d, %d", recs[0].Schema, recs[1].Schema, SchemaV1, SchemaV2)
 	}
 	if _, err := ReadRecords(strings.NewReader("{}\nbroken\n")); err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Errorf("bad line not located: %v", err)

@@ -1,0 +1,274 @@
+package tracetree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export. The forest renders as one Perfetto-loadable
+// JSON document:
+//
+//   - one process per (replication, node) pair — pid = rep*stride+node+1,
+//     named "repR/nodeN" — plus a slot-0 process per replication
+//     ("repR/globals") carrying the manager-side spans;
+//   - within a node process, spans are laid out on occupancy lanes
+//     (tids): spans on one node overlap whenever more than one subtask is
+//     resident (a span covers release→finish, queue wait included), so
+//     each span takes the lowest lane whose previous span has already
+//     ended. Lane count ≈ peak occupancy, an upper bound on the server
+//     count actually busy;
+//   - leaf spans (node >= 0, finished) are "X" complete events; global
+//     roots, composite stages and injection markers are "b"/"e" async
+//     pairs on the globals process, keyed by their own span id;
+//   - causal links (pred / retry / abort / inject) become "s"/"f" flow
+//     events anchored at the link instant on the endpoint spans' tracks.
+//
+// Timestamps are simulation units scaled ×1000 (displayTimeUnit "ms":
+// one simulation time unit reads as 1ms, with microsecond resolution
+// preserved).
+
+type chromeEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const tsScale = 1000 // simulation units → microseconds (1 unit = 1ms)
+
+type chromeLayout struct {
+	stride int
+	lane   map[spanKey]int // leaf span → occupancy lane (tid)
+}
+
+func (f *Forest) layout() chromeLayout {
+	maxNode := 0
+	for _, n := range f.all {
+		if n.Span.Node > maxNode {
+			maxNode = n.Span.Node
+		}
+	}
+	l := chromeLayout{stride: maxNode + 2, lane: make(map[spanKey]int)}
+
+	// Occupancy lanes per (rep, node): spans sorted by (start, id), each
+	// taking the lowest lane free at its start.
+	groups := make(map[spanKey][]*Node) // key: (rep, node+1)
+	for _, n := range f.all {
+		if n.Span.Node < 0 || n.Span.Start == nil {
+			continue
+		}
+		k := spanKey{n.Span.Rep, uint64(n.Span.Node + 1)}
+		groups[k] = append(groups[k], n)
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			a, b := g[i].Span, g[j].Span
+			if *a.Start != *b.Start {
+				return *a.Start < *b.Start
+			}
+			return a.ID < b.ID
+		})
+		var lanes []float64 // end time of the last span on each lane
+		for _, n := range g {
+			sp := n.Span
+			end := *sp.Start
+			if sp.End != nil {
+				end = *sp.End
+			}
+			placed := -1
+			for i := range lanes {
+				if lanes[i] <= *sp.Start {
+					placed = i
+					break
+				}
+			}
+			if placed < 0 {
+				placed = len(lanes)
+				lanes = append(lanes, 0)
+			}
+			lanes[placed] = end
+			l.lane[spanKey{sp.Rep, sp.ID}] = placed
+		}
+	}
+	return l
+}
+
+// pid returns the Chrome process id for a replication/node pair; node -1
+// is the globals slot.
+func (l chromeLayout) pid(rep, node int) int { return rep*l.stride + node + 1 }
+
+// track returns where a span is drawn: leaf spans on their node process
+// and occupancy lane, everything else on the replication's globals
+// process.
+func (l chromeLayout) track(n *Node) (pid, tid int) {
+	sp := n.Span
+	if sp.Node >= 0 {
+		return l.pid(sp.Rep, sp.Node), l.lane[spanKey{sp.Rep, sp.ID}]
+	}
+	return l.pid(sp.Rep, -1), 0
+}
+
+// WriteChrome writes the forest as a Chrome trace-event JSON document.
+// The output is deterministic: events are emitted in (rep, span id)
+// order, flows in tree order, metadata last.
+func (f *Forest) WriteChrome(w io.Writer) error {
+	l := f.layout()
+	ew := &eventWriter{w: w}
+	if err := ew.open(); err != nil {
+		return err
+	}
+
+	// Synthetic workloads leave task names empty; label slices by kind
+	// and span id so Perfetto still shows something clickable.
+	label := func(n *Node) string {
+		if n.Span.Task != "" {
+			return n.Span.Task
+		}
+		return fmt.Sprintf("%s#%d", n.Span.Kind, n.Span.ID)
+	}
+
+	usedPid := make(map[int]string)
+	for _, n := range f.all {
+		sp := n.Span
+		if sp.Start == nil {
+			continue
+		}
+		args := map[string]any{"id": sp.ID, "kind": sp.Kind}
+		if sp.Root != 0 {
+			args["root"] = sp.Root
+		}
+		if sp.Missed {
+			args["missed"] = true
+		}
+		if sp.Aborted {
+			args["aborted"] = true
+		}
+		pid, tid := l.track(n)
+		if sp.Node >= 0 {
+			usedPid[pid] = fmt.Sprintf("rep%d/node%d", sp.Rep, sp.Node)
+			if sp.End == nil {
+				continue // still open at the horizon: no duration to draw
+			}
+			if err := ew.emit(chromeEvent{
+				Name: label(n), Cat: sp.Kind, Ph: "X",
+				Ts: *sp.Start * tsScale, Dur: (*sp.End - *sp.Start) * tsScale,
+				Pid: pid, Tid: tid, Args: args,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		usedPid[pid] = fmt.Sprintf("rep%d/globals", sp.Rep)
+		id := strconv.FormatUint(sp.ID, 10)
+		if err := ew.emit(chromeEvent{
+			Name: label(n), Cat: sp.Kind, Ph: "b",
+			Ts: *sp.Start * tsScale, Pid: pid, Tid: 0, ID: id, Args: args,
+		}); err != nil {
+			return err
+		}
+		if sp.End != nil {
+			if err := ew.emit(chromeEvent{
+				Name: label(n), Cat: sp.Kind, Ph: "e",
+				Ts: *sp.End * tsScale, Pid: pid, Tid: 0, ID: id,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Flow events: one s/f pair per causal link, anchored at the link
+	// instant. The source anchor clamps into the causing span so Perfetto
+	// binds the flow to that slice.
+	flow := 0
+	for _, t := range f.Trees {
+		for _, lk := range t.Links {
+			from := f.byKey[spanKey{t.Rep, lk.From}]
+			to := f.byKey[spanKey{t.Rep, lk.To}]
+			if from == nil || to == nil {
+				continue
+			}
+			flow++
+			sTs := lk.At
+			if from.Span.End != nil && sTs > *from.Span.End {
+				sTs = *from.Span.End
+			}
+			fp, ft := l.track(from)
+			tp, tt := l.track(to)
+			id := strconv.Itoa(flow)
+			if err := ew.emit(chromeEvent{
+				Name: lk.Kind, Cat: "causal", Ph: "s",
+				Ts: sTs * tsScale, Pid: fp, Tid: ft, ID: id,
+			}); err != nil {
+				return err
+			}
+			if err := ew.emit(chromeEvent{
+				Name: lk.Kind, Cat: "causal", Ph: "f", BP: "e",
+				Ts: lk.At * tsScale, Pid: tp, Tid: tt, ID: id,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	pids := make([]int, 0, len(usedPid))
+	for pid := range usedPid {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if err := ew.emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": usedPid[pid]},
+		}); err != nil {
+			return err
+		}
+		if err := ew.emit(chromeEvent{
+			Name: "process_sort_index", Ph: "M", Pid: pid,
+			Args: map[string]any{"sort_index": pid},
+		}); err != nil {
+			return err
+		}
+	}
+	return ew.close()
+}
+
+// eventWriter streams the traceEvents array without holding every
+// encoded event in memory.
+type eventWriter struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (e *eventWriter) open() error {
+	_, err := io.WriteString(e.w, `{"displayTimeUnit":"ms","traceEvents":[`)
+	return err
+}
+
+func (e *eventWriter) emit(ev chromeEvent) error {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("tracetree: marshal chrome event: %w", err)
+	}
+	if e.wrote {
+		if _, err := io.WriteString(e.w, ",\n"); err != nil {
+			return err
+		}
+	}
+	e.wrote = true
+	_, err = e.w.Write(b)
+	return err
+}
+
+func (e *eventWriter) close() error {
+	_, err := io.WriteString(e.w, "]}\n")
+	return err
+}

@@ -1,0 +1,339 @@
+// Package tracetree assembles the telemetry span stream and the causal
+// edge stream (obs schema v3) into per-global-task trace trees: one tree
+// per resolved or in-flight global root, nested by the structural
+// "parent" edges the process manager emits, with the non-structural
+// causality (predecessor-finish releases, local-abort retries, deadline
+// abort cascades, chaos-burst injections) attached as links.
+//
+// The assembly is a pure function of its input records. Under span-ring
+// eviction the degradation is deterministic: an edge whose endpoint span
+// was evicted is dropped (and counted), a span whose root span was
+// evicted becomes an orphan (and is counted), and everything retained
+// assembles identically no matter how many workers produced the shards —
+// the exported JSONL and Chrome trace are byte-stable.
+//
+// Two exports: WriteTrees renders one JSON document per tree per line
+// (the deterministic machine-readable form), WriteChrome renders the
+// whole forest as a Chrome trace-event file loadable in Perfetto (one
+// process per replication-node pair, flow events for causal links).
+package tracetree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Link is one non-structural causal edge inside a tree: kind pred,
+// retry, abort or inject, pointing from span From to span To at instant
+// At.
+type Link struct {
+	Kind string
+	From uint64
+	To   uint64
+	At   float64
+}
+
+// Node is one span in a trace tree. Children are sorted by span id,
+// which is release order within a replication.
+type Node struct {
+	Span     obs.Record
+	Children []*Node
+}
+
+// Tree is the causal trace of one global task: the root span, its
+// descendants nested by structural parentage, and the causal links among
+// them.
+type Tree struct {
+	Rep   int
+	Root  *Node
+	Links []Link
+	Spans int // total spans in the tree, including the root
+}
+
+// Walk visits every node of the tree depth-first, parents before
+// children, siblings in span-id order.
+func (t *Tree) Walk(fn func(n *Node, depth int)) {
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		fn(n, d)
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	rec(t.Root, 0)
+}
+
+// Find returns the tree node with the given span id, or nil.
+func (t *Tree) Find(id uint64) *Node {
+	var hit *Node
+	t.Walk(func(n *Node, _ int) {
+		if n.Span.ID == id {
+			hit = n
+		}
+	})
+	return hit
+}
+
+// Forest is the assembled set of trace trees plus the spans that belong
+// to no tree (local tasks, injection markers, spans whose root was
+// evicted).
+type Forest struct {
+	// Trees in (replication, root span id) order.
+	Trees []*Tree
+
+	// Orphans counts spans that could not be placed in any tree; Dropped
+	// counts edges discarded because an endpoint span was missing from
+	// the input (ring eviction, or an abort edge to a never-spanned
+	// vertex that telemetry already filtered).
+	Orphans int
+	Dropped int
+
+	// all holds every input span as a Node, in (rep, id) order — the
+	// Chrome export draws locals and injection markers too.
+	all   []*Node
+	byKey map[spanKey]*Node
+	trees map[spanKey]*Tree
+}
+
+type spanKey struct {
+	rep int
+	id  uint64
+}
+
+// Build assembles a forest from a record stream: span records become
+// nodes, "parent" edges define nesting, every other edge kind becomes a
+// link on the tree of its target span. Records of other types (point
+// events) are ignored. The input order does not matter beyond tie-break
+// stability; the output is fully sorted.
+func Build(recs []obs.Record) *Forest {
+	f := &Forest{byKey: make(map[spanKey]*Node), trees: make(map[spanKey]*Tree)}
+	var edges []obs.Record
+	for i := range recs {
+		switch recs[i].Type {
+		case "span":
+			k := spanKey{recs[i].Rep, recs[i].ID}
+			if _, dup := f.byKey[k]; dup {
+				continue
+			}
+			n := &Node{Span: recs[i]}
+			f.byKey[k] = n
+			f.all = append(f.all, n)
+		case "edge":
+			edges = append(edges, recs[i])
+		}
+	}
+	sort.Slice(f.all, func(i, j int) bool {
+		a, b := f.all[i].Span, f.all[j].Span
+		if a.Rep != b.Rep {
+			return a.Rep < b.Rep
+		}
+		return a.ID < b.ID
+	})
+
+	// Split the edge stream: structural parentage vs causal links. Edges
+	// with a missing endpoint are dropped — deterministically, because
+	// the retained span set is itself deterministic.
+	parent := make(map[spanKey]spanKey)
+	var links []obs.Record
+	for _, e := range edges {
+		fk, tk := spanKey{e.Rep, e.From}, spanKey{e.Rep, e.ID}
+		if f.byKey[fk] == nil || f.byKey[tk] == nil {
+			f.Dropped++
+			continue
+		}
+		if e.Kind == "parent" {
+			parent[tk] = fk
+		} else {
+			links = append(links, e)
+		}
+	}
+
+	// One tree per global root span.
+	for _, n := range f.all {
+		if n.Span.Kind != "global" {
+			continue
+		}
+		t := &Tree{Rep: n.Span.Rep, Root: n, Spans: 1}
+		f.trees[spanKey{n.Span.Rep, n.Span.ID}] = t
+		f.Trees = append(f.Trees, t)
+	}
+
+	// Attach every non-root span under its structural parent, defaulting
+	// to the tree root when no parent edge survived (evicted parent span,
+	// or a resubmitted trial, whose retry link still records the cause).
+	for _, n := range f.all {
+		sp := n.Span
+		if sp.Kind == "global" {
+			continue
+		}
+		k := spanKey{sp.Rep, sp.ID}
+		t := f.trees[spanKey{sp.Rep, sp.Root}]
+		if t == nil {
+			f.Orphans++
+			continue
+		}
+		p := t.Root
+		if pk, ok := parent[k]; ok {
+			if pn := f.byKey[pk]; pn != nil && (pn.Span.Root == sp.Root || pn.Span.ID == sp.Root) {
+				p = pn
+			}
+		}
+		p.Children = append(p.Children, n)
+		t.Spans++
+	}
+	for _, t := range f.Trees {
+		t.Walk(func(n *Node, _ int) {
+			sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Span.ID < n.Children[j].Span.ID })
+		})
+	}
+
+	// Links land on the tree of their target span.
+	for _, e := range links {
+		tn := f.byKey[spanKey{e.Rep, e.ID}]
+		rootID := tn.Span.Root
+		if tn.Span.Kind == "global" {
+			rootID = tn.Span.ID
+		}
+		t := f.trees[spanKey{e.Rep, rootID}]
+		if t == nil {
+			f.Dropped++
+			continue
+		}
+		at := 0.0
+		if e.At != nil {
+			at = *e.At
+		}
+		t.Links = append(t.Links, Link{Kind: e.Kind, From: e.From, To: e.ID, At: at})
+	}
+	for _, t := range f.Trees {
+		sort.Slice(t.Links, func(i, j int) bool {
+			a, b := t.Links[i], t.Links[j]
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.Kind < b.Kind
+		})
+	}
+	sort.Slice(f.Trees, func(i, j int) bool {
+		if f.Trees[i].Rep != f.Trees[j].Rep {
+			return f.Trees[i].Rep < f.Trees[j].Rep
+		}
+		return f.Trees[i].Root.Span.ID < f.Trees[j].Root.Span.ID
+	})
+	return f
+}
+
+// Tree returns the tree rooted at the given replication and root span
+// id, or nil.
+func (f *Forest) Tree(rep int, rootID uint64) *Tree {
+	return f.trees[spanKey{rep, rootID}]
+}
+
+// TreesForTask returns every tree containing a span with the given task
+// name — matched against the root first, then any descendant — in
+// (replication, root id) order. The live /trace endpoint serves it.
+func (f *Forest) TreesForTask(name string) []*Tree {
+	var out []*Tree
+	for _, t := range f.Trees {
+		hit := false
+		t.Walk(func(n *Node, _ int) {
+			if n.Span.Task == name {
+				hit = true
+			}
+		})
+		if hit {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// --- deterministic JSONL export --------------------------------------------
+
+type nodeJSON struct {
+	ID       uint64     `json:"id"`
+	Kind     string     `json:"kind"`
+	Task     string     `json:"task"`
+	Node     int        `json:"node"`
+	Start    float64    `json:"start"`
+	End      *float64   `json:"end,omitempty"`
+	Missed   bool       `json:"missed,omitempty"`
+	Aborted  bool       `json:"aborted,omitempty"`
+	Children []nodeJSON `json:"children,omitempty"`
+}
+
+type linkJSON struct {
+	Kind string  `json:"kind"`
+	From uint64  `json:"from"`
+	To   uint64  `json:"to"`
+	At   float64 `json:"at"`
+}
+
+type treeJSON struct {
+	Rep   int        `json:"rep"`
+	Root  uint64     `json:"root"`
+	Task  string     `json:"task"`
+	Spans int        `json:"spans"`
+	Tree  nodeJSON   `json:"tree"`
+	Links []linkJSON `json:"links,omitempty"`
+}
+
+func toNodeJSON(n *Node) nodeJSON {
+	sp := n.Span
+	out := nodeJSON{
+		ID:      sp.ID,
+		Kind:    sp.Kind,
+		Task:    sp.Task,
+		Node:    sp.Node,
+		Missed:  sp.Missed,
+		Aborted: sp.Aborted,
+		End:     sp.End,
+	}
+	if sp.Start != nil {
+		out.Start = *sp.Start
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toNodeJSON(c))
+	}
+	return out
+}
+
+// WriteTree writes one tree as a single JSON line.
+func WriteTree(w io.Writer, t *Tree) error {
+	tj := treeJSON{
+		Rep:   t.Rep,
+		Root:  t.Root.Span.ID,
+		Task:  t.Root.Span.Task,
+		Spans: t.Spans,
+		Tree:  toNodeJSON(t.Root),
+	}
+	for _, l := range t.Links {
+		tj.Links = append(tj.Links, linkJSON{Kind: l.Kind, From: l.From, To: l.To, At: l.At})
+	}
+	b, err := json.Marshal(tj)
+	if err != nil {
+		return fmt.Errorf("tracetree: marshal tree %d/%d: %w", t.Rep, t.Root.Span.ID, err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTrees writes the forest as JSONL: one tree per line, trees in
+// (replication, root id) order, children nested by span id. The output
+// is a pure function of the input records.
+func (f *Forest) WriteTrees(w io.Writer) error {
+	for _, t := range f.Trees {
+		if err := WriteTree(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -93,6 +93,7 @@ func (m *Manager) SubmitDag(d *task.Dag) error {
 	}
 	r := &dagRun{m: m, dag: d, root: root}
 	if m.pmAbort {
+		m.eng.SetDomain(des.DomainNone)
 		ev, err := m.eng.AtCall(root.RealDeadline, dagDeadlineFired, r)
 		if err != nil {
 			// Born dead: deadline already passed.
@@ -107,7 +108,7 @@ func (m *Manager) SubmitDag(d *task.Dag) error {
 	if m.onRel != nil {
 		m.onRel(root, root, root.RealDeadline)
 	}
-	r.releaseStruct(&dagCtrl{run: r, s: st}, now, root.RealDeadline, root.RealDeadline, false)
+	r.releaseStruct(&dagCtrl{run: r, s: st}, now, root.RealDeadline, root.RealDeadline, false, nil)
 	return nil
 }
 
@@ -159,7 +160,10 @@ type dagCtrl struct {
 // releaseStruct makes the structure rooted at c executable at instant now
 // with the given deadline budget and GF boost flag. parentBudget is the
 // budget the assignment was decomposed from, passed to the release hook.
-func (r *dagRun) releaseStruct(c *dagCtrl, now simtime.Time, budget simtime.Time, parentBudget simtime.Time, boost bool) {
+// pred is the task whose completion triggered the release (nil at
+// submission); it threads through composite fan-outs so every vertex made
+// executable by one completion carries the same causal origin.
+func (r *dagRun) releaseStruct(c *dagCtrl, now simtime.Time, budget simtime.Time, parentBudget simtime.Time, boost bool, pred *task.Task) {
 	if r.over {
 		return
 	}
@@ -173,26 +177,30 @@ func (r *dagRun) releaseStruct(c *dagCtrl, now simtime.Time, budget simtime.Time
 		if r.m.onRel != nil {
 			r.m.onRel(t, r.root, parentBudget)
 		}
+		if pred != nil {
+			r.m.cause("pred", pred, t, r.root)
+		}
 		r.submitDagLeaf(c, t)
 	case task.StructSerial:
 		c.remaining = 0
-		r.releaseDagStage(c, now)
+		r.releaseDagStage(c, now, pred)
 	case task.StructParallel:
 		c.remaining = len(c.s.Children)
 		a := r.m.psp.AssignParallel(now, budget, len(c.s.Children))
 		for i, child := range c.s.Children {
 			cc := &dagCtrl{run: r, s: child, parent: c, stageIdx: i}
-			r.releaseStruct(cc, now, a.Virtual, budget, boost || a.Boost)
+			r.releaseStruct(cc, now, a.Virtual, budget, boost || a.Boost, pred)
 		}
 	case task.StructCluster:
-		r.releaseCluster(c, now)
+		r.releaseCluster(c, now, pred)
 	}
 }
 
 // releaseDagStage releases the next serial stage of c at instant now,
 // recomputing the stage deadline with the SSP's view of the remaining
-// stages — the same online recomputation the tree path performs.
-func (r *dagRun) releaseDagStage(c *dagCtrl, now simtime.Time) {
+// stages — the same online recomputation the tree path performs. pred is
+// the task whose completion made the stage executable.
+func (r *dagRun) releaseDagStage(c *dagCtrl, now simtime.Time, pred *task.Task) {
 	i := c.remaining
 	pexs := r.m.pexScratch()
 	for _, rest := range c.s.Children[i:] {
@@ -201,12 +209,12 @@ func (r *dagRun) releaseDagStage(c *dagCtrl, now simtime.Time) {
 	dl := r.m.ssp.AssignSerial(now, c.vdl, pexs)
 	r.m.putPex(pexs)
 	cc := &dagCtrl{run: r, s: c.s.Children[i], parent: c, stageIdx: i}
-	r.releaseStruct(cc, now, dl, c.vdl, c.boost)
+	r.releaseStruct(cc, now, dl, c.vdl, c.boost, pred)
 }
 
 // releaseCluster initialises an irreducible cluster's bookkeeping and
 // releases its source groups (those with no in-cluster predecessor).
-func (r *dagRun) releaseCluster(c *dagCtrl, now simtime.Time) {
+func (r *dagRun) releaseCluster(c *dagCtrl, now simtime.Time, pred *task.Task) {
 	st := c.s
 	c.down = st.MemberDown()
 	c.groups = st.ClusterGroups()
@@ -229,7 +237,7 @@ func (r *dagRun) releaseCluster(c *dagCtrl, now simtime.Time) {
 	c.unfinished = len(st.Members)
 	for gi := range c.groups {
 		if c.pending[gi] == 0 {
-			r.releaseGroup(c, gi, now)
+			r.releaseGroup(c, gi, now, pred)
 		}
 	}
 }
@@ -238,7 +246,7 @@ func (r *dagRun) releaseCluster(c *dagCtrl, now simtime.Time) {
 // instant now: the SSP budgets the group against the cluster deadline with
 // the heaviest remaining chain as downstream stages, and the PSP fans the
 // group budget out among the members when there is more than one.
-func (r *dagRun) releaseGroup(c *dagCtrl, gi int, now simtime.Time) {
+func (r *dagRun) releaseGroup(c *dagCtrl, gi int, now simtime.Time, pred *task.Task) {
 	if r.over {
 		return
 	}
@@ -248,22 +256,25 @@ func (r *dagRun) releaseGroup(c *dagCtrl, gi int, now simtime.Time) {
 	if len(g) > 1 {
 		a := r.m.psp.AssignParallel(now, dl, len(g))
 		for _, mb := range g {
-			r.releaseMember(c, mb, now, a.Virtual, dl, c.boost || a.Boost)
+			r.releaseMember(c, mb, now, a.Virtual, dl, c.boost || a.Boost, pred)
 		}
 		return
 	}
-	r.releaseMember(c, g[0], now, dl, c.vdl, c.boost)
+	r.releaseMember(c, g[0], now, dl, c.vdl, c.boost, pred)
 }
 
 // releaseMember submits one cluster vertex with a freshly assigned virtual
 // deadline.
-func (r *dagRun) releaseMember(c *dagCtrl, mb *task.DagNode, now, vdl, parentBudget simtime.Time, boost bool) {
+func (r *dagRun) releaseMember(c *dagCtrl, mb *task.DagNode, now, vdl, parentBudget simtime.Time, boost bool, pred *task.Task) {
 	t := mb.Task
 	t.Arrival = now
 	t.VirtualDeadline = vdl
 	t.PriorityBoost = boost
 	if r.m.onRel != nil {
 		r.m.onRel(t, r.root, parentBudget)
+	}
+	if pred != nil {
+		r.m.cause("pred", pred, t, r.root)
 	}
 	r.submitDagLeaf(&dagCtrl{run: r, parent: c, member: mb}, t)
 }
@@ -309,7 +320,7 @@ func (r *dagRun) leafFinished(c *dagCtrl, t *task.Task, at simtime.Time) {
 		r.memberFinished(c.parent, c.member, at)
 		return
 	}
-	r.finishedStruct(c, at)
+	r.finishedStruct(c, at, t)
 }
 
 // memberFinished records completion of a cluster vertex: successor groups
@@ -339,18 +350,20 @@ func (r *dagRun) memberFinished(cl *dagCtrl, mb *task.DagNode, at simtime.Time) 
 		seen = append(seen, gi)
 		cl.pending[gi]--
 		if cl.pending[gi] == 0 {
-			r.releaseGroup(cl, gi, at)
+			r.releaseGroup(cl, gi, at, mb.Task)
 		}
 	}
 	r.seenBuf = seen[:0]
 	if cl.unfinished == 0 {
-		r.finishedStruct(cl, at)
+		r.finishedStruct(cl, at, mb.Task)
 	}
 }
 
 // finishedStruct propagates completion of the structure rooted at c
-// upward, releasing the next serial stage where one exists.
-func (r *dagRun) finishedStruct(c *dagCtrl, at simtime.Time) {
+// upward, releasing the next serial stage where one exists. cause is the
+// vertex task whose completion finished the structure; releases it
+// unlocks carry it as their causal predecessor.
+func (r *dagRun) finishedStruct(c *dagCtrl, at simtime.Time, cause *task.Task) {
 	if r.over {
 		return
 	}
@@ -364,14 +377,14 @@ func (r *dagRun) finishedStruct(c *dagCtrl, at simtime.Time) {
 		next := c.stageIdx + 1
 		if next < len(p.s.Children) {
 			p.remaining = next
-			r.releaseDagStage(p, at)
+			r.releaseDagStage(p, at, cause)
 			return
 		}
-		r.finishedStruct(p, at)
+		r.finishedStruct(p, at, cause)
 	case task.StructParallel:
 		p.remaining--
 		if p.remaining == 0 {
-			r.finishedStruct(p, at)
+			r.finishedStruct(p, at, cause)
 		}
 	}
 }
@@ -478,6 +491,9 @@ func (r *dagRun) abortAll() {
 			r.reap = append(r.reap, it)
 		}
 		it.Task.Aborted = true
+		if it.Task != r.root {
+			r.m.cause("abort", r.root, it.Task, r.root)
+		}
 		r.m.rec.RecordSubtask(it.Task, true)
 	}
 	for _, it := range r.reap {
@@ -489,6 +505,7 @@ func (r *dagRun) abortAll() {
 		// Never released: no virtual deadline was ever assigned.
 		if t := n.Task; !t.Finished() && t.VirtualDeadline.IsNever() {
 			t.Aborted = true
+			r.m.cause("abort", r.root, t, r.root)
 		}
 	}
 	r.root.Aborted = true

@@ -127,6 +127,44 @@ func (m multiRecorder) RecordGlobal(root *task.Task, missed bool) {
 	}
 }
 
+// CausalRecorder is an optional extension of Recorder. A recorder that
+// also implements it receives the causal edges of the precedence
+// protocol: which structural parent spawned which child, which finished
+// predecessor made which successor executable, and which abort cascaded
+// to which victim. The telemetry layer uses the edges to assemble causal
+// trace trees; kinds are plain strings so this package needs no
+// knowledge of the consumer's vocabulary.
+//
+// Kinds emitted by the manager:
+//
+//   - "parent": structural release; from is the enclosing composite task.
+//   - "pred": precedence release; from is the predecessor whose
+//     completion made to executable.
+//   - "abort": deadline cascade; from is the aborted global root.
+//
+// Edges fire before the corresponding outcome records. Callbacks run on
+// the simulation goroutine and must be cheap.
+type CausalRecorder interface {
+	RecordCause(kind string, from, to, root *task.Task)
+}
+
+// RecordCause forwards the edge to every member recorder that
+// understands causality.
+func (m multiRecorder) RecordCause(kind string, from, to, root *task.Task) {
+	for _, r := range m {
+		if cr, ok := r.(CausalRecorder); ok {
+			cr.RecordCause(kind, from, to, root)
+		}
+	}
+}
+
+// cause reports one causal edge when a recorder cares about them.
+func (m *Manager) cause(kind string, from, to, root *task.Task) {
+	if m.causal != nil {
+		m.causal.RecordCause(kind, from, to, root)
+	}
+}
+
 // ReleaseHook observes every deadline assignment the manager makes: t is
 // the tree node that just became executable (Arrival, VirtualDeadline and
 // PriorityBoost freshly set), root the global task it belongs to, and
@@ -173,6 +211,7 @@ type Manager struct {
 	// instead of per submission.
 	dagRec     DagRecorder
 	dagOutcome DagOutcomeRecorder
+	causal     CausalRecorder
 
 	// Free lists and scratch buffers for the allocation-free hot path.
 	// The engine is single-goroutine, so plain slices suffice.
@@ -217,6 +256,7 @@ func (m *Manager) setRecorder(r Recorder) {
 	m.rec = r
 	m.dagRec, _ = r.(DagRecorder)
 	m.dagOutcome, _ = r.(DagOutcomeRecorder)
+	m.causal, _ = r.(CausalRecorder)
 }
 
 // SetStrategies hot-swaps the deadline-assignment strategies. A nil
@@ -334,6 +374,9 @@ func (m *Manager) SubmitLocal(t *task.Task) error {
 	lr.ref = it.Ref()
 	it.Hooks = lr
 	if m.pmAbort {
+		// Deadline timers are manager events, not node events: untag them
+		// so the kernel flight recorder classes them as external traffic.
+		m.eng.SetDomain(des.DomainNone)
 		ev, err := m.eng.AtCall(t.RealDeadline, localDeadlineFired, lr)
 		if err != nil {
 			// Deadline already in the past at submission: the task is
@@ -380,6 +423,7 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 
 	r := m.acquireRun(root, treeNodes)
 	if m.pmAbort {
+		m.eng.SetDomain(des.DomainNone)
 		ev, err := m.eng.AtCall(root.RealDeadline, globalDeadlineFired, r)
 		if err != nil {
 			// Born dead: deadline already passed.
@@ -388,7 +432,7 @@ func (m *Manager) SubmitGlobal(root *task.Task) error {
 		}
 		r.timer = ev
 	}
-	r.release(r.newCtrl(root, nil, 0), m.eng.Now(), root.RealDeadline, root.RealDeadline, false)
+	r.release(r.newCtrl(root, nil, 0), m.eng.Now(), root.RealDeadline, root.RealDeadline, false, nil)
 	return nil
 }
 
@@ -498,8 +542,11 @@ func (c *ctrl) ItemLocalAbort(ab *node.Item, at simtime.Time) {
 // release makes the subtree rooted at c executable at instant now with the
 // given deadline budget and GF boost flag. parentBudget is the budget the
 // assignment was decomposed from (equal to budget for the root), passed to
-// the release hook for invariant checking.
-func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, parentBudget simtime.Time, boost bool) {
+// the release hook for invariant checking. pred is the task whose
+// completion triggered this release (nil for structural releases at
+// submission); it threads through composite fan-outs so every subtree
+// made executable by one completion carries the same causal origin.
+func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, parentBudget simtime.Time, boost bool, pred *task.Task) {
 	if r.over {
 		return
 	}
@@ -509,23 +556,31 @@ func (r *run) release(c *ctrl, now simtime.Time, budget simtime.Time, parentBudg
 	if r.m.onRel != nil {
 		r.m.onRel(c.t, r.root, parentBudget)
 	}
+	if c.parent != nil {
+		r.m.cause("parent", c.parent.t, c.t, r.root)
+	}
+	if pred != nil {
+		r.m.cause("pred", pred, c.t, r.root)
+	}
 	switch c.t.Kind {
 	case task.KindSimple:
 		r.submitLeaf(c)
 	case task.KindSerial:
 		c.remaining = 0
-		r.releaseStage(c, now)
+		r.releaseStage(c, now, pred)
 	case task.KindParallel:
 		c.remaining = len(c.t.Children)
 		a := r.m.psp.AssignParallel(now, budget, len(c.t.Children))
 		for i, child := range c.t.Children {
-			r.release(r.newCtrl(child, c, i), now, a.Virtual, budget, boost || a.Boost)
+			r.release(r.newCtrl(child, c, i), now, a.Virtual, budget, boost || a.Boost, pred)
 		}
 	}
 }
 
-// releaseStage releases the next serial stage of c at instant now.
-func (r *run) releaseStage(c *ctrl, now simtime.Time) {
+// releaseStage releases the next serial stage of c at instant now. pred
+// is the task whose completion made the stage executable (nil when the
+// serial composite itself was just released).
+func (r *run) releaseStage(c *ctrl, now simtime.Time, pred *task.Task) {
 	i := c.remaining
 	child := c.t.Children[i]
 	pexs := r.m.pexScratch()
@@ -534,7 +589,7 @@ func (r *run) releaseStage(c *ctrl, now simtime.Time) {
 	}
 	dl := r.m.ssp.AssignSerial(now, c.t.VirtualDeadline, pexs)
 	r.m.putPex(pexs)
-	r.release(r.newCtrl(child, c, i), now, dl, c.t.VirtualDeadline, c.t.PriorityBoost)
+	r.release(r.newCtrl(child, c, i), now, dl, c.t.VirtualDeadline, c.t.PriorityBoost, pred)
 }
 
 // submitLeaf sends a simple subtask to its node.
@@ -626,7 +681,7 @@ func (r *run) finished(c *ctrl, at simtime.Time) {
 		next := c.stageIdx + 1
 		if next < len(p.t.Children) {
 			p.remaining = next
-			r.releaseStage(p, at)
+			r.releaseStage(p, at, c.t)
 			return
 		}
 		r.finished(p, at)
@@ -672,6 +727,9 @@ func (r *run) abortAll() {
 			r.reap = append(r.reap, it)
 		}
 		it.Task.Aborted = true
+		if it.Task != r.root {
+			m.cause("abort", r.root, it.Task, r.root)
+		}
 		m.rec.RecordSubtask(it.Task, true)
 	}
 	for _, it := range r.reap {

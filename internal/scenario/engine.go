@@ -203,7 +203,15 @@ func armTimeline(sys *sim.System, name string, seed uint64, events []Event, spec
 			target := ev.Node
 			count := ev.Count
 			kind := ev.Kind
+			label := fmt.Sprintf("burst-%s@%g", ev.Kind, ev.At)
 			apply = func() {
+				// Mark the injection window so telemetry links every task
+				// this burst submits to the burst marker ("inject" edges in
+				// the causal trace). Nil-safe: plain runs have no telemetry.
+				if tel := sys.Telemetry(); tel != nil {
+					tel.BeginInject(label)
+					defer tel.EndInject()
+				}
 				now := sys.Eng.Now()
 				for j := 0; j < count; j++ {
 					switch kind {

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/des"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -107,16 +108,32 @@ type StressInfo struct {
 // goroutines; seeds and result order are fixed up front, so the Outcome
 // — and its Summary — are bit-identical at every worker count.
 func RunStress(s *Scenario, workers int) (*Outcome, error) {
+	out, _, err := runStress(s, workers, false)
+	return out, err
+}
+
+// RunStressFlight is RunStress with the kernel flight recorder attached
+// to every replication's engine. The returned Flight is the cross-
+// replication merge — order-independent, so it is bit-identical at every
+// worker count — and feeds the lookahead-feasibility report
+// (des.Flight.Report). The tap is allocation-free and does not perturb
+// the model: the Outcome matches RunStress exactly.
+func RunStressFlight(s *Scenario, workers int) (*Outcome, *des.Flight, error) {
+	return runStress(s, workers, true)
+}
+
+func runStress(s *Scenario, workers int, flight bool) (*Outcome, *des.Flight, error) {
 	if !s.IsStress() {
-		return nil, fmt.Errorf("%w: %s: not a stress scenario", ErrBadScenario, s.Name)
+		return nil, nil, fmt.Errorf("%w: %s: not a stress scenario", ErrBadScenario, s.Name)
 	}
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg, err := s.Config()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	cfg.Flight = flight
 	st := s.Stress
 	plan := st.Fleet.expand(s.Seed)
 	cfg.NodeRates = plan.initial // t=0 rates; cold starts ramp up from here
@@ -131,6 +148,10 @@ func RunStress(s *Scenario, workers int) (*Outcome, error) {
 	perRep := make([][]string, reps)  // failures per replication
 	perViol := make([][]string, reps) // invariant violations per replication
 	checks := make([]int64, reps)
+	var flights []*des.Flight
+	if flight {
+		flights = make([]*des.Flight, reps)
+	}
 	seeds := make([]uint64, reps)
 	for r := range seeds {
 		seeds[r] = sim.RepSeed(s.Seed, r)
@@ -157,6 +178,9 @@ func RunStress(s *Scenario, workers int) (*Outcome, error) {
 		}
 		results[r] = sys.Finish(sys.Horizon())
 		chk.Finish()
+		if flights != nil {
+			flights[r] = sys.Eng.Flight()
+		}
 
 		perViol[r] = chk.Violations()
 		var fails []string
@@ -177,7 +201,19 @@ func RunStress(s *Scenario, workers int) (*Outcome, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var agg *des.Flight
+	if flights != nil {
+		agg = des.NewFlight(cfg.Spec.K)
+		for r, fl := range flights {
+			if fl == nil {
+				continue
+			}
+			if err := agg.Merge(fl); err != nil {
+				return nil, nil, fmt.Errorf("replication %d: merge flight: %w", r, err)
+			}
+		}
 	}
 
 	out := &Outcome{
@@ -208,7 +244,7 @@ func RunStress(s *Scenario, workers int) (*Outcome, error) {
 			out.Failures = append(out.Failures, prefix+f)
 		}
 	}
-	return out, nil
+	return out, agg, nil
 }
 
 // mergeTimelines folds the cold-start ramps, the compiled chaos events

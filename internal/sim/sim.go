@@ -109,6 +109,15 @@ type Config struct {
 	// merged output is bit-identical at every worker count.
 	Obs obs.Options
 
+	// Flight attaches the kernel flight recorder (des.Flight) to every
+	// replication's engine: an allocation-free tap on the event calendar
+	// that records depth, event mix, pool behaviour and the cross-node
+	// scheduling-distance histogram behind the lookahead-feasibility
+	// report. It never perturbs the model and does not force the run
+	// sequential; Run merges the per-replication recorders in
+	// replication-index order into Result.Flight.
+	Flight bool
+
 	// OnSystem, when non-nil, runs once per wired system after nodes,
 	// manager, and telemetry exist but before any event fires. The
 	// callback must not mutate model state; like Observer/ReleaseHook it
@@ -317,6 +326,11 @@ type Result struct {
 	// enabled (nil otherwise): every shard folded in replication-index
 	// order, bit-identical at any Workers count.
 	Obs *obs.Merged
+
+	// Flight holds the merged kernel flight recorder when Config.Flight
+	// is set (nil otherwise); the merge is order-independent, so it too
+	// is bit-identical at any Workers count.
+	Flight *des.Flight
 }
 
 // ErrNoTasks is returned when a replication observed no tasks at all —
@@ -358,6 +372,10 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Obs.Enabled {
 		merged = obs.NewMerged()
 	}
+	var flights []*des.Flight
+	if cfg.Flight {
+		flights = make([]*des.Flight, cfg.Replications)
+	}
 	reps := make([]RepResult, cfg.Replications)
 	err := par.Map(workers, cfg.Replications, func(r int) error {
 		sys, err := NewSystem(cfg, seeds[r])
@@ -378,6 +396,9 @@ func Run(cfg Config) (Result, error) {
 		if cfg.OnReplicationDone != nil {
 			cfg.OnReplicationDone(sys)
 		}
+		if flights != nil {
+			flights[r] = sys.Eng.Flight()
+		}
 		if merged != nil {
 			// Snapshot on this worker's goroutine (Telemetry is single-
 			// goroutine); Merged.Add is concurrency-safe and folds shards
@@ -393,6 +414,20 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res := Result{Config: cfg, Reps: reps, Obs: merged}
+	if flights != nil {
+		// The flight merge is commutative, but folding in replication order
+		// keeps the aggregation path identical at every worker count.
+		agg := des.NewFlight(cfg.Spec.K)
+		for r, fl := range flights {
+			if fl == nil {
+				continue
+			}
+			if err := agg.Merge(fl); err != nil {
+				return Result{}, fmt.Errorf("replication %d: merge flight: %w", r, err)
+			}
+		}
+		res.Flight = agg
+	}
 	var (
 		mdLocal, mdSub, mdGlob, missedWork, util []float64
 		respL, respG, respLP, respGP, qlen       []float64
@@ -462,6 +497,9 @@ func (s *System) Telemetry() *obs.Telemetry { return s.tel }
 // validated configuration (no workload attached yet).
 func build(cfg Config) *System {
 	eng := des.New()
+	if cfg.Flight {
+		eng.AttachFlight(des.NewFlight(cfg.Spec.K))
+	}
 	var tel *obs.Telemetry
 	if cfg.Obs.Enabled {
 		tel = obs.New(cfg.Obs)

@@ -1,0 +1,161 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/attrib"
+	"repro/internal/obs/tracetree"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// renderTrace builds the causal trace forest from a merged snapshot and
+// renders both exports to strings.
+func renderTrace(t *testing.T, snap *obs.Snapshot, wantTrees bool) (trees, chrome string) {
+	t.Helper()
+	recs := make([]obs.Record, 0, len(snap.Spans)+len(snap.Edges))
+	recs = append(recs, snap.Spans...)
+	recs = append(recs, snap.Edges...)
+	forest := tracetree.Build(recs)
+	if wantTrees && len(forest.Trees) == 0 {
+		t.Fatalf("no trace trees assembled from %d spans / %d edges", len(snap.Spans), len(snap.Edges))
+	}
+	var tb, cb strings.Builder
+	if err := forest.WriteTrees(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := forest.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), cb.String()
+}
+
+// TestTraceRendersBitIdenticalAcrossWorkers extends the worker-identity
+// guarantee to the causal trace exports: the assembled trace-tree JSONL
+// and the Chrome trace-event document are byte-identical whether the
+// replications ran sequentially or on four workers — at a generous span
+// budget and under heavy span-ring eviction, where the trace degrades
+// (orphans, dropped edges, possibly no surviving roots at all) but must
+// degrade identically.
+func TestTraceRendersBitIdenticalAcrossWorkers(t *testing.T) {
+	for _, budget := range []int{1 << 16, 64} {
+		wantTrees := budget > 64
+		res1, _, _, _, _ := obsRun(t, 1, budget)
+		res4, _, _, _, _ := obsRun(t, 4, budget)
+		trees1, chrome1 := renderTrace(t, res1.Obs.Snapshot(), wantTrees)
+		trees4, chrome4 := renderTrace(t, res4.Obs.Snapshot(), wantTrees)
+		if trees1 != trees4 {
+			t.Errorf("max-spans=%d: trace-tree JSONL differs between workers 1 and 4", budget)
+		}
+		if chrome1 != chrome4 {
+			t.Errorf("max-spans=%d: Chrome trace differs between workers 1 and 4", budget)
+		}
+	}
+}
+
+// traceAndBlame runs one observed replication and returns the assembled
+// trace forest next to the miss attribution of the same span stream.
+func traceAndBlame(t *testing.T, mutate func(*sim.Config)) (*tracetree.Forest, *attrib.Report) {
+	t.Helper()
+	cfg := sim.Default()
+	cfg.Duration = 3000
+	cfg.Warmup = 0
+	cfg.Replications = 1
+	cfg.Spec.Load = 1.2 // overload so the report has misses to check
+	mutate(&cfg)
+	cfg.Obs = obs.Options{Enabled: true}
+	sys, err := sim.NewSystem(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Finish(sys.Horizon())
+	snap := sys.Telemetry().Snapshot(0)
+	recs := make([]obs.Record, 0, len(snap.Spans)+len(snap.Edges))
+	recs = append(recs, snap.Spans...)
+	recs = append(recs, snap.Edges...)
+	return tracetree.Build(recs), attrib.Analyze(snap.SpansForAnalysis())
+}
+
+// TestRealizedPathLiesInTraceTree is the cross-validation property
+// between the two observability pipelines: every span on an attributed
+// realized critical path must appear in the trace tree assembled for the
+// same global task, and when the attribution reports no gap the path
+// must be contiguous from the root's start to its end. Checked across
+// tree, DAG and probabilistic conditional-DAG workloads, with both abort
+// policies in the mix so withdrawn trials and abort cascades are
+// represented.
+func TestRealizedPathLiesInTraceTree(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*sim.Config)
+	}{
+		{"tree-serial", func(c *sim.Config) {
+			c.Spec.Factory = workload.SerialParallel{Stages: 3, Fanout: 2}
+		}},
+		{"tree-parallel-pmabort", func(c *sim.Config) {
+			c.Spec.Factory = workload.FixedParallel{N: 4}
+			c.Abort = sim.AbortProcessManager
+		}},
+		{"dag-forkjoin-pmabort", func(c *sim.Config) {
+			c.Spec.Factory = nil
+			c.Spec.DagFactory = workload.ForkJoinDag{Stages: 3, Fanout: 2, CrossProb: 0.5}
+			c.Abort = sim.AbortProcessManager
+		}},
+		{"dag-layered-localabort", func(c *sim.Config) {
+			c.Spec.Factory = nil
+			c.Spec.DagFactory = workload.LayeredDag{Layers: 3, MinWidth: 1, MaxWidth: 3, EdgeProb: 0.5}
+			c.Abort = sim.AbortLocalScheduler
+		}},
+		{"cond-dag-pmabort", func(c *sim.Config) {
+			c.Spec.Factory = nil
+			c.Spec.DagFactory = workload.ConditionalDag{
+				Stages: 3, Branches: 2, Width: 2, Probs: []float64{0.4, 0.6},
+			}
+			c.Abort = sim.AbortProcessManager
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			forest, rpt := traceAndBlame(t, tc.mutate)
+			if len(rpt.Misses) == 0 {
+				t.Fatalf("overloaded run produced no misses; property test is vacuous")
+			}
+			for _, bl := range rpt.Misses {
+				tr := forest.Tree(0, bl.Root)
+				if tr == nil {
+					t.Errorf("%s: no trace tree for missed root %d", bl.Task, bl.Root)
+					continue
+				}
+				for _, ps := range bl.Path {
+					if tr.Find(ps.ID) == nil {
+						t.Errorf("%s: path span %d (stage %d, node %d) not in trace tree of root %d",
+							bl.Task, ps.ID, ps.Stage, ps.Node, bl.Root)
+					}
+				}
+				// With no gap the realized path telescopes exactly: it ends
+				// at the task's end, each hop starts where the previous one
+				// finished, and the first hop starts at or before release.
+				if bl.Gap != 0 || len(bl.Path) == 0 {
+					continue
+				}
+				if last := bl.Path[len(bl.Path)-1]; last.End != bl.End {
+					t.Errorf("%s: gapless path ends at %v, task ends at %v", bl.Task, last.End, bl.End)
+				}
+				for i := 0; i+1 < len(bl.Path); i++ {
+					if bl.Path[i+1].Start != bl.Path[i].End {
+						t.Errorf("%s: gapless path breaks between stage %d (end %v) and stage %d (start %v)",
+							bl.Task, i, bl.Path[i].End, i+1, bl.Path[i+1].Start)
+					}
+				}
+				if bl.Path[0].Start > bl.Start {
+					t.Errorf("%s: gapless path starts at %v, after release %v", bl.Task, bl.Path[0].Start, bl.Start)
+				}
+			}
+		})
+	}
+}
